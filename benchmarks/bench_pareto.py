@@ -1,0 +1,33 @@
+"""Ablation: the usable operating range of the sample interval.
+
+Table 4's practical conclusion — "a large range of sample intervals
+... offer high accuracy with low overhead" — restated as a Pareto
+sweep per workload: the usable band (accuracy >= 80%, overhead <= 15%)
+must span a multiplicative range of intervals. (At our run sizes
+(~10^4 checks) the band is a factor of 3-10; at the paper's ~10^7
+checks it widens to the full 100..10,000 decade-pair, because accuracy
+is a function of the absolute sample count.)
+"""
+
+from benchmarks.conftest import once
+from repro.harness.sweeps import interval_sweep, operating_range, sweep_table
+
+
+def sweep_all(runner, save):
+    outputs = {}
+    for name in ("javac", "jack"):
+        points = interval_sweep(runner, name, scale=4)
+        outputs[name] = points
+        save(f"pareto_{name}", sweep_table(name, points).render())
+    return outputs
+
+
+def test_usable_interval_range_is_wide(benchmark, runner, save):
+    outputs = once(benchmark, lambda: sweep_all(runner, save))
+    for name, points in outputs.items():
+        usable = operating_range(points, min_accuracy=80.0,
+                                 max_overhead=15.0)
+        assert usable, f"{name}: no usable interval at all"
+        assert max(usable) >= 3 * min(usable), (
+            f"{name}: usable range {usable} is not a band"
+        )

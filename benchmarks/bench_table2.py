@@ -1,0 +1,30 @@
+"""Regenerates Table 2: Full-Duplication framework overhead.
+
+Paper: 4.9% average total (3.5% backedge checks + 1.3% entry checks),
+~2x code size, +34% compile time. Our cost model runs ~1.8x the paper's
+percentages (MiniJ ops are cheaper relative to a 5-cycle check than
+Java bytecodes were); the breakdown structure is the claim under test.
+"""
+
+from benchmarks.conftest import once
+from repro.harness import table2
+
+
+def test_table2_framework_overhead(benchmark, runner, save):
+    result = once(benchmark, lambda: table2(runner))
+    save("table2", result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    avg = rows["AVERAGE"]
+    total, backedge, entry = avg[1], avg[3], avg[5]
+    # Framework overhead is an order of magnitude below exhaustive
+    # instrumentation (Table 1) and splits into backedge + entry parts.
+    assert 2.0 < total < 20.0
+    assert backedge + entry == __import__("pytest").approx(total, abs=3.0)
+    # compress is among the most backedge-check-bound benchmarks
+    # (paper: tight loops dominate _201_compress / _222_mpegaudio).
+    non_avg = [row for name, row in rows.items() if name != "AVERAGE"]
+    top_backedge = sorted((row[3] for row in non_avg), reverse=True)[:3]
+    assert rows["compress"][3] in top_backedge
+    # duplication roughly doubles code size
+    assert all(row[7] > 0 for row in non_avg)

@@ -1,0 +1,53 @@
+"""Table 4 at larger scale: accuracy is a function of sample count.
+
+EXPERIMENTS.md claims our accuracy knee sits at smaller intervals only
+because default-scale runs execute ~100x fewer checks than the paper's.
+This bench runs a three-workload subset at 6x scale and checks the
+prediction: with ~6x the checks, interval 100's accuracy climbs toward
+the paper's 98-99 band and interval 1000 becomes usable.
+"""
+
+from benchmarks.conftest import once
+from repro.harness import ExperimentRunner, render_table
+from repro.harness.sweeps import interval_sweep
+
+SCALE = 6
+WORKLOADS = ("javac", "jack", "jess")
+
+
+def sweep(save):
+    runner = ExperimentRunner()
+    rows = []
+    for name in WORKLOADS:
+        points = interval_sweep(
+            runner, name, intervals=(10, 100, 1000), scale=SCALE
+        )
+        for p in points:
+            rows.append(
+                [f"{name}@{p.interval}", p.samples, p.overhead_pct,
+                 p.accuracy_pct]
+            )
+    text = render_table(
+        ["config", "samples", "overhead%", "accuracy%"],
+        rows,
+        title=f"Table 4 subset at scale {SCALE} (more checks -> "
+        "accuracy knee moves right)",
+    )
+    save("table4_scaled", text)
+    return {row[0]: row for row in rows}
+
+
+def test_accuracy_tracks_sample_count(benchmark, save):
+    rows = once(benchmark, lambda: sweep(save))
+    for name in WORKLOADS:
+        at_100 = rows[f"{name}@100"]
+        at_1000 = rows[f"{name}@1000"]
+        # at 6x scale interval 100 collects a healthy sample set and is
+        # comfortably accurate...
+        assert at_100[1] > 50
+        assert at_100[3] > 80.0, name
+        # ...and more samples at the same interval means more accuracy
+        # than the same interval saw at scale 1 (cross-checked against
+        # the recorded default-scale sweeps by eye; here we just require
+        # non-degenerate accuracy at interval 1000)
+        assert at_1000[3] > 40.0, name

@@ -1,0 +1,30 @@
+"""Regenerates Table 5: time-based vs counter-based trigger accuracy.
+
+Paper: with matched sample counts, the counter trigger averages 84%
+overlap vs 63% for the timer trigger, because timer ticks land inside
+long-latency operations and the *following* check takes the sample.
+Our deterministic machine has fewer noise sources than real hardware
+(no OS jitter, no JIT pauses), so the timer's handicap is milder but
+the ordering and the worst-case-on-I/O-workloads shape persist.
+"""
+
+from benchmarks.conftest import once
+from repro.harness import table5
+
+
+def test_table5_trigger_accuracy(benchmark, runner, save):
+    result = once(benchmark, lambda: table5(runner))
+    save("table5", result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    avg_timer, avg_counter = rows["AVERAGE"][1], rows["AVERAGE"][3]
+    # counter-based sampling is the more accurate trigger on average
+    assert avg_counter >= avg_timer
+    # counter accuracy is high in absolute terms (paper: 84%)
+    assert avg_counter > 75.0
+    # sample counts were matched within a factor of ~2 per benchmark
+    for name, row in rows.items():
+        if name == "AVERAGE":
+            continue
+        t_samples, c_samples = row[5], row[6]
+        assert 0.5 <= c_samples / max(1, t_samples) <= 2.0, name

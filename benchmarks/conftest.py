@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures. Rendered
+tables are printed (visible with ``pytest -s``) and written to
+``benchmarks/results/`` so EXPERIMENTS.md can reference a captured run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One ExperimentRunner for the whole benchmark session, so every
+    table reuses the same cached baselines."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def save():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and heavy; repeating them adds
+    nothing but wall time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Feedback-directed optimization driven by sampled profiles.
+
+The paper's motivation (§1): online systems avoid expensive
+instrumentation, so offline feedback-directed optimizations stay
+offline. With the sampling framework, an adaptive controller can
+profile cheaply *online* and recompile with the knowledge gained.
+
+This example runs the full lifecycle on three of the benchmark
+workloads: profile with Full-Duplication sampling, pick hot call sites,
+inline them, and compare steady-state cycles.
+
+Run:  python examples/adaptive_inlining.py
+"""
+
+from repro.adaptive import AdaptiveController
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    controller = AdaptiveController(
+        interval=101,          # sample every 101st check
+        site_threshold=0.02,   # a site is hot at >= 2% of samples
+        max_inline_sites=12,
+    )
+    for name in ("mpegaudio", "jess", "javac"):
+        workload = get_workload(name)
+        outcome = controller.optimize(workload.compile())
+        print(f"== {name} ({workload.description}) ==")
+        print(outcome.summary())
+        print()
+
+    print(
+        "Note the asymmetry the paper banks on: the profiling phase costs\n"
+        "a few percent (it would cost ~90% with exhaustive call-edge\n"
+        "instrumentation, Table 1), while the recompiled code is\n"
+        "permanently faster."
+    )
+
+
+if __name__ == "__main__":
+    main()

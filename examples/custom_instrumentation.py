@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Writing a new instrumentation kind against the framework.
+
+The paper's usability claim: "implementors of instrumentation
+techniques ... can concentrate on developing new techniques quickly and
+correctly, rather than focusing on minimizing overhead" (§1). This
+example builds a *loop trip-count profiler* from scratch — it never
+mentions checks, duplication, or overhead — and then runs it three
+ways: exhaustively, sampled by Full-Duplication, and sampled by
+No-Duplication, without modifying the instrumentation.
+
+Run:  python examples/custom_instrumentation.py
+"""
+
+from repro import (
+    CounterTrigger,
+    Instrumentation,
+    InstrumentationAction,
+    SamplingFramework,
+    Strategy,
+    compile_baseline,
+    overlap_percentage,
+    run_program,
+)
+from repro.cfg import CFG, natural_loops
+
+
+class LoopIterationAction(InstrumentationAction):
+    """Count one iteration of one loop."""
+
+    cost = 8  # cycles per recorded iteration (hash-table bump)
+
+    def __init__(self, key, profile):
+        self.key = key
+        self.profile = profile
+
+    def execute(self, vm, frame):
+        self.profile.record(self.key)
+
+    def describe(self):
+        return f"loop-iter {self.key!r}"
+
+
+class LoopProfiler(Instrumentation):
+    """Records (function, loop header) once per loop iteration.
+
+    Placement uses only public CFG analyses: one action at the top of
+    every natural-loop header. The sampling framework takes care of the
+    rest.
+    """
+
+    kind = "loop-profile"
+
+    def instrument_cfg(self, cfg: CFG, program) -> None:
+        for loop in natural_loops(cfg):
+            action = LoopIterationAction(
+                (cfg.name, loop.header), self.profile
+            )
+            self.insert_before(cfg, loop.header, 0, action)
+
+
+SOURCE = """
+func busyInner(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < 8; j = j + 1) {
+            acc = (acc + i * j) % 65536;
+        }
+    }
+    return acc;
+}
+
+func main() {
+    var total = 0;
+    for (var round = 0; round < 30; round = round + 1) {
+        total = (total + busyInner(20 + round % 5)) % 1000003;
+    }
+    print(total);
+    return total;
+}
+"""
+
+
+def main() -> None:
+    baseline = compile_baseline(SOURCE)
+    base = run_program(baseline)
+    print(f"baseline: {base.stats.cycles} cycles\n")
+
+    results = {}
+    for strategy in (
+        Strategy.EXHAUSTIVE,
+        Strategy.FULL_DUPLICATION,
+        Strategy.NO_DUPLICATION,
+    ):
+        profiler = LoopProfiler()
+        program = SamplingFramework(strategy).transform(baseline, profiler)
+        trigger = (
+            None if strategy is Strategy.EXHAUSTIVE else CounterTrigger(31)
+        )
+        run = run_program(program, trigger=trigger)
+        assert run.value == base.value
+        overhead = 100 * (run.stats.cycles / base.stats.cycles - 1)
+        results[strategy] = profiler.profile
+        print(f"{strategy.value:20s} +{overhead:6.1f}%   "
+              f"profile={dict(profiler.profile.counts)}")
+
+    exhaustive = results[Strategy.EXHAUSTIVE]
+    for strategy in (Strategy.FULL_DUPLICATION, Strategy.NO_DUPLICATION):
+        print(
+            f"overlap({strategy.value}) = "
+            f"{overlap_percentage(exhaustive, results[strategy]):.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Selective optimization over epochs — the paper's §1 setting, live.
+
+An adaptive VM compiles everything cheaply (O0), watches cheap sampled
+profiles, and recompiles only the methods that matter. The interesting
+trajectory is per-epoch cycles: a slow first epoch, a compile-cost hump
+while the controller reacts, then a faster steady state. The sampling
+framework is what makes the watching affordable.
+
+Run:  python examples/selective_optimization.py
+"""
+
+from repro.adaptive import AdaptiveVMSimulation
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    for name in ("javac", "mpegaudio"):
+        workload = get_workload(name)
+        print(f"== {name} ({workload.description}) ==")
+        simulation = AdaptiveVMSimulation(
+            workload.render_source(1),
+            interval=67,
+            hot_method_threshold=0.08,
+        )
+        result = simulation.run()
+        print(result.summary())
+        promoted = sorted(
+            m.name for m in result.methods.values() if m.level == 2
+        )
+        print(f"promoted to O2: {', '.join(promoted) or '(none)'}")
+        print()
+
+    print(
+        "Every epoch above ran with call-edge instrumentation live —\n"
+        "sampled by the framework at a few percent overhead instead of\n"
+        "the ~90% exhaustive instrumentation would cost (Table 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

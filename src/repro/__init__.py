@@ -1,0 +1,128 @@
+"""repro — a from-scratch reproduction of Arnold & Ryder,
+"A Framework for Reducing the Cost of Instrumented Code" (PLDI 2001).
+
+The package builds the paper's entire stack on a deterministic
+simulated machine:
+
+* :mod:`repro.frontend` — the MiniJ language (lexer, parser, checker,
+  code generator) standing in for Java source;
+* :mod:`repro.bytecode` — a stack bytecode with builder, assembler,
+  disassembler, and verifier;
+* :mod:`repro.cfg` — control-flow graphs, dominators, loops, dataflow,
+  re-linearization;
+* :mod:`repro.opt` — folding, peephole, DCE, inlining, unrolling;
+* :mod:`repro.instrument` — call-edge, field-access, block/edge, value,
+  and Ball–Larus path instrumentation;
+* :mod:`repro.sampling` — **the paper's contribution**: Full/Partial/
+  No-Duplication transforms, counter/timer/randomized triggers,
+  yieldpoint optimization, Property-1 verification;
+* :mod:`repro.vm` — the interpreter with cycle cost model, green
+  threads, virtual timer, GC pauses;
+* :mod:`repro.profiles` — profiles and the overlap-percentage metric;
+* :mod:`repro.adaptive` — a sampled-profile-driven adaptive optimizer;
+* :mod:`repro.workloads` — ten benchmark analogs of the paper's suite;
+* :mod:`repro.harness` — generators for every table and figure.
+
+Quickstart::
+
+    from repro import (
+        compile_baseline, SamplingFramework, Strategy,
+        CallEdgeInstrumentation, CounterTrigger, run_program,
+    )
+
+    program = compile_baseline(open("app.minij").read())
+    instr = CallEdgeInstrumentation()
+    sampled = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+        program, instr
+    )
+    result = run_program(sampled, trigger=CounterTrigger(interval=1000))
+    print(instr.profile.top(10))
+"""
+
+from repro.adaptive import AdaptiveController
+from repro.bytecode import (
+    BytecodeBuilder,
+    Function,
+    Instruction,
+    Klass,
+    Op,
+    Program,
+    assemble,
+    disassemble_function,
+    disassemble_program,
+    verify_program,
+)
+from repro.frontend import CompileOptions, compile_baseline, compile_source
+from repro.instrument import (
+    BlockCountInstrumentation,
+    CallEdgeInstrumentation,
+    CombinedInstrumentation,
+    EdgeProfileInstrumentation,
+    FieldAccessInstrumentation,
+    Instrumentation,
+    InstrumentationAction,
+    ParameterValueInstrumentation,
+    PathProfileInstrumentation,
+    instrument_program,
+)
+from repro.profiles import Profile, overlap_percentage
+from repro.sampling import (
+    CounterTrigger,
+    NeverTrigger,
+    RandomizedCounterTrigger,
+    SamplingFramework,
+    Strategy,
+    TimerTrigger,
+    transform_program,
+)
+from repro.vm import VM, CostModel, VMResult, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # frontend
+    "compile_source",
+    "compile_baseline",
+    "CompileOptions",
+    # bytecode
+    "Op",
+    "Instruction",
+    "Function",
+    "Klass",
+    "Program",
+    "BytecodeBuilder",
+    "assemble",
+    "disassemble_function",
+    "disassemble_program",
+    "verify_program",
+    # instrumentation
+    "Instrumentation",
+    "InstrumentationAction",
+    "CallEdgeInstrumentation",
+    "FieldAccessInstrumentation",
+    "BlockCountInstrumentation",
+    "EdgeProfileInstrumentation",
+    "ParameterValueInstrumentation",
+    "PathProfileInstrumentation",
+    "CombinedInstrumentation",
+    "instrument_program",
+    # sampling framework
+    "SamplingFramework",
+    "Strategy",
+    "transform_program",
+    "CounterTrigger",
+    "TimerTrigger",
+    "RandomizedCounterTrigger",
+    "NeverTrigger",
+    # vm
+    "VM",
+    "VMResult",
+    "run_program",
+    "CostModel",
+    # profiles
+    "Profile",
+    "overlap_percentage",
+    # adaptive
+    "AdaptiveController",
+]

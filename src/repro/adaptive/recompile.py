@@ -1,0 +1,111 @@
+"""Profile-directed recompilation: sampled profile -> better code.
+
+Implements the feedback-directed optimization the paper motivates
+(§1's "profiling information is used to decide not only what to
+optimize, but how"): hot call sites identified by *sampled* call-edge
+profiles are inlined, then the cleanup pipeline re-optimizes and the
+VM conventions (yieldpoints, call-site ids) are reapplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.bytecode.verifier import verify_program
+from repro.adaptive.hotness import HotCallSite
+from repro.instrument.call_edge import assign_call_site_ids
+from repro.opt.inline import inline_call_site
+from repro.opt.pipeline import cleanup_program
+from repro.sampling.yieldpoints import insert_yieldpoints
+
+
+@dataclass
+class RecompileReport:
+    """What profile-directed recompilation actually did."""
+
+    inlined: List[Tuple[str, int, str]] = field(default_factory=list)
+    skipped: List[Tuple[str, int, str, str]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"inlined {len(self.inlined)} hot call site(s)"]
+        for caller, site, callee in self.inlined:
+            lines.append(f"  {caller}@{site} -> {callee}")
+        for caller, site, callee, reason in self.skipped:
+            lines.append(f"  skipped {caller}@{site} -> {callee}: {reason}")
+        return "\n".join(lines)
+
+
+def _find_call_pc(program: Program, caller: str, site: int) -> Optional[int]:
+    """Locate the CALL whose stamped site id is ``(caller, site)``."""
+    fn = program.functions.get(caller)
+    if fn is None:
+        return None
+    for pc, ins in enumerate(fn.code):
+        if ins.op == Op.CALL and ins.meta == (caller, site):
+            return pc
+    return None
+
+
+def profile_directed_inline(
+    program: Program,
+    sites: List[HotCallSite],
+    max_callee_size: int = 200,
+    max_caller_growth: int = 4000,
+) -> Tuple[Program, RecompileReport]:
+    """Inline the given hot sites into a copy of *program*.
+
+    Sites are addressed by their stable call-site ids (Instruction
+    ``meta``), so profiles collected on any transformed variant apply
+    directly to the baseline code being recompiled. Returns the new
+    program (cleaned up, yieldpoints and site ids refreshed) and a
+    report of decisions.
+    """
+    result = program.copy()
+    report = RecompileReport()
+    for site in sites:
+        pc = _find_call_pc(result, site.caller, site.site)
+        if pc is None:
+            report.skipped.append(
+                (site.caller, site.site, site.callee, "site not found")
+            )
+            continue
+        callee = result.functions.get(site.callee)
+        if callee is None or site.callee == site.caller:
+            report.skipped.append(
+                (site.caller, site.site, site.callee, "recursive or missing")
+            )
+            continue
+        if len(callee.code) > max_callee_size:
+            report.skipped.append(
+                (site.caller, site.site, site.callee, "callee too large")
+            )
+            continue
+        caller_fn = result.functions[site.caller]
+        if len(caller_fn.code) + len(callee.code) > max_caller_growth:
+            report.skipped.append(
+                (site.caller, site.site, site.callee, "caller growth cap")
+            )
+            continue
+        result.replace_function(inline_call_site(caller_fn, pc, callee))
+        report.inlined.append((site.caller, site.site, site.callee))
+
+    # Re-optimize and reapply VM conventions: strip stale yieldpoints
+    # (inlined bodies carried their entry yieldpoints along), clean up,
+    # and re-insert a fresh, consistent set. Stripping goes through the
+    # CFG so branch targets stay valid.
+    from repro.cfg.graph import CFG
+    from repro.cfg.linearize import linearize
+    from repro.sampling.duplication import strip_ops
+
+    for name in result.function_names():
+        cfg = CFG.from_function(result.functions[name])
+        strip_ops(cfg, list(cfg.blocks), [Op.YIELDPOINT])
+        result.replace_function(linearize(cfg))
+    result = cleanup_program(result)
+    result = insert_yieldpoints(result)
+    assign_call_site_ids(result)
+    verify_program(result)
+    return result, report

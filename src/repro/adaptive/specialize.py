@@ -1,0 +1,210 @@
+"""Value-based method specialization from sampled parameter profiles.
+
+Paper §4.3: "There are also other types of profile information
+available at method entry, such as parameter values that can be used to
+guide specialization." This module closes that loop:
+
+1. :class:`ParameterValueInstrumentation` (sampled by the framework)
+   observes argument values at method entries;
+2. :func:`specialization_candidates` picks (function, parameter, value)
+   triples where one value dominates the samples;
+3. :func:`specialize_function` clones the function with that parameter
+   pinned to the hot constant, lets constant folding collapse the
+   now-decidable branches, and installs a dispatching stub:
+
+       func f(a, b):
+           if (b == HOT) return f__spec_b_HOT(a, b)
+           return f__orig(a, b)
+
+Specialization is sound for any argument (the guard falls back), and
+profitable when the pinned value folds work away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bytecode.builder import BytecodeBuilder
+from repro.bytecode.function import Function
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.bytecode.verifier import verify_program
+from repro.cfg.graph import CFG
+from repro.cfg.linearize import linearize
+from repro.errors import TransformError
+from repro.opt.pipeline import cleanup_function_cfg
+from repro.profiles.profile import Profile
+
+
+@dataclass(frozen=True)
+class SpecializationCandidate:
+    """A (function, parameter, value) worth specializing on."""
+
+    function: str
+    param_index: int
+    value: int
+    share: float
+    samples: int
+
+
+def specialization_candidates(
+    param_profile: Profile,
+    min_share: float = 0.8,
+    min_samples: int = 10,
+) -> List[SpecializationCandidate]:
+    """Dominant parameter values from a (sampled) parameter profile.
+
+    The profile's keys are ``(function, param_index, value)`` as
+    produced by :class:`ParameterValueInstrumentation`. A candidate is
+    emitted when one value holds at least ``min_share`` of that
+    parameter's observations (clamp buckets are skipped — a clamped
+    bucket is a range, not a value).
+    """
+    from repro.instrument.value_profile import VALUE_CLAMP
+
+    by_param: Dict[Tuple[str, int], Dict[int, int]] = {}
+    for (function, index, value), count in param_profile.counts.items():
+        by_param.setdefault((function, index), {})[value] = (
+            by_param.get((function, index), {}).get(value, 0) + count
+        )
+    candidates: List[SpecializationCandidate] = []
+    for (function, index), values in sorted(by_param.items()):
+        total = sum(values.values())
+        if total < min_samples:
+            continue
+        value, count = max(values.items(), key=lambda kv: (kv[1], -kv[0]))
+        if abs(value) > VALUE_CLAMP:
+            continue
+        share = count / total
+        if share >= min_share:
+            candidates.append(
+                SpecializationCandidate(function, index, value, share, count)
+            )
+    candidates.sort(key=lambda c: (-c.share * c.samples, c.function))
+    return candidates
+
+
+def _param_is_reassigned(fn: Function, slot: int) -> bool:
+    return any(
+        ins.op is Op.STORE and ins.arg == slot for ins in fn.code
+    )
+
+
+def _pinned_clone(fn: Function, name: str, slot: int, value: int) -> Function:
+    """Copy of *fn* with ``LOAD slot`` replaced by ``PUSH value``, then
+    cleaned up (folding collapses branches the pin decides)."""
+    clone = fn.copy(name)
+    clone.code = [
+        Instruction(Op.PUSH, value)
+        if ins.op is Op.LOAD and ins.arg == slot
+        else ins.copy()
+        for ins in fn.code
+    ]
+    cfg = CFG.from_function(clone)
+    cleanup_function_cfg(cfg)
+    return linearize(cfg, notes=dict(fn.notes, specialized_on=(slot, value)))
+
+
+def specialize_function(
+    program: Program,
+    candidate: SpecializationCandidate,
+    verify: bool = True,
+    inline_stub: bool = True,
+) -> Tuple[Program, str]:
+    """Install a specialization in a copy of *program*.
+
+    Returns ``(new_program, specialized_name)``. Raises TransformError
+    when the parameter is reassigned in the body (the pin would be
+    unsound) or the function doesn't exist.
+
+    ``inline_stub`` (default) inlines the dispatching stub into every
+    call site, so the guard costs a compare-and-branch instead of an
+    extra call — what a JIT's specialized-entry rewrite achieves.
+    """
+    fn = program.functions.get(candidate.function)
+    if fn is None:
+        raise TransformError(f"no function {candidate.function!r}")
+    if not 0 <= candidate.param_index < fn.num_params:
+        raise TransformError(
+            f"{candidate.function} has no parameter {candidate.param_index}"
+        )
+    if _param_is_reassigned(fn, candidate.param_index):
+        raise TransformError(
+            f"{candidate.function}: parameter {candidate.param_index} is "
+            f"reassigned; pinning it would be unsound"
+        )
+
+    result = program.copy()
+    original_name = f"{candidate.function}__orig"
+    spec_name = (
+        f"{candidate.function}__spec_p{candidate.param_index}_"
+        f"{candidate.value}".replace("-", "m")
+    )
+    if original_name in result.functions or spec_name in result.functions:
+        raise TransformError(
+            f"{candidate.function}: already specialized"
+        )
+
+    original = result.functions.pop(candidate.function)
+    result.add_function(original.copy(original_name))
+    result.add_function(
+        _pinned_clone(original, spec_name, candidate.param_index,
+                      candidate.value)
+    )
+
+    # Dispatching stub under the original name: call sites are untouched.
+    stub = BytecodeBuilder(candidate.function, num_params=fn.num_params)
+    slow = stub.new_label("slow")
+    stub.load(candidate.param_index).push(candidate.value).emit(Op.EQ)
+    stub.jz(slow)
+    for slot in range(fn.num_params):
+        stub.load(slot)
+    stub.call(spec_name).ret()
+    stub.label(slow)
+    for slot in range(fn.num_params):
+        stub.load(slot)
+    stub.call(original_name).ret()
+    result.add_function(stub.build())
+
+    if inline_stub:
+        from repro.opt.inline import inline_program
+
+        result = inline_program(
+            result,
+            should_inline=lambda caller, callee: (
+                callee.name == candidate.function
+            ),
+        )
+
+    if verify:
+        verify_program(result)
+    return result, spec_name
+
+
+def specialize_from_profile(
+    program: Program,
+    param_profile: Profile,
+    min_share: float = 0.8,
+    min_samples: int = 10,
+    limit: int = 4,
+) -> Tuple[Program, List[SpecializationCandidate]]:
+    """Apply up to *limit* profitable-looking specializations.
+
+    Unsound or colliding candidates are skipped silently; the applied
+    list is returned alongside the new program.
+    """
+    applied: List[SpecializationCandidate] = []
+    current = program
+    for candidate in specialization_candidates(
+        param_profile, min_share, min_samples
+    ):
+        if len(applied) >= limit:
+            break
+        try:
+            current, _name = specialize_function(current, candidate)
+        except TransformError:
+            continue
+        applied.append(candidate)
+    return current, applied

@@ -1,0 +1,27 @@
+"""Stack-machine bytecode: ISA, containers, builder, (dis)assembler, verifier."""
+
+from repro.bytecode.assembler import assemble
+from repro.bytecode.builder import BytecodeBuilder
+from repro.bytecode.disassembler import disassemble_function, disassemble_program
+from repro.bytecode.function import Function
+from repro.bytecode.instructions import Instruction, Label, instr
+from repro.bytecode.klass import Klass
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.bytecode.verifier import verify_function, verify_program
+
+__all__ = [
+    "Op",
+    "Instruction",
+    "Label",
+    "instr",
+    "Function",
+    "Klass",
+    "Program",
+    "BytecodeBuilder",
+    "assemble",
+    "disassemble_function",
+    "disassemble_program",
+    "verify_function",
+    "verify_program",
+]

@@ -1,0 +1,200 @@
+"""Textual bytecode assembler.
+
+Grammar (line oriented; ``#`` starts a comment)::
+
+    program   := (class_decl | func_decl)*
+    class_decl:= "class" NAME "{" NAME* "}"            (may span lines)
+    func_decl := "func" NAME "(" INT ")" ["locals=" INT] "{"
+                     (label_line | instr_line)*
+                 "}"
+    label_line:= NAME ":"
+    instr_line:= MNEMONIC [operand]
+
+Operands: integers for push/load/store/io, label names for branches,
+function names for call/spawn, class names for new, ``Class.field`` for
+getfield/putfield. ``locals=`` counts *extra* slots beyond params when
+omitted params define the count.
+
+The assembler exists for tests and examples; generated code normally
+comes from :class:`repro.bytecode.builder.BytecodeBuilder` or the MiniJ
+compiler.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.builder import BytecodeBuilder
+from repro.bytecode.instructions import Label
+from repro.bytecode.klass import Klass
+from repro.bytecode.opcodes import BRANCH_OPS, FIELD_REF_OPS, FUNCTION_REF_OPS, MNEMONICS, Op
+from repro.bytecode.program import Program
+from repro.errors import AssemblerError
+
+_FUNC_RE = re.compile(
+    r"^func\s+(?P<name>\w+)\s*\(\s*(?P<params>\d+)\s*\)"
+    r"(?:\s+locals\s*=\s*(?P<locals>\d+))?\s*\{$"
+)
+_CLASS_OPEN_RE = re.compile(r"^class\s+(?P<name>\w+)\s*\{(?P<rest>.*)$")
+_LABEL_RE = re.compile(r"^(?P<name>\w+)\s*:$")
+
+
+def _strip(line: str) -> str:
+    if "#" in line:
+        line = line[: line.index("#")]
+    return line.strip()
+
+
+class _FunctionAssembler:
+    """Assembles the body of one ``func`` block."""
+
+    def __init__(self, name: str, params: int, extra_locals: Optional[int]):
+        num_locals = params + (extra_locals or 0)
+        self.builder = BytecodeBuilder(name, params, num_locals)
+        self.labels: Dict[str, Label] = {}
+
+    def _label(self, name: str) -> Label:
+        if name not in self.labels:
+            self.labels[name] = self.builder.new_label(name)
+        return self.labels[name]
+
+    def add_label(self, name: str, line_no: int) -> None:
+        lab = self._label(name)
+        try:
+            self.builder.label(lab)
+        except Exception as exc:  # duplicate binding
+            raise AssemblerError(str(exc), line_no) from None
+
+    def add_instruction(self, text: str, line_no: int) -> None:
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand = parts[1].strip() if len(parts) > 1 else None
+        op = MNEMONICS.get(mnemonic)
+        if op is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no)
+        self.builder.emit(op, self._parse_operand(op, operand, line_no))
+
+    def _parse_operand(self, op: Op, operand: Optional[str], line_no: int):
+        if op in BRANCH_OPS:
+            if operand is None:
+                raise AssemblerError(f"{op.name} needs a label", line_no)
+            return self._label(operand)
+        if op in FUNCTION_REF_OPS or op == Op.NEW:
+            if operand is None:
+                raise AssemblerError(f"{op.name} needs a name", line_no)
+            return operand
+        if op in FIELD_REF_OPS:
+            if operand is None or "." not in operand:
+                raise AssemblerError(
+                    f"{op.name} needs Class.field", line_no
+                )
+            cls, field = operand.split(".", 1)
+            return (cls, field)
+        if op in (Op.PUSH, Op.LOAD, Op.STORE, Op.IO):
+            if operand is None:
+                if op == Op.IO:
+                    return 1
+                raise AssemblerError(f"{op.name} needs an integer", line_no)
+            try:
+                return int(operand, 0)
+            except ValueError:
+                raise AssemblerError(
+                    f"{op.name}: bad integer {operand!r}", line_no
+                ) from None
+        if operand is not None:
+            raise AssemblerError(
+                f"{op.name} takes no operand (got {operand!r})", line_no
+            )
+        return None
+
+
+def assemble(source: str, entry: str = "main") -> Program:
+    """Assemble *source* text into a :class:`Program`.
+
+    The resulting program has references validated but is not
+    stack-verified; call :func:`repro.bytecode.verifier.verify_program`
+    for that.
+    """
+    program = Program(entry=entry)
+    lines = source.splitlines()
+    i = 0
+    while i < len(lines):
+        line = _strip(lines[i])
+        i += 1
+        if not line:
+            continue
+        class_match = _CLASS_OPEN_RE.match(line)
+        if class_match:
+            i = _assemble_class(program, class_match, lines, i)
+            continue
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            i = _assemble_function(program, func_match, lines, i)
+            continue
+        raise AssemblerError(f"expected 'class' or 'func', got {line!r}", i)
+    program.validate_references()
+    return program
+
+
+def _assemble_class(
+    program: Program, match: "re.Match[str]", lines: List[str], i: int
+) -> int:
+    name = match.group("name")
+    body_parts: List[str] = []
+    rest = match.group("rest")
+    closed = False
+    if "}" in rest:
+        body_parts.append(rest[: rest.index("}")])
+        closed = True
+    else:
+        body_parts.append(rest)
+    while not closed:
+        if i >= len(lines):
+            raise AssemblerError(f"class {name}: missing '}}'", i)
+        line = _strip(lines[i])
+        i += 1
+        if "}" in line:
+            body_parts.append(line[: line.index("}")])
+            closed = True
+        else:
+            body_parts.append(line)
+    fields = " ".join(body_parts).split()
+    program.add_class(Klass(name, fields))
+    return i
+
+
+def _assemble_function(
+    program: Program, match: "re.Match[str]", lines: List[str], i: int
+) -> int:
+    name = match.group("name")
+    params = int(match.group("params"))
+    extra = match.group("locals")
+    fasm = _FunctionAssembler(name, params, int(extra) if extra else None)
+    while True:
+        if i >= len(lines):
+            raise AssemblerError(f"func {name}: missing '}}'", i)
+        line = _strip(lines[i])
+        i += 1
+        if not line:
+            continue
+        if line == "}":
+            break
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            fasm.add_label(label_match.group("name"), i)
+        else:
+            fasm.add_instruction(line, i)
+    try:
+        program.add_function(fasm.builder.build())
+    except Exception as exc:
+        raise AssemblerError(f"func {name}: {exc}", i) from None
+    return i
+
+
+def parse_operand_pair(text: str) -> Tuple[str, str]:
+    """Split ``Class.field`` notation (exposed for tooling/tests)."""
+    cls, _, field = text.partition(".")
+    if not field:
+        raise AssemblerError(f"expected Class.field, got {text!r}")
+    return cls, field

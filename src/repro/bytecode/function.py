@@ -1,0 +1,99 @@
+"""Function objects: the unit of compilation, transformation and execution.
+
+A function's ``code`` is a flat list of :class:`Instruction` whose branch
+args are absolute pcs (ints). Transforms that need structure build a CFG
+from the code (:mod:`repro.cfg.graph`), rewrite it, and re-linearize
+(:mod:`repro.cfg.linearize`) rather than patching pcs by hand.
+
+Calling convention: the caller pushes arguments left-to-right; ``CALL``
+pops them into local slots ``0 .. num_params-1`` of the new frame. Every
+function returns exactly one value via ``RETURN`` (MiniJ ``void``
+functions return 0).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op
+from repro.errors import BytecodeError
+
+
+class Function:
+    """A named bytecode function.
+
+    Attributes:
+        name: globally unique function name.
+        num_params: number of parameters (occupying local slots 0..n-1).
+        num_locals: total local slots, >= num_params.
+        code: linearized instruction list (branch args are absolute pcs).
+        notes: free-form metadata used by transforms and the harness
+            (e.g. ``{"sampling": "full-duplication"}``).
+    """
+
+    __slots__ = ("name", "num_params", "num_locals", "code", "notes")
+
+    def __init__(
+        self,
+        name: str,
+        num_params: int,
+        num_locals: int,
+        code: Optional[List[Instruction]] = None,
+        notes: Optional[Dict[str, Any]] = None,
+    ):
+        if num_params < 0:
+            raise BytecodeError(f"{name}: negative num_params")
+        if num_locals < num_params:
+            raise BytecodeError(
+                f"{name}: num_locals ({num_locals}) < num_params ({num_params})"
+            )
+        self.name = name
+        self.num_params = num_params
+        self.num_locals = num_locals
+        self.code: List[Instruction] = code if code is not None else []
+        self.notes: Dict[str, Any] = notes if notes is not None else {}
+
+    # -- derived views -----------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Function":
+        """Deep-copy instructions (sharing action payloads and labels)."""
+        return Function(
+            name or self.name,
+            self.num_params,
+            self.num_locals,
+            [ins.copy() for ins in self.code],
+            dict(self.notes),
+        )
+
+    def instruction_count(self) -> int:
+        return len(self.code)
+
+    def code_size_bytes(self) -> int:
+        """A simple size proxy: 4 bytes per instruction (arg folded in).
+
+        Used by the harness for the paper's "Maximum Space Increase"
+        column; only ratios matter, so the constant is arbitrary.
+        """
+        return 4 * len(self.code)
+
+    def opcodes(self) -> Iterable[Op]:
+        for ins in self.code:
+            yield ins.op
+
+    def count_op(self, op: Op) -> int:
+        return sum(1 for ins in self.code if ins.op == op)
+
+    def called_functions(self) -> List[str]:
+        """Names of functions referenced by CALL/SPAWN, in code order."""
+        return [
+            ins.arg
+            for ins in self.code
+            if ins.op in (Op.CALL, Op.SPAWN)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Function {self.name}({self.num_params}) "
+            f"locals={self.num_locals} len={len(self.code)}>"
+        )

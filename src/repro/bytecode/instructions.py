@@ -1,0 +1,112 @@
+"""Instruction and label objects.
+
+An :class:`Instruction` is deliberately tiny — the interpreter touches
+millions of them per experiment. ``arg`` is polymorphic by opcode:
+
+========================  =========================================
+opcode group              ``arg`` type
+========================  =========================================
+PUSH / LOAD / STORE        int
+branches                   :class:`Label` before linearization,
+                           absolute ``int`` pc afterwards
+CALL / SPAWN / NEW         str (function or class name)
+GETFIELD / PUTFIELD        ``(class_name, field_name)`` tuple
+IO                         int latency class (>= 1)
+INSTR / GUARDED_INSTR      an instrumentation action object (anything
+                           with ``execute(vm, frame)`` and ``cost``)
+others                     None
+========================  =========================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.bytecode.opcodes import BRANCH_OPS, Op
+
+_label_ids = itertools.count()
+
+
+class Label:
+    """A symbolic branch target resolved to a pc at linearization time.
+
+    Labels are compared by identity: two labels with the same name are
+    distinct targets. The name exists only for readable disassembly.
+    """
+
+    __slots__ = ("name", "uid")
+
+    def __init__(self, name: str = ""):
+        self.uid = next(_label_ids)
+        self.name = name or f"L{self.uid}"
+
+    def __repr__(self) -> str:
+        return f"<Label {self.name}>"
+
+
+class Instruction:
+    """One executable instruction: an opcode plus its operand.
+
+    Instances are mutable (the linearizer patches branch args in place)
+    but the interpreter treats them as read-only.
+
+    ``meta`` carries a transform-stable identity (e.g. a call-site id
+    assigned once after compilation). Copies share it, so a profile key
+    minted from ``meta`` matches across baseline, exhaustive, and
+    sampled variants of the same program — which is what makes overlap
+    comparisons meaningful.
+    """
+
+    __slots__ = ("op", "arg", "meta")
+
+    def __init__(self, op: Op, arg: Any = None, meta: Any = None):
+        self.op = op
+        self.arg = arg
+        self.meta = meta
+
+    def copy(self) -> "Instruction":
+        """Shallow copy; branch args (labels) and meta are shared."""
+        return Instruction(self.op, self.arg, self.meta)
+
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    def __repr__(self) -> str:
+        if self.arg is None:
+            return f"{self.op.name}"
+        if isinstance(self.arg, Label):
+            return f"{self.op.name} {self.arg.name}"
+        return f"{self.op.name} {self.arg!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Instruction)
+            and self.op == other.op
+            and self.arg == other.arg
+        )
+
+    def __hash__(self) -> int:
+        arg = self.arg
+        if not isinstance(arg, (int, str, tuple, type(None))):
+            arg = id(arg)
+        return hash((self.op, arg))
+
+
+def instr(op: Op, arg: Any = None) -> Instruction:
+    """Convenience constructor used heavily in tests and transforms."""
+    return Instruction(op, arg)
+
+
+def format_arg(instruction: Instruction) -> Optional[str]:
+    """Render an instruction's operand for disassembly (None if no arg)."""
+    arg = instruction.arg
+    if arg is None:
+        return None
+    if isinstance(arg, Label):
+        return arg.name
+    if isinstance(arg, tuple):
+        return ".".join(str(part) for part in arg)
+    if hasattr(arg, "describe"):
+        return arg.describe()
+    return str(arg)

@@ -1,0 +1,46 @@
+"""Class (record type) declarations.
+
+A :class:`Klass` is a named tuple of integer-valued fields — the heap
+object model is deliberately simple (no inheritance, no methods; MiniJ
+functions are free functions). Field order defines heap slot layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import BytecodeError
+
+
+class Klass:
+    """A record type with named integer/reference fields."""
+
+    __slots__ = ("name", "fields", "_slots")
+
+    def __init__(self, name: str, fields: Sequence[str]):
+        if len(set(fields)) != len(fields):
+            raise BytecodeError(f"class {name}: duplicate field names")
+        self.name = name
+        self.fields: Tuple[str, ...] = tuple(fields)
+        self._slots: Dict[str, int] = {f: i for i, f in enumerate(self.fields)}
+
+    def slot_of(self, field: str) -> int:
+        """Heap slot index of *field*; raises BytecodeError if absent."""
+        try:
+            return self._slots[field]
+        except KeyError:
+            raise BytecodeError(
+                f"class {self.name} has no field {field!r}"
+            ) from None
+
+    def has_field(self, field: str) -> bool:
+        return field in self._slots
+
+    def field_names(self) -> List[str]:
+        return list(self.fields)
+
+    def num_fields(self) -> int:
+        return len(self.fields)
+
+    def __repr__(self) -> str:
+        return f"<Klass {self.name} {{{', '.join(self.fields)}}}>"

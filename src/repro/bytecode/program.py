@@ -1,0 +1,129 @@
+"""Whole-program container: functions, classes, and the entry point."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.bytecode.function import Function
+from repro.bytecode.klass import Klass
+from repro.errors import BytecodeError
+
+
+class Program:
+    """A closed set of functions and classes with a designated entry.
+
+    Programs are the unit handed to the verifier, the sampling framework
+    (which maps instrumented functions to transformed replacements) and
+    the VM. Transforms produce a *new* Program and never mutate their
+    input, so a harness can run baseline and transformed variants of the
+    same workload side by side.
+    """
+
+    def __init__(
+        self,
+        functions: Optional[Iterable[Function]] = None,
+        classes: Optional[Iterable[Klass]] = None,
+        entry: str = "main",
+    ):
+        self.functions: Dict[str, Function] = {}
+        self.classes: Dict[str, Klass] = {}
+        self.entry = entry
+        for fn in functions or ():
+            self.add_function(fn)
+        for kl in classes or ():
+            self.add_class(kl)
+
+    # -- construction ------------------------------------------------------
+
+    def add_function(self, fn: Function) -> None:
+        if fn.name in self.functions:
+            raise BytecodeError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+
+    def add_class(self, kl: Klass) -> None:
+        if kl.name in self.classes:
+            raise BytecodeError(f"duplicate class {kl.name!r}")
+        self.classes[kl.name] = kl
+
+    def replace_function(self, fn: Function) -> None:
+        """Swap in a transformed body for an existing function name."""
+        if fn.name not in self.functions:
+            raise BytecodeError(f"no function {fn.name!r} to replace")
+        self.functions[fn.name] = fn
+
+    # -- lookup --------------------------------------------------------------
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise BytecodeError(f"unknown function {name!r}") from None
+
+    def klass(self, name: str) -> Klass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise BytecodeError(f"unknown class {name!r}") from None
+
+    def entry_function(self) -> Function:
+        return self.function(self.entry)
+
+    def function_names(self) -> List[str]:
+        return sorted(self.functions)
+
+    # -- whole-program views ---------------------------------------------------
+
+    def copy(self) -> "Program":
+        """Deep-copy functions (classes are immutable and shared)."""
+        prog = Program(entry=self.entry)
+        for fn in self.functions.values():
+            prog.add_function(fn.copy())
+        for kl in self.classes.values():
+            prog.add_class(kl)
+        return prog
+
+    def total_instructions(self) -> int:
+        return sum(fn.instruction_count() for fn in self.functions.values())
+
+    def total_code_size_bytes(self) -> int:
+        return sum(fn.code_size_bytes() for fn in self.functions.values())
+
+    def validate_references(self) -> None:
+        """Check that every CALL/SPAWN/NEW/field reference resolves.
+
+        This is the cheap, whole-program half of verification; per-function
+        stack-shape checking lives in :mod:`repro.bytecode.verifier`.
+        """
+        from repro.bytecode.opcodes import FIELD_REF_OPS, FUNCTION_REF_OPS, Op
+
+        if self.entry not in self.functions:
+            raise BytecodeError(f"entry function {self.entry!r} missing")
+        for fn in self.functions.values():
+            for pc, ins in enumerate(fn.code):
+                if ins.op in FUNCTION_REF_OPS and ins.arg not in self.functions:
+                    raise BytecodeError(
+                        f"{fn.name}@{pc}: call to unknown function {ins.arg!r}"
+                    )
+                if ins.op == Op.NEW and ins.arg not in self.classes:
+                    raise BytecodeError(
+                        f"{fn.name}@{pc}: NEW of unknown class {ins.arg!r}"
+                    )
+                if ins.op in FIELD_REF_OPS:
+                    cls_name, field = ins.arg
+                    kl = self.classes.get(cls_name)
+                    if kl is None:
+                        raise BytecodeError(
+                            f"{fn.name}@{pc}: field access on unknown class "
+                            f"{cls_name!r}"
+                        )
+                    if not kl.has_field(field):
+                        raise BytecodeError(
+                            f"{fn.name}@{pc}: class {cls_name} has no field "
+                            f"{field!r}"
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Program entry={self.entry!r} functions={len(self.functions)} "
+            f"classes={len(self.classes)}>"
+        )

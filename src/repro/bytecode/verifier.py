@@ -1,0 +1,128 @@
+"""Bytecode verifier: static well-formedness checks before execution.
+
+Performs an abstract interpretation of operand-stack *depth* over each
+function (values are untyped at this level; the VM traps on misuse of
+references vs ints at runtime). Guarantees established here let the
+interpreter skip bounds checks on its hot path:
+
+* every branch target is a valid pc;
+* stack depth at each pc is consistent across all incoming paths,
+  never negative, and sufficient for each opcode's pops;
+* LOAD/STORE slots are within ``num_locals``;
+* execution cannot fall off the end of the code;
+* CALL/SPAWN arities match the callee (via the containing Program).
+
+Transforms call :func:`verify_program` after rewriting to catch bugs in
+the rewrite itself — the paper's framework must preserve program
+semantics exactly, and this is the first line of defence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.function import Function
+from repro.bytecode.opcodes import (
+    CONDITIONAL_BRANCH_OPS,
+    Op,
+    UNCONDITIONAL_EXITS,
+    stack_effect,
+)
+from repro.bytecode.program import Program
+from repro.errors import VerificationError
+
+
+def _fail(fn: Function, pc: int, message: str) -> None:
+    raise VerificationError(f"{fn.name}@{pc}: {message}")
+
+
+def _effect(
+    fn: Function, pc: int, op: Op, arg, program: Optional[Program]
+) -> Tuple[int, int]:
+    """(pops, pushes) for this instruction, resolving call arities."""
+    if op in (Op.CALL, Op.SPAWN):
+        if program is not None:
+            callee = program.functions.get(arg)
+            if callee is None:
+                _fail(fn, pc, f"call to unknown function {arg!r}")
+            return (callee.num_params, 1)
+        # Without a program we cannot know arity; assume a legal call.
+        return (0, 1)
+    if op == Op.RETURN:
+        return (1, 0)
+    if op == Op.HALT:
+        return (0, 0)
+    try:
+        return stack_effect(op)
+    except KeyError:
+        _fail(fn, pc, f"opcode {op.name} has no defined stack effect")
+        raise AssertionError("unreachable")
+
+
+def verify_function(fn: Function, program: Optional[Program] = None) -> Dict[int, int]:
+    """Verify one function; returns the stack depth at each reachable pc.
+
+    ``program`` enables call-arity and reference checks; pass None to
+    verify a function in isolation (call effects assumed legal).
+    """
+    code = fn.code
+    if not code:
+        raise VerificationError(f"{fn.name}: empty code")
+    n = len(code)
+    depth_at: Dict[int, int] = {}
+    worklist: List[Tuple[int, int]] = [(0, 0)]
+    while worklist:
+        pc, depth = worklist.pop()
+        while True:
+            if pc >= n:
+                _fail(fn, pc, "execution falls off the end of the code")
+            known = depth_at.get(pc)
+            if known is not None:
+                if known != depth:
+                    _fail(
+                        fn, pc,
+                        f"inconsistent stack depth ({known} vs {depth})",
+                    )
+                break
+            depth_at[pc] = depth
+            ins = code[pc]
+            op = ins.op
+            if op in (Op.LOAD, Op.STORE):
+                if not isinstance(ins.arg, int) or not (
+                    0 <= ins.arg < fn.num_locals
+                ):
+                    _fail(fn, pc, f"local slot {ins.arg!r} out of range")
+            pops, pushes = _effect(fn, pc, op, ins.arg, program)
+            if depth < pops:
+                _fail(
+                    fn, pc,
+                    f"stack underflow: {op.name} pops {pops}, depth {depth}",
+                )
+            depth = depth - pops + pushes
+            if op in UNCONDITIONAL_EXITS or op == Op.HALT:
+                if op == Op.JUMP:
+                    target = ins.arg
+                    if not isinstance(target, int) or not (0 <= target < n):
+                        _fail(fn, pc, f"bad branch target {target!r}")
+                    pc = target
+                    continue
+                break  # RETURN / HALT end this path
+            if op in CONDITIONAL_BRANCH_OPS:
+                target = ins.arg
+                if not isinstance(target, int) or not (0 <= target < n):
+                    _fail(fn, pc, f"bad branch target {target!r}")
+                worklist.append((target, depth))
+            pc += 1
+    return depth_at
+
+
+def verify_program(program: Program) -> None:
+    """Verify references plus every function of *program*."""
+    program.validate_references()
+    entry = program.entry_function()
+    if entry.num_params != 0:
+        raise VerificationError(
+            f"entry function {entry.name!r} must take 0 parameters"
+        )
+    for fn in program.functions.values():
+        verify_function(fn, program)

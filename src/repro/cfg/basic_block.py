@@ -1,0 +1,182 @@
+"""Basic blocks and terminators for the control-flow graph.
+
+A block holds a straight-line instruction body (no control transfer) and
+ends in exactly one :class:`Terminator`. Keeping control flow out of the
+body makes the duplication transforms structural: they clone bodies,
+retarget terminators, and never have to patch pcs.
+
+Terminator kinds:
+
+* :class:`Goto` — unconditional transfer.
+* :class:`CondBranch` — JZ/JNZ with a *taken* target and a *fallthrough*.
+* :class:`CheckBranch` — the framework's sample check: transfers to
+  ``taken`` (duplicated code) when the sample condition fires, otherwise
+  falls through. Lowered to the ``CHECK`` opcode.
+* :class:`Return` / :class:`Halt` — function / thread exit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op
+from repro.errors import CFGError
+
+
+class Terminator:
+    """Base class; subclasses define ``successors()`` and retargeting."""
+
+    def successors(self) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def retarget(self, old: int, new: int) -> None:
+        """Replace every successor equal to *old* with *new*."""
+        raise NotImplementedError
+
+    def copy(self) -> "Terminator":
+        raise NotImplementedError
+
+
+class Goto(Terminator):
+    __slots__ = ("target",)
+
+    def __init__(self, target: int):
+        self.target = target
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.target,)
+
+    def retarget(self, old: int, new: int) -> None:
+        if self.target == old:
+            self.target = new
+
+    def copy(self) -> "Goto":
+        return Goto(self.target)
+
+    def __repr__(self) -> str:
+        return f"goto B{self.target}"
+
+
+class CondBranch(Terminator):
+    """Conditional branch: ``op`` is JZ or JNZ; pops the condition."""
+
+    __slots__ = ("op", "taken", "fallthrough")
+
+    def __init__(self, op: Op, taken: int, fallthrough: int):
+        if op not in (Op.JZ, Op.JNZ):
+            raise CFGError(f"CondBranch op must be JZ/JNZ, got {op.name}")
+        self.op = op
+        self.taken = taken
+        self.fallthrough = fallthrough
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.taken, self.fallthrough)
+
+    def retarget(self, old: int, new: int) -> None:
+        if self.taken == old:
+            self.taken = new
+        if self.fallthrough == old:
+            self.fallthrough = new
+
+    def copy(self) -> "CondBranch":
+        return CondBranch(self.op, self.taken, self.fallthrough)
+
+    def __repr__(self) -> str:
+        return f"{self.op.name.lower()} B{self.taken} else B{self.fallthrough}"
+
+
+class CheckBranch(Terminator):
+    """A sample check: jump to ``taken`` when the trigger fires."""
+
+    __slots__ = ("taken", "fallthrough")
+
+    def __init__(self, taken: int, fallthrough: int):
+        self.taken = taken
+        self.fallthrough = fallthrough
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.taken, self.fallthrough)
+
+    def retarget(self, old: int, new: int) -> None:
+        if self.taken == old:
+            self.taken = new
+        if self.fallthrough == old:
+            self.fallthrough = new
+
+    def copy(self) -> "CheckBranch":
+        return CheckBranch(self.taken, self.fallthrough)
+
+    def __repr__(self) -> str:
+        return f"check B{self.taken} else B{self.fallthrough}"
+
+
+class Return(Terminator):
+    __slots__ = ()
+
+    def successors(self) -> Tuple[int, ...]:
+        return ()
+
+    def retarget(self, old: int, new: int) -> None:
+        pass
+
+    def copy(self) -> "Return":
+        return Return()
+
+    def __repr__(self) -> str:
+        return "return"
+
+
+class Halt(Terminator):
+    __slots__ = ()
+
+    def successors(self) -> Tuple[int, ...]:
+        return ()
+
+    def retarget(self, old: int, new: int) -> None:
+        pass
+
+    def copy(self) -> "Halt":
+        return Halt()
+
+    def __repr__(self) -> str:
+        return "halt"
+
+
+class BasicBlock:
+    """A CFG node: id, straight-line body, one terminator."""
+
+    __slots__ = ("bid", "instructions", "terminator")
+
+    def __init__(
+        self,
+        bid: int,
+        instructions: Optional[List[Instruction]] = None,
+        terminator: Optional[Terminator] = None,
+    ):
+        self.bid = bid
+        self.instructions: List[Instruction] = (
+            instructions if instructions is not None else []
+        )
+        self.terminator: Terminator = terminator or Return()
+
+    def successors(self) -> Tuple[int, ...]:
+        return self.terminator.successors()
+
+    def copy_body(self) -> List[Instruction]:
+        return [ins.copy() for ins in self.instructions]
+
+    def iter_ops(self) -> Iterator[Op]:
+        for ins in self.instructions:
+            yield ins.op
+
+    def has_instrumentation(self) -> bool:
+        """True if the body contains any INSTR/GUARDED_INSTR operation."""
+        return any(
+            ins.op in (Op.INSTR, Op.GUARDED_INSTR) for ins in self.instructions
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<B{self.bid} len={len(self.instructions)} {self.terminator!r}>"
+        )

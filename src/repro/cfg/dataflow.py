@@ -1,0 +1,160 @@
+"""Generic iterative dataflow framework plus local-variable liveness.
+
+The optimizer (:mod:`repro.opt`) uses liveness for dead-store
+elimination; the framework is generic enough for additional analyses
+(tests exercise reaching-stores as a second instance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Generic, Iterable, List, Set, Tuple, TypeVar
+
+from repro.bytecode.opcodes import Op
+from repro.cfg.basic_block import BasicBlock
+from repro.cfg.graph import CFG
+from repro.cfg.traversal import reverse_postorder
+
+T = TypeVar("T")
+
+
+class DataflowProblem(Generic[T]):
+    """A monotone dataflow problem over block-level facts.
+
+    Subclasses define direction, the initial/boundary facts, the meet
+    operator, and the per-block transfer function. Facts must be
+    immutable (frozensets work well).
+    """
+
+    direction: str = "forward"  # or "backward"
+
+    def boundary(self, cfg: CFG) -> T:
+        """Fact at the entry (forward) or exits (backward)."""
+        raise NotImplementedError
+
+    def initial(self, cfg: CFG) -> T:
+        """Optimistic initial fact for interior blocks."""
+        raise NotImplementedError
+
+    def meet(self, facts: Iterable[T]) -> T:
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact: T) -> T:
+        raise NotImplementedError
+
+
+def solve(problem: DataflowProblem[T], cfg: CFG) -> Tuple[Dict[int, T], Dict[int, T]]:
+    """Iterate *problem* to a fixed point.
+
+    Returns ``(in_facts, out_facts)`` keyed by block id; for backward
+    problems "in" is still the fact at block entry (i.e. the transfer
+    output) so callers read the dictionaries uniformly.
+    """
+    forward = problem.direction == "forward"
+    order = reverse_postorder(cfg)
+    if not forward:
+        order = list(reversed(order))
+    preds = cfg.predecessors_map()
+
+    in_facts: Dict[int, T] = {}
+    out_facts: Dict[int, T] = {}
+    init = problem.initial(cfg)
+    for bid in cfg.blocks:
+        in_facts[bid] = init
+        out_facts[bid] = init
+
+    boundary = problem.boundary(cfg)
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            block = cfg.block(bid)
+            if forward:
+                incoming = [out_facts[p] for p in preds[bid]]
+                fact_in = (
+                    problem.meet(incoming)
+                    if incoming
+                    else boundary
+                )
+                if bid == cfg.entry:
+                    fact_in = (
+                        problem.meet(incoming + [boundary])
+                        if incoming
+                        else boundary
+                    )
+                fact_out = problem.transfer(block, fact_in)
+                if fact_in != in_facts[bid] or fact_out != out_facts[bid]:
+                    in_facts[bid] = fact_in
+                    out_facts[bid] = fact_out
+                    changed = True
+            else:
+                succs = block.successors()
+                outgoing = [in_facts[s] for s in succs]
+                fact_out = problem.meet(outgoing) if outgoing else boundary
+                fact_in = problem.transfer(block, fact_out)
+                if fact_in != in_facts[bid] or fact_out != out_facts[bid]:
+                    in_facts[bid] = fact_in
+                    out_facts[bid] = fact_out
+                    changed = True
+    return in_facts, out_facts
+
+
+def block_uses_defs(block: BasicBlock) -> Tuple[Set[int], Set[int]]:
+    """(use, def) local-slot sets for liveness: ``use`` holds slots read
+    before any write in the block; ``def`` holds slots written."""
+    uses: Set[int] = set()
+    defs: Set[int] = set()
+    for ins in block.instructions:
+        if ins.op == Op.LOAD and ins.arg not in defs:
+            uses.add(ins.arg)
+        elif ins.op == Op.STORE:
+            defs.add(ins.arg)
+    return uses, defs
+
+
+class LivenessProblem(DataflowProblem[FrozenSet[int]]):
+    """Backward may-analysis: which local slots are live at block entry."""
+
+    direction = "backward"
+
+    def boundary(self, cfg: CFG) -> FrozenSet[int]:
+        return frozenset()
+
+    def initial(self, cfg: CFG) -> FrozenSet[int]:
+        return frozenset()
+
+    def meet(self, facts: Iterable[FrozenSet[int]]) -> FrozenSet[int]:
+        result: Set[int] = set()
+        for fact in facts:
+            result |= fact
+        return frozenset(result)
+
+    def transfer(
+        self, block: BasicBlock, live_out: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        uses, defs = block_uses_defs(block)
+        return frozenset(uses | (live_out - defs))
+
+
+def liveness(cfg: CFG) -> Tuple[Dict[int, FrozenSet[int]], Dict[int, FrozenSet[int]]]:
+    """(live_in, live_out) per block id."""
+    return solve(LivenessProblem(), cfg)
+
+
+def live_slots_at_each_instruction(
+    block: BasicBlock, live_out: FrozenSet[int]
+) -> List[FrozenSet[int]]:
+    """Liveness *after* each instruction in the block, front to back.
+
+    Index ``i`` gives the slots live immediately after
+    ``block.instructions[i]``; used by dead-store elimination.
+    """
+    after: List[FrozenSet[int]] = [frozenset()] * len(block.instructions)
+    live: Set[int] = set(live_out)
+    for i in range(len(block.instructions) - 1, -1, -1):
+        after[i] = frozenset(live)
+        ins = block.instructions[i]
+        if ins.op == Op.STORE:
+            live.discard(ins.arg)
+        elif ins.op == Op.LOAD:
+            live.add(ins.arg)
+    return after

@@ -1,0 +1,109 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+Dominators drive backedge detection (:mod:`repro.cfg.loops`): an edge
+``u -> v`` is a backedge of a natural loop iff ``v`` dominates ``u``.
+The sampling framework places its checks on exactly those edges (plus
+method entry), per the paper's Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.graph import CFG
+from repro.cfg.traversal import reverse_postorder
+
+
+def immediate_dominators(cfg: CFG) -> Dict[int, Optional[int]]:
+    """Map each reachable block to its immediate dominator.
+
+    The entry maps to None. Unreachable blocks are absent — callers that
+    mutate CFGs should ``remove_unreachable()`` first if they need a
+    total map.
+    """
+    rpo = reverse_postorder(cfg)
+    index = {bid: i for i, bid in enumerate(rpo)}
+    preds = cfg.predecessors_map()
+    idom: Dict[int, Optional[int]] = {cfg.entry: cfg.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in rpo:
+            if bid == cfg.entry:
+                continue
+            candidates = [p for p in preds[bid] if p in idom and p in index]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(bid) != new_idom:
+                idom[bid] = new_idom
+                changed = True
+
+    result: Dict[int, Optional[int]] = {bid: idom[bid] for bid in idom}
+    result[cfg.entry] = None
+    return result
+
+
+class DominatorTree:
+    """Dominance queries over a CFG snapshot.
+
+    Built once; not updated under mutation — rebuild after transforms.
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.idom = immediate_dominators(cfg)
+        self.children: Dict[int, List[int]] = {bid: [] for bid in self.idom}
+        for bid, parent in self.idom.items():
+            if parent is not None:
+                self.children[parent].append(bid)
+        self._depth: Dict[int, int] = {}
+        self._compute_depths()
+
+    def _compute_depths(self) -> None:
+        stack = [(self.cfg.entry, 0)]
+        while stack:
+            bid, depth = stack.pop()
+            self._depth[bid] = depth
+            for child in self.children.get(bid, ()):
+                stack.append((child, depth + 1))
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if *a* dominates *b* (reflexively)."""
+        if a not in self._depth or b not in self._depth:
+            return False
+        node: Optional[int] = b
+        while node is not None and self._depth.get(node, -1) >= self._depth[a]:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dominated_set(self, a: int) -> Set[int]:
+        """All blocks dominated by *a* (including *a*)."""
+        result: Set[int] = set()
+        stack = [a]
+        while stack:
+            bid = stack.pop()
+            if bid in result:
+                continue
+            result.add(bid)
+            stack.extend(self.children.get(bid, ()))
+        return result
+
+    def depth(self, bid: int) -> int:
+        return self._depth[bid]

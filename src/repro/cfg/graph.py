@@ -1,0 +1,242 @@
+"""Control-flow graph construction and mutation.
+
+``CFG.from_function`` decodes linear bytecode into blocks + terminators;
+``repro.cfg.linearize`` performs the inverse. The class also provides
+the mutation primitives the sampling transforms need: fresh blocks, edge
+splitting, and whole-subgraph cloning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bytecode.function import Function
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op
+from repro.cfg.basic_block import (
+    BasicBlock,
+    CheckBranch,
+    CondBranch,
+    Goto,
+    Halt,
+    Return,
+    Terminator,
+)
+from repro.errors import CFGError
+
+
+class CFG:
+    """A function's control-flow graph.
+
+    Blocks are keyed by integer id; ``entry`` names the entry block.
+    Function metadata (name, params, locals) is retained so the
+    linearizer can rebuild a complete :class:`Function`.
+    """
+
+    def __init__(self, name: str, num_params: int, num_locals: int):
+        self.name = name
+        self.num_params = num_params
+        self.num_locals = num_locals
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.entry: int = -1
+        self._next_bid = 0
+
+    # -- construction ----------------------------------------------------
+
+    def new_block(
+        self,
+        instructions: Optional[List[Instruction]] = None,
+        terminator: Optional[Terminator] = None,
+    ) -> BasicBlock:
+        block = BasicBlock(self._next_bid, instructions, terminator)
+        self._next_bid += 1
+        self.blocks[block.bid] = block
+        return block
+
+    @classmethod
+    def from_function(cls, fn: Function) -> "CFG":
+        """Decode *fn*'s linear code into a CFG.
+
+        Leaders are pc 0, branch targets, and instructions following a
+        terminator. A body instruction list never contains control flow;
+        CHECK decodes to :class:`CheckBranch` so round-tripping framework
+        output works.
+        """
+        code = fn.code
+        if not code:
+            raise CFGError(f"{fn.name}: cannot build CFG of empty function")
+        n = len(code)
+
+        leaders: Set[int] = {0}
+        for pc, ins in enumerate(code):
+            op = ins.op
+            if op in (Op.JUMP, Op.JZ, Op.JNZ, Op.CHECK):
+                if not isinstance(ins.arg, int) or not 0 <= ins.arg < n:
+                    raise CFGError(f"{fn.name}@{pc}: bad branch target")
+                leaders.add(ins.arg)
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+            elif op in (Op.RETURN, Op.HALT):
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+
+        starts = sorted(leaders)
+        cfg = cls(fn.name, fn.num_params, fn.num_locals)
+        pc_to_block: Dict[int, BasicBlock] = {}
+        spans: List[Tuple[int, int, BasicBlock]] = []
+        for idx, start in enumerate(starts):
+            end = starts[idx + 1] if idx + 1 < len(starts) else n
+            block = cfg.new_block()
+            pc_to_block[start] = block
+            spans.append((start, end, block))
+        cfg.entry = pc_to_block[0].bid
+
+        for start, end, block in spans:
+            last = code[end - 1]
+            op = last.op
+            if op == Op.JUMP:
+                body_end = end - 1
+                block.terminator = Goto(pc_to_block[last.arg].bid)
+            elif op in (Op.JZ, Op.JNZ):
+                body_end = end - 1
+                if end >= n:
+                    raise CFGError(
+                        f"{fn.name}: conditional branch at end of code"
+                    )
+                block.terminator = CondBranch(
+                    op, pc_to_block[last.arg].bid, pc_to_block[end].bid
+                )
+            elif op == Op.CHECK:
+                body_end = end - 1
+                if end >= n:
+                    raise CFGError(f"{fn.name}: CHECK at end of code")
+                block.terminator = CheckBranch(
+                    pc_to_block[last.arg].bid, pc_to_block[end].bid
+                )
+            elif op == Op.RETURN:
+                body_end = end - 1
+                block.terminator = Return()
+            elif op == Op.HALT:
+                body_end = end - 1
+                block.terminator = Halt()
+            else:
+                # Fallthrough into the next leader.
+                body_end = end
+                if end >= n:
+                    raise CFGError(
+                        f"{fn.name}: execution falls off the end of the code"
+                    )
+                block.terminator = Goto(pc_to_block[end].bid)
+            block.instructions = [code[pc].copy() for pc in range(start, body_end)]
+        return cfg
+
+    # -- queries --------------------------------------------------------------
+
+    def block(self, bid: int) -> BasicBlock:
+        try:
+            return self.blocks[bid]
+        except KeyError:
+            raise CFGError(f"{self.name}: no block B{bid}") from None
+
+    def entry_block(self) -> BasicBlock:
+        return self.block(self.entry)
+
+    def successors(self, bid: int) -> Tuple[int, ...]:
+        return self.block(bid).successors()
+
+    def predecessors_map(self) -> Dict[int, List[int]]:
+        """Predecessor lists for every block (recomputed on demand)."""
+        preds: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+        for bid, block in self.blocks.items():
+            for succ in block.successors():
+                preds[succ].append(bid)
+        return preds
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All (source, target) edges, including duplicates from
+        two-successor terminators targeting the same block."""
+        result: List[Tuple[int, int]] = []
+        for bid, block in self.blocks.items():
+            for succ in block.successors():
+                result.append((bid, succ))
+        return result
+
+    def reachable(self) -> Set[int]:
+        """Block ids reachable from the entry."""
+        seen: Set[int] = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.block(bid).successors())
+        return seen
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks.values())
+
+    # -- mutation -----------------------------------------------------------------
+
+    def remove_unreachable(self) -> List[int]:
+        """Delete unreachable blocks; returns the removed ids."""
+        live = self.reachable()
+        dead = [bid for bid in self.blocks if bid not in live]
+        for bid in dead:
+            del self.blocks[bid]
+        return dead
+
+    def split_edge(self, src: int, dst: int) -> BasicBlock:
+        """Insert a fresh empty block on the edge ``src -> dst``.
+
+        If the terminator of *src* targets *dst* more than once (e.g. a
+        conditional with both arms equal), every occurrence is redirected —
+        callers that need per-arm splitting should normalize first.
+        Returns the new block, which ends in ``Goto(dst)``.
+        """
+        block = self.block(src)
+        if dst not in block.successors():
+            raise CFGError(f"{self.name}: no edge B{src} -> B{dst}")
+        mid = self.new_block(terminator=Goto(dst))
+        block.terminator.retarget(dst, mid.bid)
+        return mid
+
+    def clone_subgraph(
+        self, bids: Iterable[int]
+    ) -> Dict[int, int]:
+        """Clone the given blocks; returns mapping original id -> clone id.
+
+        Terminator successors *within* the cloned set are redirected to
+        the clones; successors outside the set keep their original
+        targets (callers retarget those as needed).
+        """
+        bids = list(bids)
+        mapping: Dict[int, int] = {}
+        for bid in bids:
+            original = self.block(bid)
+            clone = self.new_block(
+                original.copy_body(), original.terminator.copy()
+            )
+            mapping[bid] = clone.bid
+        for bid in bids:
+            clone = self.block(mapping[bid])
+            for succ in clone.terminator.successors():
+                if succ in mapping:
+                    clone.terminator.retarget(succ, mapping[succ])
+        return mapping
+
+    def map_instructions(
+        self, transform: Callable[[BasicBlock, int, Instruction], Optional[Instruction]]
+    ) -> None:
+        """Rewrite every body instruction; return None from *transform*
+        to delete the instruction."""
+        for block in self.blocks.values():
+            new_body: List[Instruction] = []
+            for idx, ins in enumerate(block.instructions):
+                replacement = transform(block, idx, ins)
+                if replacement is not None:
+                    new_body.append(replacement)
+            block.instructions = new_body
+
+    def __repr__(self) -> str:
+        return f"<CFG {self.name} blocks={len(self.blocks)} entry=B{self.entry}>"

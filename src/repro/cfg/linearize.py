@@ -1,0 +1,133 @@
+"""CFG -> linear bytecode with fallthrough-aware layout.
+
+Layout policy: greedy chaining from the entry, always preferring the
+fallthrough successor so conditional branches need no extra JUMP.
+Callers may mark blocks *cold* (the sampling transforms mark all
+duplicated code cold); cold blocks are laid out after every hot block,
+mirroring the paper's observation that duplicated code "can be placed
+somewhere out of the common path".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bytecode.function import Function
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op
+from repro.cfg.basic_block import CheckBranch, CondBranch, Goto, Halt, Return
+from repro.cfg.graph import CFG
+from repro.cfg.traversal import reverse_postorder
+from repro.errors import CFGError
+
+
+def layout_order(cfg: CFG, cold_blocks: Optional[Set[int]] = None) -> List[int]:
+    """Choose an emission order over reachable blocks.
+
+    Hot blocks are chained greedily by fallthrough preference in RPO
+    seed order; cold blocks are chained afterwards the same way.
+    """
+    cold = cold_blocks or set()
+    rpo = reverse_postorder(cfg)
+    placed: Set[int] = set()
+    order: List[int] = []
+
+    def preferred_next(bid: int) -> Optional[int]:
+        term = cfg.block(bid).terminator
+        if isinstance(term, (CondBranch, CheckBranch)):
+            return term.fallthrough
+        if isinstance(term, Goto):
+            return term.target
+        return None
+
+    def chain_from(seed: int, allowed_cold: bool) -> None:
+        bid: Optional[int] = seed
+        while bid is not None and bid not in placed:
+            if (bid in cold) != allowed_cold:
+                break
+            placed.add(bid)
+            order.append(bid)
+            bid = preferred_next(bid)
+
+    for bid in rpo:
+        if bid not in placed and bid not in cold:
+            chain_from(bid, allowed_cold=False)
+    for bid in rpo:
+        if bid not in placed and bid in cold:
+            chain_from(bid, allowed_cold=True)
+    # Blocks unreachable in RPO (should not occur) are dropped.
+    return order
+
+
+def linearize(
+    cfg: CFG,
+    cold_blocks: Optional[Set[int]] = None,
+    notes: Optional[Dict[str, object]] = None,
+) -> Function:
+    """Emit *cfg* as a fresh :class:`Function`.
+
+    The entry block must be first, which holds because layout starts
+    from the RPO seed order (entry is RPO position 0 and never cold).
+    """
+    cfg.remove_unreachable()
+    if cold_blocks:
+        cold_blocks = {bid for bid in cold_blocks if bid in cfg.blocks}
+        if cfg.entry in cold_blocks:
+            raise CFGError(f"{cfg.name}: entry block cannot be cold")
+    order = layout_order(cfg, cold_blocks)
+    if not order or order[0] != cfg.entry:
+        raise CFGError(f"{cfg.name}: layout did not place entry first")
+
+    code: List[Instruction] = []
+    fixups: List[Tuple[int, int]] = []  # (code index, target bid)
+    starts: Dict[int, int] = {}
+
+    for idx, bid in enumerate(order):
+        starts[bid] = len(code)
+        block = cfg.block(bid)
+        code.extend(ins.copy() for ins in block.instructions)
+        next_bid = order[idx + 1] if idx + 1 < len(order) else None
+        term = block.terminator
+        if isinstance(term, Goto):
+            if term.target != next_bid:
+                fixups.append((len(code), term.target))
+                code.append(Instruction(Op.JUMP, -1))
+        elif isinstance(term, CondBranch):
+            fixups.append((len(code), term.taken))
+            code.append(Instruction(term.op, -1))
+            if term.fallthrough != next_bid:
+                fixups.append((len(code), term.fallthrough))
+                code.append(Instruction(Op.JUMP, -1))
+        elif isinstance(term, CheckBranch):
+            fixups.append((len(code), term.taken))
+            code.append(Instruction(Op.CHECK, -1))
+            if term.fallthrough != next_bid:
+                fixups.append((len(code), term.fallthrough))
+                code.append(Instruction(Op.JUMP, -1))
+        elif isinstance(term, Return):
+            code.append(Instruction(Op.RETURN))
+        elif isinstance(term, Halt):
+            code.append(Instruction(Op.HALT))
+        else:
+            raise CFGError(
+                f"{cfg.name}: unknown terminator {term!r} in B{bid}"
+            )
+
+    for pos, target_bid in fixups:
+        target_pc = starts.get(target_bid)
+        if target_pc is None:
+            raise CFGError(
+                f"{cfg.name}: branch to unplaced block B{target_bid}"
+            )
+        code[pos].arg = target_pc
+
+    fn = Function(cfg.name, cfg.num_params, cfg.num_locals, code)
+    if notes:
+        fn.notes.update(notes)
+    return fn
+
+
+def roundtrip(fn: Function) -> Function:
+    """``linearize(CFG.from_function(fn))`` — used by tests to check the
+    decode/encode pair preserves behaviour."""
+    return linearize(CFG.from_function(fn))

@@ -1,0 +1,113 @@
+"""Backedge and natural-loop detection.
+
+The sampling framework's check placement (paper §2) is defined in terms
+of *backedges*: every method entry and every backedge in the checking
+code carries a check, and every backedge in the duplicated code is
+redirected back to the checking code.
+
+Two notions are provided:
+
+* :func:`backedges` — dominator-based: ``u -> v`` with ``v`` dominating
+  ``u``. This is the natural-loop definition and what the transforms use
+  for reducible CFGs (everything MiniJ emits is reducible).
+* :func:`retreating_edges` — RPO-based: ``u -> v`` with ``rpo(v) <=
+  rpo(u)``. A superset on irreducible graphs; the transforms fall back to
+  this for hand-written assembly with irreducible flow so Property 1's
+  bounded-progress guarantee still holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.graph import CFG
+from repro.cfg.traversal import rpo_numbering
+
+
+def backedges(cfg: CFG, dom: DominatorTree = None) -> List[Tuple[int, int]]:
+    """Natural-loop backedges ``(source, header)`` (deterministic order)."""
+    if dom is None:
+        dom = DominatorTree(cfg)
+    result: List[Tuple[int, int]] = []
+    for src in sorted(cfg.reachable()):
+        for dst in cfg.block(src).successors():
+            if dom.dominates(dst, src):
+                result.append((src, dst))
+    return result
+
+
+def retreating_edges(cfg: CFG) -> List[Tuple[int, int]]:
+    """Edges against reverse postorder; superset of :func:`backedges`."""
+    rpo = rpo_numbering(cfg)
+    result: List[Tuple[int, int]] = []
+    for src in sorted(cfg.reachable()):
+        for dst in cfg.block(src).successors():
+            if dst in rpo and rpo[dst] <= rpo[src]:
+                result.append((src, dst))
+    return result
+
+
+def sampling_backedges(cfg: CFG) -> List[Tuple[int, int]]:
+    """The edges the sampling framework treats as backedges.
+
+    Natural-loop backedges, plus any retreating edge not covered by a
+    natural loop (irreducible flow). For reducible CFGs this equals
+    :func:`backedges`. Deduplicated, deterministic order.
+    """
+    dom = DominatorTree(cfg)
+    natural = backedges(cfg, dom)
+    covered = set(natural)
+    extra = [e for e in retreating_edges(cfg) if e not in covered]
+    return natural + extra
+
+
+@dataclass
+class NaturalLoop:
+    """A natural loop: header plus the set of body blocks."""
+
+    header: int
+    backedge_sources: List[int] = field(default_factory=list)
+    body: Set[int] = field(default_factory=set)
+
+    def depth_key(self) -> int:
+        return len(self.body)
+
+
+def natural_loops(cfg: CFG) -> List[NaturalLoop]:
+    """Compute natural loops, merging loops sharing a header.
+
+    The body of a loop with backedge ``u -> h`` is ``{h}`` plus every
+    block that reaches ``u`` without passing through ``h``.
+    """
+    dom = DominatorTree(cfg)
+    preds = cfg.predecessors_map()
+    loops: Dict[int, NaturalLoop] = {}
+    for src, header in backedges(cfg, dom):
+        loop = loops.setdefault(header, NaturalLoop(header))
+        loop.backedge_sources.append(src)
+        body = loop.body
+        body.add(header)
+        stack = [src]
+        while stack:
+            bid = stack.pop()
+            if bid in body:
+                continue
+            body.add(bid)
+            stack.extend(preds.get(bid, ()))
+    return [loops[h] for h in sorted(loops)]
+
+
+def loop_nesting_depth(cfg: CFG) -> Dict[int, int]:
+    """Map each block to the number of natural loops containing it."""
+    depth = {bid: 0 for bid in cfg.blocks}
+    for loop in natural_loops(cfg):
+        for bid in loop.body:
+            depth[bid] = depth.get(bid, 0) + 1
+    return depth
+
+
+def is_reducible(cfg: CFG) -> bool:
+    """True if every retreating edge is a natural-loop backedge."""
+    return set(retreating_edges(cfg)) <= set(backedges(cfg))

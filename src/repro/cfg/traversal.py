@@ -1,0 +1,63 @@
+"""Graph traversal orders: DFS, postorder, reverse postorder."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cfg.graph import CFG
+
+
+def dfs_preorder(cfg: CFG) -> List[int]:
+    """Depth-first preorder from the entry (deterministic: successor
+    tuples are visited left to right)."""
+    order: List[int] = []
+    seen: Set[int] = set()
+    stack = [cfg.entry]
+    while stack:
+        bid = stack.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        order.append(bid)
+        # Reverse so the leftmost successor is visited first.
+        for succ in reversed(cfg.block(bid).successors()):
+            if succ not in seen:
+                stack.append(succ)
+    return order
+
+
+def postorder(cfg: CFG) -> List[int]:
+    """Iterative DFS postorder from the entry."""
+    order: List[int] = []
+    seen: Set[int] = set()
+    # (block, child-iterator-index) emulation with explicit frames.
+    stack: List[List[int]] = [[cfg.entry, 0]]
+    seen.add(cfg.entry)
+    while stack:
+        frame = stack[-1]
+        bid, idx = frame
+        succs = cfg.block(bid).successors()
+        advanced = False
+        while idx < len(succs):
+            child = succs[idx]
+            idx += 1
+            frame[1] = idx
+            if child not in seen:
+                seen.add(child)
+                stack.append([child, 0])
+                advanced = True
+                break
+        if not advanced and frame[1] >= len(succs):
+            order.append(bid)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(cfg: CFG) -> List[int]:
+    """RPO: the standard forward-dataflow iteration order."""
+    return list(reversed(postorder(cfg)))
+
+
+def rpo_numbering(cfg: CFG) -> Dict[int, int]:
+    """Map block id -> RPO index (entry gets 0)."""
+    return {bid: i for i, bid in enumerate(reverse_postorder(cfg))}

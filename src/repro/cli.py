@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``compile FILE``   — compile MiniJ source; print stats or disassembly.
+* ``run FILE``       — compile and execute; print result, output, stats.
+* ``profile FILE``   — instrument, sample, and report a profile plus its
+  overhead against the uninstrumented baseline.
+* ``adaptive FILE``  — run the sampled-profile-driven optimizer lifecycle.
+* ``workloads``      — list the benchmark suite, or run one member.
+* ``tables``         — regenerate the paper's tables and figures.
+
+All commands operate on deterministic simulated execution; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.adaptive import AdaptiveController
+from repro.bytecode import disassemble_program
+from repro.errors import ReproError
+from repro.frontend import CompileOptions, compile_baseline, compile_source
+from repro.harness import (
+    ExperimentRunner,
+    figure7,
+    figure8a,
+    figure8b,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.harness.experiment import make_instrumentations
+from repro.profiles import profile_summary
+from repro.sampling import SamplingFramework, Strategy, make_trigger
+from repro.vm import run_program
+from repro.workloads import all_workloads, get_workload
+
+_TABLES = {
+    "table1": lambda runner, scale: table1(runner, scale=scale),
+    "table2": lambda runner, scale: table2(runner, scale=scale),
+    "table3": lambda runner, scale: table3(runner, scale=scale),
+    "table4": lambda runner, scale: table4(runner, scale=scale),
+    "table5": lambda runner, scale: table5(runner, scale=scale),
+    "figure8a": lambda runner, scale: figure8a(runner, scale=scale),
+    "figure8b": lambda runner, scale: figure8b(runner, scale=scale),
+}
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _stats_lines(result) -> List[str]:
+    stats = result.stats
+    return [
+        f"result:        {result.value}",
+        f"output:        {result.output}",
+        f"cycles:        {stats.cycles}",
+        f"instructions:  {stats.instructions}",
+        f"calls:         {stats.calls}   backedges: {stats.backward_jumps}",
+        f"checks:        {stats.checks_executed} "
+        f"(taken {stats.checks_taken})   samples: {stats.samples_taken}",
+        f"threads:       {stats.threads_spawned}   "
+        f"switches: {stats.thread_switches}   gc pauses: {stats.gc_pauses}",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# commands
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = compile_source(
+        _read_source(args.file), CompileOptions(opt_level=args.opt_level)
+    )
+    if args.disasm:
+        print(disassemble_program(program), end="")
+    else:
+        print(
+            f"{len(program.functions)} function(s), "
+            f"{len(program.classes)} class(es), "
+            f"{program.total_instructions()} instructions "
+            f"(O{args.opt_level})"
+        )
+        for name in program.function_names():
+            fn = program.functions[name]
+            print(
+                f"  {name}({fn.num_params}) "
+                f"locals={fn.num_locals} len={fn.instruction_count()}"
+            )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = compile_baseline(_read_source(args.file))
+    result = run_program(program, fuel=args.fuel)
+    print("\n".join(_stats_lines(result)))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    program = compile_baseline(_read_source(args.file))
+    base = run_program(program, fuel=args.fuel)
+
+    kinds = tuple(k.strip() for k in args.instrument.split(",") if k.strip())
+    instrumentations = make_instrumentations(kinds)
+    strategy = Strategy(args.strategy)
+    framework = SamplingFramework(
+        strategy,
+        yieldpoint_opt=args.yieldpoint_opt,
+        sample_iterations=args.iterations,
+    )
+    transformed = framework.transform(program, instrumentations)
+
+    if strategy is Strategy.EXHAUSTIVE:
+        trigger = make_trigger("never")
+    else:
+        trigger = make_trigger(args.trigger, args.interval)
+    result = run_program(
+        transformed,
+        trigger=trigger,
+        timer_period=args.timer_period,
+        fuel=args.fuel,
+    )
+    if result.value != base.value:
+        print("error: transformed program diverged", file=sys.stderr)
+        return 1
+
+    overhead = 100.0 * (result.stats.cycles / base.stats.cycles - 1.0)
+    print(
+        f"baseline {base.stats.cycles} cycles; instrumented "
+        f"{result.stats.cycles} cycles ({overhead:+.2f}%); "
+        f"{result.stats.samples_taken} samples"
+    )
+    for instr in instrumentations:
+        print()
+        print(profile_summary(instr.profile, top_n=args.top))
+    return 0
+
+
+def cmd_adaptive(args: argparse.Namespace) -> int:
+    program = compile_baseline(_read_source(args.file))
+    controller = AdaptiveController(interval=args.interval)
+    outcome = controller.optimize(program)
+    print(outcome.summary())
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    if args.name is None:
+        for workload in all_workloads():
+            print(
+                f"{workload.name:12s} {workload.paper_name:16s} "
+                f"{workload.description}"
+            )
+        return 0
+    workload = get_workload(args.name)
+    program = workload.compile(args.scale)
+    started = time.perf_counter()
+    result = run_program(program, fuel=args.fuel)
+    elapsed = time.perf_counter() - started
+    print(f"{workload.name} (scale {args.scale or workload.default_scale}), "
+          f"{elapsed:.2f}s wall")
+    print("\n".join(_stats_lines(result)))
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    names = list(_TABLES) + ["figure7"] if args.which == "all" else [args.which]
+    for name in names:
+        if name == "figure7":
+            table, _overlap = figure7(runner)
+            print(table.render())
+        else:
+            print(_TABLES[name](runner, args.scale).render())
+        print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Instrumentation sampling via code duplication "
+            "(Arnold & Ryder, PLDI 2001) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MiniJ source")
+    p.add_argument("file", help="MiniJ source file, or - for stdin")
+    p.add_argument("-O", "--opt-level", type=int, default=2, choices=[0, 1, 2])
+    p.add_argument("--disasm", action="store_true", help="print bytecode")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute")
+    p.add_argument("file")
+    p.add_argument("--fuel", type=int, default=100_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("profile", help="instrument, sample, and report")
+    p.add_argument("file")
+    p.add_argument(
+        "--instrument",
+        default="call-edge",
+        help="comma-separated kinds: call-edge, field-access, block-count, "
+        "edge-profile, param-value, path-profile",
+    )
+    p.add_argument(
+        "--strategy",
+        default="full-duplication",
+        choices=[s.value for s in Strategy],
+    )
+    p.add_argument("--trigger", default="counter",
+                   choices=["counter", "timer", "randomized",
+                            "per-thread-counter", "never"])
+    p.add_argument("--interval", type=int, default=1000)
+    p.add_argument("--iterations", type=int, default=1,
+                   help="consecutive loop iterations per sample (counted "
+                   "backedges)")
+    p.add_argument("--timer-period", type=int, default=100_000)
+    p.add_argument("--yieldpoint-opt", action="store_true")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--fuel", type=int, default=100_000_000)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("adaptive", help="profile-directed optimization demo")
+    p.add_argument("file")
+    p.add_argument("--interval", type=int, default=101)
+    p.set_defaults(func=cmd_adaptive)
+
+    p = sub.add_parser("workloads", help="list or run benchmark workloads")
+    p.add_argument("name", nargs="?", default=None)
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument("--fuel", type=int, default=200_000_000)
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.add_argument(
+        "which",
+        nargs="?",
+        default="all",
+        choices=list(_TABLES) + ["figure7", "all"],
+    )
+    p.add_argument("--scale", type=int, default=None)
+    p.set_defaults(func=cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""MiniJ abstract syntax tree.
+
+Nodes are plain dataclasses with source positions for diagnostics. The
+tree is immutable by convention (the checker annotates via side tables,
+not node mutation), except that :class:`FuncDecl` records its resolved
+local-slot count after checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = 0
+    column: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class SpawnExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class New(Expr):
+    class_name: str = ""
+
+
+@dataclass
+class NewArray(Expr):
+    length: Optional[Expr] = None
+
+
+@dataclass
+class Len(Expr):
+    array: Optional[Expr] = None
+
+
+@dataclass
+class IORead(Expr):
+    latency_class: int = 1
+
+
+@dataclass
+class FieldAccess(Expr):
+    obj: Optional[Expr] = None
+    field_name: str = ""
+    #: class name resolved by the checker (MiniJ field names are
+    #: globally unique across classes, so resolution is by field name)
+    resolved_class: str = ""
+
+
+@dataclass
+class Index(Expr):
+    array: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Optional[Expr] = None  # Name | FieldAccess | Index
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    condition: Optional[Expr] = None
+    then_block: Optional[Block] = None
+    else_block: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None       # VarDecl | Assign | None
+    condition: Optional[Expr] = None  # None means "true"
+    update: Optional[Stmt] = None     # Assign | None
+    body: Optional[Block] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None  # None returns 0
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Print(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Declarations
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str = ""
+    fields: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: Optional[Block] = None
+    #: filled by the checker: total local slots (params + vars)
+    num_locals: int = 0
+
+
+@dataclass
+class SourceProgram(Node):
+    classes: List[ClassDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDecl:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+
+#: Binary operators grouped by precedence, weakest first. ``&&``/``||``
+#: are handled separately (short-circuit codegen).
+PRECEDENCE: Tuple[Tuple[str, ...], ...] = (
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)

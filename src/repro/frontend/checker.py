@@ -1,0 +1,283 @@
+"""MiniJ semantic analysis.
+
+MiniJ is dynamically typed at runtime (ints vs references trap at use),
+so the checker's job is scoping and structural validity:
+
+* classes and functions have unique names; fields are unique within a
+  class **and across classes** (field names resolve to their class
+  without type inference — a deliberate MiniJ simplification);
+* every variable is declared before use; shadowing in nested blocks is
+  allowed, redeclaration in one scope is not;
+* calls and spawns name existing functions with matching arity;
+* ``break``/``continue`` appear only inside loops;
+* assignment targets are names, field accesses, or array elements.
+
+Results are delivered as a :class:`CheckedProgram`: per-node slot
+resolutions (side table keyed by node identity), class/function tables,
+and each function's total local-slot count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import TypeCheckError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.symbols import FunctionScope
+
+
+@dataclass
+class CheckedProgram:
+    """The checker's output, consumed by the code generator."""
+
+    source: ast.SourceProgram
+    classes: Dict[str, ast.ClassDecl] = field(default_factory=dict)
+    functions: Dict[str, ast.FuncDecl] = field(default_factory=dict)
+    #: field name -> owning class name (fields are globally unique)
+    field_owner: Dict[str, str] = field(default_factory=dict)
+    #: id(Name node) -> local slot
+    name_slots: Dict[int, int] = field(default_factory=dict)
+
+
+class Checker:
+    def __init__(self, source: ast.SourceProgram):
+        self.result = CheckedProgram(source)
+        self._scope: Optional[FunctionScope] = None
+        self._loop_depth = 0
+
+    # -- driver ------------------------------------------------------------
+
+    def check(self) -> CheckedProgram:
+        for cls in self.result.source.classes:
+            self._declare_class(cls)
+        for fn in self.result.source.functions:
+            if fn.name in self.result.functions:
+                raise TypeCheckError(
+                    f"duplicate function {fn.name!r}", fn.line, fn.column
+                )
+            if fn.name in self.result.classes:
+                raise TypeCheckError(
+                    f"{fn.name!r} is both a class and a function",
+                    fn.line,
+                    fn.column,
+                )
+            self.result.functions[fn.name] = fn
+        for fn in self.result.source.functions:
+            self._check_function(fn)
+        return self.result
+
+    def _declare_class(self, cls: ast.ClassDecl) -> None:
+        if cls.name in self.result.classes:
+            raise TypeCheckError(
+                f"duplicate class {cls.name!r}", cls.line, cls.column
+            )
+        seen = set()
+        for name in cls.fields:
+            if name in seen:
+                raise TypeCheckError(
+                    f"class {cls.name}: duplicate field {name!r}",
+                    cls.line,
+                    cls.column,
+                )
+            seen.add(name)
+            owner = self.result.field_owner.get(name)
+            if owner is not None:
+                raise TypeCheckError(
+                    f"field {name!r} declared in both {owner!r} and "
+                    f"{cls.name!r} (MiniJ field names must be globally "
+                    f"unique)",
+                    cls.line,
+                    cls.column,
+                )
+            self.result.field_owner[name] = cls.name
+        self.result.classes[cls.name] = cls
+
+    # -- functions --------------------------------------------------------------
+
+    def _check_function(self, fn: ast.FuncDecl) -> None:
+        if len(set(fn.params)) != len(fn.params):
+            raise TypeCheckError(
+                f"func {fn.name}: duplicate parameter names",
+                fn.line,
+                fn.column,
+            )
+        self._scope = FunctionScope(fn.params, fn.line, fn.column)
+        self._loop_depth = 0
+        assert fn.body is not None
+        self._check_block(fn.body)
+        fn.num_locals = self._scope.next_slot
+        self._scope = None
+
+    # -- statements ------------------------------------------------------------
+
+    def _check_block(self, block: ast.Block) -> None:
+        assert self._scope is not None
+        self._scope.push()
+        for stmt in block.statements:
+            self._check_stmt(stmt)
+        self._scope.pop()
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._check_expr(stmt.init)
+            assert self._scope is not None
+            slot = self._scope.declare(stmt.name, stmt.line, stmt.column)
+            self.result.name_slots[id(stmt)] = slot
+        elif isinstance(stmt, ast.Assign):
+            assert stmt.target is not None and stmt.value is not None
+            self._check_expr(stmt.value)
+            self._check_assign_target(stmt.target)
+        elif isinstance(stmt, ast.If):
+            assert stmt.condition is not None and stmt.then_block is not None
+            self._check_expr(stmt.condition)
+            self._check_block(stmt.then_block)
+            if stmt.else_block is not None:
+                self._check_block(stmt.else_block)
+        elif isinstance(stmt, ast.While):
+            assert stmt.condition is not None and stmt.body is not None
+            self._check_expr(stmt.condition)
+            self._loop_depth += 1
+            self._check_block(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            assert self._scope is not None and stmt.body is not None
+            # The init clause scopes over condition/update/body.
+            self._scope.push()
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.condition is not None:
+                self._check_expr(stmt.condition)
+            if stmt.update is not None:
+                self._check_stmt(stmt.update)
+            self._loop_depth += 1
+            self._check_block(stmt.body)
+            self._loop_depth -= 1
+            self._scope.pop()
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.Break):
+            if self._loop_depth == 0:
+                raise TypeCheckError(
+                    "'break' outside a loop", stmt.line, stmt.column
+                )
+        elif isinstance(stmt, ast.Continue):
+            if self._loop_depth == 0:
+                raise TypeCheckError(
+                    "'continue' outside a loop", stmt.line, stmt.column
+                )
+        elif isinstance(stmt, ast.Print):
+            assert stmt.value is not None
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self._check_expr(stmt.expr)
+        else:  # pragma: no cover - parser produces no other statements
+            raise TypeCheckError(
+                f"unknown statement {type(stmt).__name__}",
+                stmt.line,
+                stmt.column,
+            )
+
+    def _check_assign_target(self, target: ast.Expr) -> None:
+        if isinstance(target, ast.Name):
+            self._resolve_name(target)
+        elif isinstance(target, ast.FieldAccess):
+            assert target.obj is not None
+            self._check_expr(target.obj)
+            self._resolve_field(target)
+        elif isinstance(target, ast.Index):
+            assert target.array is not None and target.index is not None
+            self._check_expr(target.array)
+            self._check_expr(target.index)
+        else:  # pragma: no cover - parser rejects other targets
+            raise TypeCheckError(
+                "invalid assignment target", target.line, target.column
+            )
+
+    # -- expressions ------------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.IntLit, ast.BoolLit, ast.IORead)):
+            return
+        if isinstance(expr, ast.Name):
+            self._resolve_name(expr)
+        elif isinstance(expr, ast.Binary):
+            assert expr.left is not None and expr.right is not None
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+        elif isinstance(expr, ast.Unary):
+            assert expr.operand is not None
+            self._check_expr(expr.operand)
+        elif isinstance(expr, (ast.Call, ast.SpawnExpr)):
+            fn = self.result.functions.get(expr.callee)
+            if fn is None:
+                raise TypeCheckError(
+                    f"call to unknown function {expr.callee!r}",
+                    expr.line,
+                    expr.column,
+                )
+            if len(expr.args) != len(fn.params):
+                raise TypeCheckError(
+                    f"{expr.callee!r} takes {len(fn.params)} argument(s), "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                    expr.column,
+                )
+            for arg in expr.args:
+                self._check_expr(arg)
+        elif isinstance(expr, ast.New):
+            if expr.class_name not in self.result.classes:
+                raise TypeCheckError(
+                    f"new of unknown class {expr.class_name!r}",
+                    expr.line,
+                    expr.column,
+                )
+        elif isinstance(expr, ast.NewArray):
+            assert expr.length is not None
+            self._check_expr(expr.length)
+        elif isinstance(expr, ast.Len):
+            assert expr.array is not None
+            self._check_expr(expr.array)
+        elif isinstance(expr, ast.FieldAccess):
+            assert expr.obj is not None
+            self._check_expr(expr.obj)
+            self._resolve_field(expr)
+        elif isinstance(expr, ast.Index):
+            assert expr.array is not None and expr.index is not None
+            self._check_expr(expr.array)
+            self._check_expr(expr.index)
+        else:  # pragma: no cover - parser produces no other expressions
+            raise TypeCheckError(
+                f"unknown expression {type(expr).__name__}",
+                expr.line,
+                expr.column,
+            )
+
+    def _resolve_name(self, name: ast.Name) -> None:
+        assert self._scope is not None
+        slot = self._scope.lookup(name.ident)
+        if slot is None:
+            raise TypeCheckError(
+                f"undefined variable {name.ident!r}", name.line, name.column
+            )
+        self.result.name_slots[id(name)] = slot
+
+    def _resolve_field(self, access: ast.FieldAccess) -> None:
+        owner = self.result.field_owner.get(access.field_name)
+        if owner is None:
+            raise TypeCheckError(
+                f"unknown field {access.field_name!r}",
+                access.line,
+                access.column,
+            )
+        access.resolved_class = owner
+
+
+def check(source: ast.SourceProgram) -> CheckedProgram:
+    """Run semantic analysis over a parsed program."""
+    return Checker(source).check()

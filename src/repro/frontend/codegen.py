@@ -1,0 +1,280 @@
+"""MiniJ code generation: checked AST -> stack bytecode.
+
+Straightforward one-pass emission via :class:`BytecodeBuilder`. Every
+expression leaves exactly one value on the stack; expression statements
+pop it. ``&&``/``||`` compile to short-circuit control flow producing
+0/1. Every function gets a trailing ``push 0; ret`` so all paths
+return (it is unreachable, and later dropped, when the source already
+returns on every path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bytecode.builder import BytecodeBuilder
+from repro.bytecode.function import Function
+from repro.bytecode.instructions import Label
+from repro.bytecode.klass import Klass
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.errors import TypeCheckError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.checker import CheckedProgram
+
+_BINOPS = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "/": Op.DIV,
+    "%": Op.MOD,
+    "&": Op.AND,
+    "|": Op.OR,
+    "^": Op.XOR,
+    "<<": Op.SHL,
+    ">>": Op.SHR,
+    "<": Op.LT,
+    "<=": Op.LE,
+    ">": Op.GT,
+    ">=": Op.GE,
+    "==": Op.EQ,
+    "!=": Op.NE,
+}
+
+
+class _FunctionEmitter:
+    def __init__(self, checked: CheckedProgram, fn: ast.FuncDecl):
+        self.checked = checked
+        self.fn = fn
+        self.builder = BytecodeBuilder(
+            fn.name, num_params=len(fn.params), num_locals=fn.num_locals
+        )
+        # (break target, continue target) per enclosing loop
+        self.loop_labels: List[Tuple[Label, Label]] = []
+
+    def emit(self) -> Function:
+        assert self.fn.body is not None
+        self._block(self.fn.body)
+        self.builder.ret_const(0)
+        return self.builder.build()
+
+    def _slot(self, node) -> int:
+        slot = self.checked.name_slots.get(id(node))
+        if slot is None:  # pragma: no cover - checker guarantees resolution
+            raise TypeCheckError(
+                f"unresolved name in {self.fn.name}", node.line, node.column
+            )
+        return slot
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        b = self.builder
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._expr(stmt.init)
+            else:
+                b.push(0)
+            b.store(self._slot(stmt))
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+            else:
+                b.push(0)
+            b.ret()
+        elif isinstance(stmt, ast.Break):
+            b.jump(self.loop_labels[-1][0])
+        elif isinstance(stmt, ast.Continue):
+            b.jump(self.loop_labels[-1][1])
+        elif isinstance(stmt, ast.Print):
+            assert stmt.value is not None
+            self._expr(stmt.value)
+            b.emit(Op.PRINT)
+        elif isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self._expr(stmt.expr)
+            b.emit(Op.POP)
+        else:  # pragma: no cover
+            raise TypeCheckError(
+                f"cannot emit {type(stmt).__name__}", stmt.line, stmt.column
+            )
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        b = self.builder
+        target = stmt.target
+        assert target is not None and stmt.value is not None
+        if isinstance(target, ast.Name):
+            self._expr(stmt.value)
+            b.store(self._slot(target))
+        elif isinstance(target, ast.FieldAccess):
+            assert target.obj is not None
+            self._expr(target.obj)
+            self._expr(stmt.value)
+            b.putfield(target.resolved_class, target.field_name)
+        elif isinstance(target, ast.Index):
+            assert target.array is not None and target.index is not None
+            self._expr(target.array)
+            self._expr(target.index)
+            self._expr(stmt.value)
+            b.emit(Op.ASTORE)
+        else:  # pragma: no cover
+            raise TypeCheckError(
+                "invalid assignment target", stmt.line, stmt.column
+            )
+
+    def _if(self, stmt: ast.If) -> None:
+        b = self.builder
+        assert stmt.condition is not None and stmt.then_block is not None
+        else_label = b.new_label("else")
+        end_label = b.new_label("endif")
+        self._expr(stmt.condition)
+        b.jz(else_label if stmt.else_block is not None else end_label)
+        self._block(stmt.then_block)
+        if stmt.else_block is not None:
+            b.jump(end_label)
+            b.label(else_label)
+            self._block(stmt.else_block)
+        b.label(end_label)
+
+    def _while(self, stmt: ast.While) -> None:
+        b = self.builder
+        assert stmt.condition is not None and stmt.body is not None
+        head = b.new_label("while")
+        end = b.new_label("endwhile")
+        b.label(head)
+        self._expr(stmt.condition)
+        b.jz(end)
+        self.loop_labels.append((end, head))
+        self._block(stmt.body)
+        self.loop_labels.pop()
+        b.jump(head)
+        b.label(end)
+
+    def _for(self, stmt: ast.For) -> None:
+        b = self.builder
+        assert stmt.body is not None
+        head = b.new_label("for")
+        cont = b.new_label("forcont")
+        end = b.new_label("endfor")
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        b.label(head)
+        if stmt.condition is not None:
+            self._expr(stmt.condition)
+            b.jz(end)
+        self.loop_labels.append((end, cont))
+        self._block(stmt.body)
+        self.loop_labels.pop()
+        b.label(cont)
+        if stmt.update is not None:
+            self._stmt(stmt.update)
+        b.jump(head)
+        b.label(end)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> None:
+        b = self.builder
+        if isinstance(expr, ast.IntLit):
+            b.push(expr.value)
+        elif isinstance(expr, ast.BoolLit):
+            b.push(1 if expr.value else 0)
+        elif isinstance(expr, ast.Name):
+            b.load(self._slot(expr))
+        elif isinstance(expr, ast.Binary):
+            self._binary(expr)
+        elif isinstance(expr, ast.Unary):
+            assert expr.operand is not None
+            self._expr(expr.operand)
+            b.emit(Op.NEG if expr.op == "-" else Op.NOT)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._expr(arg)
+            b.call(expr.callee)
+        elif isinstance(expr, ast.SpawnExpr):
+            for arg in expr.args:
+                self._expr(arg)
+            b.emit(Op.SPAWN, expr.callee)
+        elif isinstance(expr, ast.New):
+            b.new(expr.class_name)
+        elif isinstance(expr, ast.NewArray):
+            assert expr.length is not None
+            self._expr(expr.length)
+            b.emit(Op.NEWARRAY)
+        elif isinstance(expr, ast.Len):
+            assert expr.array is not None
+            self._expr(expr.array)
+            b.emit(Op.ALEN)
+        elif isinstance(expr, ast.IORead):
+            b.emit(Op.IO, expr.latency_class)
+        elif isinstance(expr, ast.FieldAccess):
+            assert expr.obj is not None
+            self._expr(expr.obj)
+            b.getfield(expr.resolved_class, expr.field_name)
+        elif isinstance(expr, ast.Index):
+            assert expr.array is not None and expr.index is not None
+            self._expr(expr.array)
+            self._expr(expr.index)
+            b.emit(Op.ALOAD)
+        else:  # pragma: no cover
+            raise TypeCheckError(
+                f"cannot emit {type(expr).__name__}", expr.line, expr.column
+            )
+
+    def _binary(self, expr: ast.Binary) -> None:
+        b = self.builder
+        assert expr.left is not None and expr.right is not None
+        if expr.op in ("&&", "||"):
+            self._short_circuit(expr)
+            return
+        self._expr(expr.left)
+        self._expr(expr.right)
+        b.emit(_BINOPS[expr.op])
+
+    def _short_circuit(self, expr: ast.Binary) -> None:
+        b = self.builder
+        assert expr.left is not None and expr.right is not None
+        done = b.new_label("sc_done")
+        short = b.new_label("sc_short")
+        self._expr(expr.left)
+        if expr.op == "&&":
+            b.jz(short)
+            self._expr(expr.right)
+            b.jz(short)
+            b.push(1)
+            b.jump(done)
+            b.label(short)
+            b.push(0)
+        else:  # "||"
+            b.jnz(short)
+            self._expr(expr.right)
+            b.jnz(short)
+            b.push(0)
+            b.jump(done)
+            b.label(short)
+            b.push(1)
+        b.label(done)
+
+
+def generate(checked: CheckedProgram, entry: str = "main") -> Program:
+    """Emit a whole :class:`Program` from a checked AST."""
+    program = Program(entry=entry)
+    for cls in checked.source.classes:
+        program.add_class(Klass(cls.name, cls.fields))
+    for fn in checked.source.functions:
+        program.add_function(_FunctionEmitter(checked, fn).emit())
+    return program

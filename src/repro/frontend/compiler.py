@@ -1,0 +1,65 @@
+"""MiniJ compiler driver: source text -> runnable :class:`Program`.
+
+Pipelines:
+
+* :func:`compile_source` — parse, check, generate, verify, optionally
+  optimize (O0/O1/O2 via :mod:`repro.opt`).
+* :func:`compile_baseline` — :func:`compile_source` plus the VM
+  conventions every experiment assumes: yieldpoints on entries and
+  backedges (Jalapeño threading substrate) and stable call-site ids
+  (profile keys). The result is the paper's "original, non-instrumented
+  code" — the denominator of every overhead number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bytecode.program import Program
+from repro.bytecode.verifier import verify_program
+
+from repro.frontend.checker import check
+from repro.frontend.codegen import generate
+from repro.frontend.parser import parse
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for :func:`compile_source`."""
+
+    entry: str = "main"
+    opt_level: int = 2
+    verify: bool = True
+
+
+def compile_source(source: str, options: CompileOptions = None) -> Program:
+    """Compile MiniJ source to bytecode (no VM conventions applied)."""
+    options = options or CompileOptions()
+    checked = check(parse(source))
+    program = generate(checked, entry=options.entry)
+    if options.verify:
+        verify_program(program)
+    if options.opt_level > 0:
+        from repro.opt.pipeline import optimize_program
+
+        program = optimize_program(program, level=options.opt_level)
+        if options.verify:
+            verify_program(program)
+    return program
+
+
+def compile_baseline(source: str, options: CompileOptions = None) -> Program:
+    """Compile to the experiment-ready baseline: optimized code with
+    yieldpoints and call-site ids. All instrumentation and sampling
+    transforms start from this program, mirroring the paper's setup
+    where all code is compiled at O2 before instrumentation."""
+    from repro.instrument.call_edge import assign_call_site_ids
+    from repro.sampling.yieldpoints import insert_yieldpoints
+
+    program = compile_source(source, options)
+    program = insert_yieldpoints(program)
+    assign_call_site_ids(program)
+    options = options or CompileOptions()
+    if options.verify:
+        verify_program(program)
+    return program

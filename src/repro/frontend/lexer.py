@@ -1,0 +1,156 @@
+"""MiniJ lexer: source text -> token stream.
+
+Supports decimal and hexadecimal (``0x``) integer literals, ``//``
+line comments, and ``/* ... */`` block comments (non-nesting).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.frontend.tokens import KEYWORDS, Token, TokenType
+
+_TWO_CHAR = {
+    "<<": TokenType.SHL,
+    ">>": TokenType.SHR,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "&&": TokenType.ANDAND,
+    "||": TokenType.OROR,
+}
+
+_ONE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMI,
+    ".": TokenType.DOT,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "&": TokenType.AMP,
+    "|": TokenType.PIPE,
+    "^": TokenType.CARET,
+    "!": TokenType.BANG,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+}
+
+
+class Lexer:
+    """Single-pass lexer over MiniJ source text."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if not ch:
+                return
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance(2)
+                while True:
+                    if not self._peek():
+                        raise LexError(
+                            "unterminated block comment", start_line, 0
+                        )
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start : self.pos]
+            if len(text) <= 2:
+                raise LexError(f"malformed hex literal {text!r}", line, column)
+            return Token(TokenType.INT, text, line, column, int(text, 16))
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexError(
+                f"identifier cannot start with a digit", line, column
+            )
+        text = self.source[start : self.pos]
+        return Token(TokenType.INT, text, line, column, int(text))
+
+    def _lex_word(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = KEYWORDS.get(text, TokenType.IDENT)
+        return Token(kind, text, line, column)
+
+    def tokens(self) -> List[Token]:
+        """Lex the entire source; always ends with an EOF token."""
+        result: List[Token] = []
+        while True:
+            self._skip_trivia()
+            ch = self._peek()
+            if not ch:
+                result.append(Token(TokenType.EOF, "", self.line, self.column))
+                return result
+            if ch.isdigit():
+                result.append(self._lex_number())
+                continue
+            if ch.isalpha() or ch == "_":
+                result.append(self._lex_word())
+                continue
+            two = ch + self._peek(1)
+            if two in _TWO_CHAR:
+                result.append(Token(_TWO_CHAR[two], two, self.line, self.column))
+                self._advance(2)
+                continue
+            if ch in _ONE_CHAR:
+                result.append(Token(_ONE_CHAR[ch], ch, self.line, self.column))
+                self._advance()
+                continue
+            raise LexError(f"unexpected character {ch!r}", self.line, self.column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper around :class:`Lexer`."""
+    return Lexer(source).tokens()

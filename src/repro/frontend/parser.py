@@ -1,0 +1,384 @@
+"""Recursive-descent parser for MiniJ.
+
+Grammar sketch (statements are ``;``-terminated except blocks)::
+
+    program    := (class_decl | func_decl)*
+    class_decl := "class" IDENT "{" ("field" IDENT ";")* "}"
+    func_decl  := "func" IDENT "(" params? ")" block
+    block      := "{" stmt* "}"
+    stmt       := var | assign-or-expr | if | while | for | return
+                | break | continue | print | block
+    var        := "var" IDENT ("=" expr)? ";"
+    if         := "if" "(" expr ")" block ("else" (block | if))?
+    while      := "while" "(" expr ")" block
+    for        := "for" "(" (var | simple)? ";" expr? ";" simple? ")" block
+    expr       := or-expr (short-circuit || / && above binary tiers)
+    primary    := INT | true | false | IDENT | call | "(" expr ")"
+                | "new" IDENT | "newarray" "(" expr ")"
+                | "len" "(" expr ")" | "io" "(" INT ")"
+                | "spawn" IDENT "(" args ")"
+    postfix    := primary ("." IDENT | "[" expr "]")*
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenType
+
+_BINOP_TOKENS = {
+    TokenType.PIPE: "|",
+    TokenType.CARET: "^",
+    TokenType.AMP: "&",
+    TokenType.EQ: "==",
+    TokenType.NE: "!=",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+    TokenType.SHL: "<<",
+    TokenType.SHR: ">>",
+    TokenType.PLUS: "+",
+    TokenType.MINUS: "-",
+    TokenType.STAR: "*",
+    TokenType.SLASH: "/",
+    TokenType.PERCENT: "%",
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens: List[Token] = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, kind: TokenType) -> bool:
+        return self._peek().type is kind
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _expect(self, kind: TokenType, context: str = "") -> Token:
+        token = self._peek()
+        if token.type is not kind:
+            where = f" in {context}" if context else ""
+            raise ParseError(
+                f"expected {kind.value!r}{where}, got {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenType) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- program structure ---------------------------------------------------
+
+    def parse_program(self) -> ast.SourceProgram:
+        program = ast.SourceProgram(line=1, column=1)
+        while not self._at(TokenType.EOF):
+            if self._at(TokenType.CLASS):
+                program.classes.append(self._class_decl())
+            elif self._at(TokenType.FUNC):
+                program.functions.append(self._func_decl())
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"expected 'class' or 'func', got {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        return program
+
+    def _class_decl(self) -> ast.ClassDecl:
+        start = self._expect(TokenType.CLASS)
+        name = self._expect(TokenType.IDENT, "class declaration").text
+        decl = ast.ClassDecl(start.line, start.column, name)
+        self._expect(TokenType.LBRACE, f"class {name}")
+        while not self._accept(TokenType.RBRACE):
+            self._expect(TokenType.FIELD, f"class {name}")
+            decl.fields.append(
+                self._expect(TokenType.IDENT, "field declaration").text
+            )
+            self._expect(TokenType.SEMI, "field declaration")
+        return decl
+
+    def _func_decl(self) -> ast.FuncDecl:
+        start = self._expect(TokenType.FUNC)
+        name = self._expect(TokenType.IDENT, "function declaration").text
+        decl = ast.FuncDecl(start.line, start.column, name)
+        self._expect(TokenType.LPAREN, f"func {name}")
+        if not self._at(TokenType.RPAREN):
+            while True:
+                decl.params.append(
+                    self._expect(TokenType.IDENT, "parameter list").text
+                )
+                if not self._accept(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN, f"func {name}")
+        decl.body = self._block()
+        return decl
+
+    # -- statements ----------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        start = self._expect(TokenType.LBRACE)
+        block = ast.Block(start.line, start.column)
+        while not self._accept(TokenType.RBRACE):
+            if self._at(TokenType.EOF):
+                raise ParseError("unterminated block", start.line, start.column)
+            block.statements.append(self._statement())
+        return block
+
+    def _statement(self) -> ast.Stmt:
+        token = self._peek()
+        kind = token.type
+        if kind is TokenType.VAR:
+            stmt = self._var_decl()
+            self._expect(TokenType.SEMI, "var declaration")
+            return stmt
+        if kind is TokenType.IF:
+            return self._if_stmt()
+        if kind is TokenType.WHILE:
+            return self._while_stmt()
+        if kind is TokenType.FOR:
+            return self._for_stmt()
+        if kind is TokenType.RETURN:
+            self._advance()
+            value = None if self._at(TokenType.SEMI) else self._expression()
+            self._expect(TokenType.SEMI, "return statement")
+            return ast.Return(token.line, token.column, value)
+        if kind is TokenType.BREAK:
+            self._advance()
+            self._expect(TokenType.SEMI, "break statement")
+            return ast.Break(token.line, token.column)
+        if kind is TokenType.CONTINUE:
+            self._advance()
+            self._expect(TokenType.SEMI, "continue statement")
+            return ast.Continue(token.line, token.column)
+        if kind is TokenType.PRINT:
+            self._advance()
+            self._expect(TokenType.LPAREN, "print statement")
+            value = self._expression()
+            self._expect(TokenType.RPAREN, "print statement")
+            self._expect(TokenType.SEMI, "print statement")
+            return ast.Print(token.line, token.column, value)
+        if kind is TokenType.LBRACE:
+            return self._block()
+        stmt = self._simple_statement()
+        self._expect(TokenType.SEMI, "statement")
+        return stmt
+
+    def _var_decl(self) -> ast.VarDecl:
+        start = self._expect(TokenType.VAR)
+        name = self._expect(TokenType.IDENT, "var declaration").text
+        init = None
+        if self._accept(TokenType.ASSIGN):
+            init = self._expression()
+        return ast.VarDecl(start.line, start.column, name, init)
+
+    def _simple_statement(self) -> ast.Stmt:
+        """Assignment or expression statement (no trailing ';')."""
+        start = self._peek()
+        expr = self._expression()
+        if self._accept(TokenType.ASSIGN):
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise ParseError(
+                    "invalid assignment target", start.line, start.column
+                )
+            value = self._expression()
+            return ast.Assign(start.line, start.column, expr, value)
+        return ast.ExprStmt(start.line, start.column, expr)
+
+    def _if_stmt(self) -> ast.If:
+        start = self._expect(TokenType.IF)
+        self._expect(TokenType.LPAREN, "if condition")
+        condition = self._expression()
+        self._expect(TokenType.RPAREN, "if condition")
+        then_block = self._block()
+        else_block: Optional[ast.Block] = None
+        if self._accept(TokenType.ELSE):
+            if self._at(TokenType.IF):
+                nested = self._if_stmt()
+                else_block = ast.Block(
+                    nested.line, nested.column, [nested]
+                )
+            else:
+                else_block = self._block()
+        return ast.If(start.line, start.column, condition, then_block, else_block)
+
+    def _while_stmt(self) -> ast.While:
+        start = self._expect(TokenType.WHILE)
+        self._expect(TokenType.LPAREN, "while condition")
+        condition = self._expression()
+        self._expect(TokenType.RPAREN, "while condition")
+        body = self._block()
+        return ast.While(start.line, start.column, condition, body)
+
+    def _for_stmt(self) -> ast.For:
+        start = self._expect(TokenType.FOR)
+        self._expect(TokenType.LPAREN, "for header")
+        init: Optional[ast.Stmt] = None
+        if not self._at(TokenType.SEMI):
+            init = (
+                self._var_decl()
+                if self._at(TokenType.VAR)
+                else self._simple_statement()
+            )
+        self._expect(TokenType.SEMI, "for header")
+        condition = None if self._at(TokenType.SEMI) else self._expression()
+        self._expect(TokenType.SEMI, "for header")
+        update = None if self._at(TokenType.RPAREN) else self._simple_statement()
+        self._expect(TokenType.RPAREN, "for header")
+        body = self._block()
+        return ast.For(start.line, start.column, init, condition, update, body)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._at(TokenType.OROR):
+            token = self._advance()
+            right = self._and_expr()
+            left = ast.Binary(token.line, token.column, "||", left, right)
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._binary_expr(0)
+        while self._at(TokenType.ANDAND):
+            token = self._advance()
+            right = self._binary_expr(0)
+            left = ast.Binary(token.line, token.column, "&&", left, right)
+        return left
+
+    def _binary_expr(self, tier: int) -> ast.Expr:
+        if tier >= len(ast.PRECEDENCE):
+            return self._unary_expr()
+        ops = ast.PRECEDENCE[tier]
+        left = self._binary_expr(tier + 1)
+        while True:
+            token = self._peek()
+            op = _BINOP_TOKENS.get(token.type)
+            if op not in ops:
+                return left
+            self._advance()
+            right = self._binary_expr(tier + 1)
+            left = ast.Binary(token.line, token.column, op, left, right)
+
+    def _unary_expr(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.MINUS:
+            self._advance()
+            return ast.Unary(
+                token.line, token.column, "-", self._unary_expr()
+            )
+        if token.type is TokenType.BANG:
+            self._advance()
+            return ast.Unary(
+                token.line, token.column, "!", self._unary_expr()
+            )
+        return self._postfix_expr()
+
+    def _postfix_expr(self) -> ast.Expr:
+        expr = self._primary_expr()
+        while True:
+            if self._accept(TokenType.DOT):
+                name = self._expect(TokenType.IDENT, "field access")
+                expr = ast.FieldAccess(name.line, name.column, expr, name.text)
+            elif self._at(TokenType.LBRACKET):
+                bracket = self._advance()
+                index = self._expression()
+                self._expect(TokenType.RBRACKET, "array index")
+                expr = ast.Index(bracket.line, bracket.column, expr, index)
+            else:
+                return expr
+
+    def _primary_expr(self) -> ast.Expr:
+        token = self._peek()
+        kind = token.type
+        if kind is TokenType.INT:
+            self._advance()
+            return ast.IntLit(token.line, token.column, token.value or 0)
+        if kind is TokenType.TRUE:
+            self._advance()
+            return ast.BoolLit(token.line, token.column, True)
+        if kind is TokenType.FALSE:
+            self._advance()
+            return ast.BoolLit(token.line, token.column, False)
+        if kind is TokenType.LPAREN:
+            self._advance()
+            expr = self._expression()
+            self._expect(TokenType.RPAREN, "parenthesized expression")
+            return expr
+        if kind is TokenType.NEW:
+            self._advance()
+            name = self._expect(TokenType.IDENT, "new expression")
+            return ast.New(token.line, token.column, name.text)
+        if kind is TokenType.NEWARRAY:
+            self._advance()
+            self._expect(TokenType.LPAREN, "newarray")
+            length = self._expression()
+            self._expect(TokenType.RPAREN, "newarray")
+            return ast.NewArray(token.line, token.column, length)
+        if kind is TokenType.LEN:
+            self._advance()
+            self._expect(TokenType.LPAREN, "len")
+            array = self._expression()
+            self._expect(TokenType.RPAREN, "len")
+            return ast.Len(token.line, token.column, array)
+        if kind is TokenType.IO:
+            self._advance()
+            self._expect(TokenType.LPAREN, "io")
+            latency = self._expect(TokenType.INT, "io latency class")
+            self._expect(TokenType.RPAREN, "io")
+            return ast.IORead(token.line, token.column, latency.value or 1)
+        if kind is TokenType.SPAWN:
+            self._advance()
+            callee = self._expect(TokenType.IDENT, "spawn")
+            self._expect(TokenType.LPAREN, "spawn")
+            args = self._call_args()
+            return ast.SpawnExpr(token.line, token.column, callee.text, args)
+        if kind is TokenType.IDENT:
+            self._advance()
+            if self._at(TokenType.LPAREN):
+                self._advance()
+                args = self._call_args()
+                return ast.Call(token.line, token.column, token.text, args)
+            return ast.Name(token.line, token.column, token.text)
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression",
+            token.line,
+            token.column,
+        )
+
+    def _call_args(self) -> List[ast.Expr]:
+        """Arguments after '('; consumes the closing ')'."""
+        args: List[ast.Expr] = []
+        if not self._at(TokenType.RPAREN):
+            while True:
+                args.append(self._expression())
+                if not self._accept(TokenType.COMMA):
+                    break
+        self._expect(TokenType.RPAREN, "call arguments")
+        return args
+
+
+def parse(source: str) -> ast.SourceProgram:
+    """Parse MiniJ source into an AST."""
+    return Parser(source).parse_program()

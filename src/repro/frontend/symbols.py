@@ -1,0 +1,62 @@
+"""Symbol tables and scopes for the MiniJ checker."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TypeCheckError
+
+
+class Scope:
+    """One lexical scope: variable name -> local slot."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self.bindings: Dict[str, int] = {}
+
+    def declare(self, name: str, slot: int, line: int = 0, column: int = 0) -> None:
+        if name in self.bindings:
+            raise TypeCheckError(
+                f"variable {name!r} already declared in this scope",
+                line,
+                column,
+            )
+        self.bindings[name] = slot
+
+    def lookup(self, name: str) -> Optional[int]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            slot = scope.bindings.get(name)
+            if slot is not None:
+                return slot
+            scope = scope.parent
+        return None
+
+
+class FunctionScope:
+    """Slot allocation and nested scopes for one function body."""
+
+    def __init__(self, params: List[str], line: int = 0, column: int = 0):
+        self.next_slot = 0
+        self.root = Scope()
+        self.current = self.root
+        for param in params:
+            self.root.declare(param, self.next_slot, line, column)
+            self.next_slot += 1
+
+    def push(self) -> None:
+        self.current = Scope(self.current)
+
+    def pop(self) -> None:
+        if self.current.parent is None:
+            raise TypeCheckError("internal error: popping the root scope")
+        self.current = self.current.parent
+
+    def declare(self, name: str, line: int = 0, column: int = 0) -> int:
+        slot = self.next_slot
+        self.current.declare(name, slot, line, column)
+        self.next_slot += 1
+        return slot
+
+    def lookup(self, name: str) -> Optional[int]:
+        return self.current.lookup(name)

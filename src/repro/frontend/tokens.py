@@ -1,0 +1,101 @@
+"""Token definitions for MiniJ."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TokenType(enum.Enum):
+    # literals / identifiers
+    INT = "int"
+    IDENT = "ident"
+    # keywords
+    CLASS = "class"
+    FIELD = "field"
+    FUNC = "func"
+    VAR = "var"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+    PRINT = "print"
+    NEW = "new"
+    NEWARRAY = "newarray"
+    LEN = "len"
+    IO = "io"
+    SPAWN = "spawn"
+    TRUE = "true"
+    FALSE = "false"
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    DOT = "."
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    SHL = "<<"
+    SHR = ">>"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    BANG = "!"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    ANDAND = "&&"
+    OROR = "||"
+    EOF = "<eof>"
+
+
+KEYWORDS = {
+    "class": TokenType.CLASS,
+    "field": TokenType.FIELD,
+    "func": TokenType.FUNC,
+    "var": TokenType.VAR,
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "while": TokenType.WHILE,
+    "for": TokenType.FOR,
+    "return": TokenType.RETURN,
+    "break": TokenType.BREAK,
+    "continue": TokenType.CONTINUE,
+    "print": TokenType.PRINT,
+    "new": TokenType.NEW,
+    "newarray": TokenType.NEWARRAY,
+    "len": TokenType.LEN,
+    "io": TokenType.IO,
+    "spawn": TokenType.SPAWN,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+    value: Optional[int] = None  # for INT tokens
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.column})"

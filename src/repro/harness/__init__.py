@@ -1,0 +1,52 @@
+"""Experiment harness: runner, table/figure generators, formatting."""
+
+from repro.harness.experiment import (
+    ExperimentRunner,
+    RunResult,
+    RunSpec,
+    make_instrumentations,
+    overhead_percent,
+)
+from repro.harness.formatting import mean, render_table
+from repro.harness.sweeps import (
+    SweepPoint,
+    interval_sweep,
+    operating_range,
+    pareto_frontier,
+    sweep_table,
+)
+from repro.harness.tables import (
+    TableResult,
+    figure7,
+    figure8a,
+    figure8b,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "RunSpec",
+    "RunResult",
+    "make_instrumentations",
+    "overhead_percent",
+    "render_table",
+    "mean",
+    "TableResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure7",
+    "figure8a",
+    "SweepPoint",
+    "interval_sweep",
+    "pareto_frontier",
+    "operating_range",
+    "sweep_table",
+    "figure8b",
+]

@@ -1,0 +1,278 @@
+"""Experiment runner: one place that composes workloads, instrumentation,
+sampling strategies, triggers and the VM into measured runs.
+
+Every benchmark in ``benchmarks/`` and every table generator in
+:mod:`repro.harness.tables` goes through :class:`ExperimentRunner`, so
+they all share baseline caching, semantic-preservation tripwires, and
+Property-1 verification.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.program import Program
+from repro.errors import HarnessError
+from repro.instrument import (
+    BranchBiasInstrumentation,
+    CallEdgeInstrumentation,
+    CCTInstrumentation,
+    EdgeProfileInstrumentation,
+    FieldAccessInstrumentation,
+    BlockCountInstrumentation,
+    Instrumentation,
+    ParameterValueInstrumentation,
+    PathProfileInstrumentation,
+)
+from repro.instrument.base import EmptyInstrumentation
+from repro.profiles.profile import Profile
+from repro.sampling.framework import SamplingFramework, Strategy, TransformReport
+from repro.sampling.properties import property1_vs_baseline
+from repro.sampling.triggers import make_trigger
+from repro.vm.cost_model import CostModel
+from repro.vm.interpreter import VM, VMResult
+from repro.vm.tracing import ExecStats
+from repro.workloads.suite import Workload, get_workload
+
+#: Default instruction budget for experiment runs.
+DEFAULT_FUEL = 100_000_000
+
+#: Registry of instrumentation kinds available to specs.
+_INSTRUMENTATION_FACTORIES = {
+    "call-edge": CallEdgeInstrumentation,
+    "field-access": FieldAccessInstrumentation,
+    "block-count": BlockCountInstrumentation,
+    "edge-profile": EdgeProfileInstrumentation,
+    "param-value": ParameterValueInstrumentation,
+    "path-profile": PathProfileInstrumentation,
+    "branch-bias": BranchBiasInstrumentation,
+    "cct": CCTInstrumentation,
+    "none": EmptyInstrumentation,
+}
+
+
+def make_instrumentations(kinds: Tuple[str, ...]) -> List[Instrumentation]:
+    """Fresh instrumentation objects for the given kind names."""
+    try:
+        return [_INSTRUMENTATION_FACTORIES[kind]() for kind in kinds]
+    except KeyError as exc:
+        raise HarnessError(
+            f"unknown instrumentation kind {exc.args[0]!r}; available: "
+            f"{sorted(_INSTRUMENTATION_FACTORIES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A fully described experiment configuration."""
+
+    workload: str
+    strategy: Strategy = Strategy.EXHAUSTIVE
+    instrumentation: Tuple[str, ...] = ("call-edge",)
+    trigger: str = "never"  # never | counter | timer | randomized
+    interval: Optional[int] = None
+    yieldpoint_opt: bool = False
+    scale: Optional[int] = None
+    timer_period: int = 100_000
+    #: counter-trigger phase (first sample arrives ``interval - phase``
+    #: checks in); used to average out deterministic aliasing
+    phase: int = 0
+
+    def describe(self) -> str:
+        parts = [self.workload, self.strategy.value]
+        parts.append("+".join(self.instrumentation) or "none")
+        if self.trigger != "never":
+            parts.append(
+                f"{self.trigger}"
+                + (f"@{self.interval}" if self.interval else "")
+            )
+        if self.yieldpoint_opt:
+            parts.append("yp-opt")
+        return " / ".join(parts)
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one configured run."""
+
+    spec: RunSpec
+    value: int
+    cycles: int
+    stats: ExecStats
+    profiles: Dict[str, Profile] = field(default_factory=dict)
+    transform_report: Optional[TransformReport] = None
+    transform_seconds: float = 0.0
+    code_bytes: int = 0
+
+
+class ExperimentRunner:
+    """Caches per-workload baselines and runs configured experiments.
+
+    Args:
+        cost_model: shared cycle model (one per runner so baselines and
+            variants are comparable).
+        fuel: interpreter instruction budget per run.
+        check_semantics: verify each transformed run computes the
+            baseline's value and output (cheap, catches transform bugs).
+        check_property1: verify Property 1 for duplication strategies
+            against the baseline run.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        fuel: int = DEFAULT_FUEL,
+        check_semantics: bool = True,
+        check_property1: bool = True,
+    ):
+        self.cost_model = cost_model or CostModel()
+        self.fuel = fuel
+        self.check_semantics = check_semantics
+        self.check_property1 = check_property1
+        self._baselines: Dict[Tuple[str, Optional[int]], Tuple[Program, VMResult]] = {}
+
+    # -- baselines -----------------------------------------------------------
+
+    def baseline(
+        self, workload_name: str, scale: Optional[int] = None
+    ) -> Tuple[Program, VMResult]:
+        """The workload's baseline program and its (cached) run."""
+        key = (workload_name, scale)
+        cached = self._baselines.get(key)
+        if cached is not None:
+            return cached
+        workload: Workload = get_workload(workload_name)
+        program = workload.compile(scale)
+        result = VM(
+            program, cost_model=self.cost_model, fuel=self.fuel,
+            timer_period=100_000,
+        ).run()
+        self._baselines[key] = (program, result)
+        return program, result
+
+    def baseline_cycles(self, workload_name: str, scale: Optional[int] = None) -> int:
+        return self.baseline(workload_name, scale)[1].stats.cycles
+
+    # -- configured runs ----------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunResult:
+        """Transform per *spec*, execute, verify, and measure."""
+        program, base_result = self.baseline(spec.workload, spec.scale)
+        instrumentations = make_instrumentations(spec.instrumentation)
+
+        framework = SamplingFramework(
+            spec.strategy, yieldpoint_opt=spec.yieldpoint_opt
+        )
+        checks_only = spec.strategy in (
+            Strategy.CHECKS_ONLY_ENTRY,
+            Strategy.CHECKS_ONLY_BACKEDGE,
+        )
+        t0 = time.perf_counter()
+        transformed = framework.transform(
+            program, None if checks_only else instrumentations
+        )
+        transform_seconds = time.perf_counter() - t0
+
+        if spec.trigger == "counter" and spec.phase:
+            trigger = make_trigger(spec.trigger, spec.interval, phase=spec.phase)
+        else:
+            trigger = make_trigger(spec.trigger, spec.interval)
+        result = VM(
+            transformed,
+            cost_model=self.cost_model,
+            trigger=trigger,
+            timer_period=spec.timer_period,
+            fuel=self.fuel,
+        ).run()
+
+        if self.check_semantics:
+            if result.value != base_result.value or (
+                result.output != base_result.output
+            ):
+                raise HarnessError(
+                    f"{spec.describe()}: transformed program diverged "
+                    f"(value {result.value} vs {base_result.value})"
+                )
+        if self.check_property1 and spec.strategy in (
+            Strategy.FULL_DUPLICATION,
+            Strategy.PARTIAL_DUPLICATION,
+        ):
+            if not property1_vs_baseline(result.stats, base_result.stats):
+                raise HarnessError(
+                    f"{spec.describe()}: Property 1 violated "
+                    f"(checks={result.stats.checks_executed}, "
+                    f"bound={base_result.stats.check_opportunities})"
+                )
+
+        profiles = {
+            instr.profile.name: instr.profile for instr in instrumentations
+        }
+        return RunResult(
+            spec=spec,
+            value=result.value,
+            cycles=result.stats.cycles,
+            stats=result.stats,
+            profiles=profiles,
+            transform_report=framework.last_report,
+            transform_seconds=transform_seconds,
+            code_bytes=transformed.total_code_size_bytes(),
+        )
+
+    # -- derived measures ---------------------------------------------------------
+
+    def overhead_pct(self, spec: RunSpec) -> float:
+        """Total overhead of *spec* relative to the baseline, percent."""
+        result = self.run(spec)
+        base = self.baseline_cycles(spec.workload, spec.scale)
+        return overhead_percent(base, result.cycles)
+
+    def perfect_profiles(
+        self,
+        workload_name: str,
+        instrumentation: Tuple[str, ...],
+        scale: Optional[int] = None,
+        strategy: Strategy = Strategy.FULL_DUPLICATION,
+    ) -> Dict[str, Profile]:
+        """The paper's *perfect profile*: the given strategy run at
+        sample interval 1, "causing all execution to occur in
+        duplicated code" (§4.4). Sampled profiles are compared against
+        the same strategy's interval-1 profile, so the overlap metric
+        isolates sampling degradation.
+        """
+        result = self.run(
+            RunSpec(
+                workload=workload_name,
+                strategy=strategy,
+                instrumentation=instrumentation,
+                trigger="counter",
+                interval=1,
+                scale=scale,
+            )
+        )
+        return result.profiles
+
+    def exhaustive_profiles(
+        self,
+        workload_name: str,
+        instrumentation: Tuple[str, ...],
+        scale: Optional[int] = None,
+    ) -> Dict[str, Profile]:
+        """Profiles from a plain exhaustive run (every event counted)."""
+        result = self.run(
+            RunSpec(
+                workload=workload_name,
+                strategy=Strategy.EXHAUSTIVE,
+                instrumentation=instrumentation,
+                scale=scale,
+            )
+        )
+        return result.profiles
+
+
+def overhead_percent(baseline_cycles: int, cycles: int) -> float:
+    """100 * (cycles / baseline - 1)."""
+    if baseline_cycles <= 0:
+        raise HarnessError("baseline has no cycles")
+    return 100.0 * (cycles / baseline_cycles - 1.0)

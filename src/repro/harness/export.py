@@ -1,0 +1,68 @@
+"""Export experiment tables to machine-readable formats.
+
+The ASCII rendering in :mod:`repro.harness.formatting` is for humans;
+these helpers serialize :class:`TableResult` rows for notebooks,
+plotting scripts, and regression dashboards.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.harness.tables import TableResult
+
+
+def table_to_dicts(result: TableResult) -> List[Dict[str, object]]:
+    """Rows as header-keyed dictionaries."""
+    return [
+        {header: value for header, value in zip(result.headers, row)}
+        for row in result.rows
+    ]
+
+
+def table_to_json(result: TableResult, indent: int = 2) -> str:
+    """Serialize a table (title, headers, rows, notes) as JSON."""
+    payload = {
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def table_from_json(text: str) -> TableResult:
+    """Inverse of :func:`table_to_json`."""
+    payload = json.loads(text)
+    return TableResult(
+        title=payload["title"],
+        headers=list(payload["headers"]),
+        rows=[list(row) for row in payload["rows"]],
+        notes=list(payload.get("notes", [])),
+    )
+
+
+def table_to_csv(result: TableResult) -> str:
+    """Serialize headers+rows as CSV (notes and title are dropped)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
+
+
+def write_table(result: TableResult, path: str) -> None:
+    """Write a table to *path*; format chosen by extension
+    (.json / .csv / anything else = ASCII rendering)."""
+    if path.endswith(".json"):
+        text = table_to_json(result)
+    elif path.endswith(".csv"):
+        text = table_to_csv(result)
+    else:
+        text = result.render() + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,122 @@
+"""The paper's published numbers, transcribed for side-by-side reporting.
+
+Source: Arnold & Ryder, PLDI 2001, Tables 1-5 and Figures 7-8. Keys use
+our workload names; see each workload module for the analog mapping.
+These are *reference* values — the harness prints them next to measured
+values so shape agreement is auditable (EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Table 1 — exhaustive instrumentation overhead %, (call-edge, field-access).
+PAPER_TABLE1: Dict[str, Tuple[float, float]] = {
+    "compress": (72.4, 204.8),
+    "jess": (133.2, 60.9),
+    "db": (8.3, 7.7),
+    "javac": (75.7, 14.2),
+    "mpegaudio": (129.6, 99.8),
+    "mtrt": (122.2, 46.0),
+    "jack": (34.3, 108.7),
+    "optcompiler": (189.0, 34.9),
+    "pbob": (72.3, 20.2),
+    "volano": (46.6, 7.6),
+}
+PAPER_TABLE1_AVG = (88.3, 60.4)
+
+#: Table 2 — Full-Duplication framework overhead:
+#: (total %, backedge %, entry %, space KB, compile-time %).
+PAPER_TABLE2: Dict[str, Tuple[float, float, float, int, int]] = {
+    "compress": (8.7, 8.3, 0.9, 106, 37),
+    "jess": (3.3, 2.9, 0.1, 244, 37),
+    "db": (2.1, 1.8, 0.2, 123, 34),
+    "javac": (2.7, 0.2, 1.4, 442, 38),
+    "mpegaudio": (9.9, 9.0, 0.8, 156, 31),
+    "mtrt": (3.4, 2.0, 2.4, 163, 31),
+    "jack": (8.4, 6.6, 1.2, 258, 18),
+    "optcompiler": (6.2, 2.1, 4.4, 976, 48),
+    "pbob": (3.8, 2.5, 0.9, 306, 37),
+    "volano": (1.4, 0.3, 1.0, 75, 32),
+}
+PAPER_TABLE2_AVG = (4.9, 3.5, 1.3, 285, 34)
+
+#: Table 3 — No-Duplication checking overhead %, (call-edge, field-access).
+PAPER_TABLE3: Dict[str, Tuple[float, float]] = {
+    "compress": (0.9, 151.5),
+    "jess": (0.1, 36.6),
+    "db": (0.2, 6.9),
+    "javac": (1.4, 21.3),
+    "mpegaudio": (0.8, 100.7),
+    "mtrt": (2.4, 49.1),
+    "jack": (1.2, 72.1),
+    "optcompiler": (4.4, 41.1),
+    "pbob": (2.3, 21.3),
+    "volano": (1.0, 10.4),
+}
+PAPER_TABLE3_AVG = (1.3, 51.1)
+
+#: Table 4 — averaged over benchmarks, per sample interval:
+#: interval -> (num samples, sampled-instr %, total %, call acc %, field acc %)
+PAPER_TABLE4_FULL: Dict[int, Tuple[float, float, float, int, int]] = {
+    1: (1.1e7, 167.2, 182.2, 100, 100),
+    10: (1.1e6, 26.4, 29.3, 99, 100),
+    100: (1.1e5, 4.2, 10.3, 98, 99),
+    1000: (1.1e4, 0.8, 6.3, 94, 97),
+    10000: (1137, 0.1, 5.1, 82, 94),
+    100000: (109, 0.1, 5.0, 71, 83),
+}
+PAPER_TABLE4_NODUP: Dict[int, Tuple[float, float, float, int, int]] = {
+    1: (6.7e7, 118.2, 269.1, 100, 100),
+    10: (6.7e6, 22.8, 79.5, 98, 100),
+    100: (6.7e5, 3.6, 61.3, 97, 99),
+    1000: (6.7e4, 1.0, 57.2, 93, 98),
+    10000: (6736, 0.2, 55.7, 81, 96),
+    100000: (662, 0.2, 55.2, 70, 87),
+}
+
+#: Table 5 — field-access accuracy %, (time-based, counter-based).
+PAPER_TABLE5: Dict[str, Tuple[int, int]] = {
+    "compress": (88, 98),
+    "jess": (91, 95),
+    "db": (66, 95),
+    "javac": (59, 73),
+    "mpegaudio": (69, 95),
+    "mtrt": (51, 67),
+    "jack": (45, 94),
+    "optcompiler": (58, 65),
+    "pbob": (75, 87),
+    "volano": (27, 71),
+}
+PAPER_TABLE5_AVG = (63, 84)
+
+#: Figure 7 — javac call-edge overlap at interval 1000.
+PAPER_FIGURE7_OVERLAP = 93.8
+
+#: Figure 8(A) — Jalapeño-specific framework overhead %.
+PAPER_FIGURE8A: Dict[str, float] = {
+    "compress": 1.4,
+    "jess": -0.5,
+    "db": 1.6,
+    "javac": 2.2,
+    "mpegaudio": -2.1,
+    "mtrt": 1.9,
+    "jack": 0.8,
+    "optcompiler": 4.8,
+    "pbob": 1.4,
+    "volano": 0.5,
+}
+PAPER_FIGURE8A_AVG = 1.4
+
+#: Figure 8(B) — Jalapeño-specific total sampling overhead % by interval.
+PAPER_FIGURE8B: Dict[int, float] = {
+    1: 179.9,
+    10: 27.6,
+    100: 8.1,
+    1000: 3.0,
+    10000: 1.5,
+    100000: 1.5,
+}
+
+#: The intervals the paper sweeps.
+PAPER_INTERVALS: List[int] = [1, 10, 100, 1000, 10000, 100000]

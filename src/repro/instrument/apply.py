@@ -1,0 +1,40 @@
+"""Exhaustive (non-sampled) instrumentation of whole programs.
+
+This is the paper's baseline-for-comparison (Table 1): instrumentation
+inserted as-is, executing on every event. The sampling framework
+(:mod:`repro.sampling.framework`) is the low-overhead alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.bytecode.program import Program
+from repro.bytecode.verifier import verify_program
+from repro.cfg.graph import CFG
+from repro.cfg.linearize import linearize
+from repro.instrument.base import Instrumentation
+
+
+def instrument_program(
+    program: Program,
+    instrumentation: Instrumentation,
+    functions: Optional[Iterable[str]] = None,
+    verify: bool = True,
+) -> Program:
+    """Return a copy of *program* with INSTR operations inserted
+    exhaustively into the selected functions (default: all).
+
+    The input program is left untouched, so baseline and instrumented
+    variants can run side by side in one experiment.
+    """
+    result = program.copy()
+    names = list(functions) if functions is not None else result.function_names()
+    for name in names:
+        cfg = CFG.from_function(result.function(name))
+        instrumentation.instrument_cfg(cfg, result)
+        fn = linearize(cfg, notes={"instrumentation": instrumentation.kind})
+        result.replace_function(fn)
+    if verify:
+        verify_program(result)
+    return result

@@ -1,0 +1,30 @@
+"""Classic optimizer passes: folding, peephole, DCE, inlining, unrolling."""
+
+from repro.opt.const_fold import fold_cfg
+from repro.opt.dce import dce_cfg, eliminate_dead_stores, remove_unreachable_blocks
+from repro.opt.inline import (
+    default_heuristic,
+    inline_call_site,
+    inline_function_calls,
+    inline_program,
+)
+from repro.opt.peephole import peephole_cfg
+from repro.opt.pipeline import cleanup_program, optimize_program
+from repro.opt.unroll import unroll_cfg, unroll_function, unroll_program
+
+__all__ = [
+    "fold_cfg",
+    "peephole_cfg",
+    "dce_cfg",
+    "eliminate_dead_stores",
+    "remove_unreachable_blocks",
+    "inline_program",
+    "inline_call_site",
+    "inline_function_calls",
+    "default_heuristic",
+    "unroll_cfg",
+    "unroll_function",
+    "unroll_program",
+    "cleanup_program",
+    "optimize_program",
+]

@@ -1,0 +1,99 @@
+"""Constant folding and branch folding.
+
+Folds within basic blocks: when the two operands of a binary operator
+(or the operand of a unary) are literal PUSHes, the operation is
+evaluated at compile time. Division/modulo by a literal zero is left
+in place so the runtime trap is preserved.
+
+Branch folding: a block whose terminator condition is a literal PUSH
+becomes an unconditional Goto, after which unreachable blocks fall away
+at linearization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op, is_binary
+from repro.cfg.basic_block import CondBranch, Goto
+from repro.cfg.graph import CFG
+
+_UNARY = {Op.NEG, Op.NOT}
+
+
+def _eval_binary(op: Op, a: int, b: int) -> Optional[int]:
+    if op == Op.ADD:
+        return a + b
+    if op == Op.SUB:
+        return a - b
+    if op == Op.MUL:
+        return a * b
+    if op == Op.DIV:
+        return a // b if b != 0 else None
+    if op == Op.MOD:
+        return a % b if b != 0 else None
+    if op == Op.AND:
+        return a & b
+    if op == Op.OR:
+        return a | b
+    if op == Op.XOR:
+        return a ^ b
+    if op == Op.SHL:
+        return a << (b & 63)
+    if op == Op.SHR:
+        return a >> (b & 63)
+    if op == Op.LT:
+        return 1 if a < b else 0
+    if op == Op.LE:
+        return 1 if a <= b else 0
+    if op == Op.GT:
+        return 1 if a > b else 0
+    if op == Op.GE:
+        return 1 if a >= b else 0
+    if op == Op.EQ:
+        return 1 if a == b else 0
+    if op == Op.NE:
+        return 1 if a != b else 0
+    return None
+
+
+def _fold_once(body: List[Instruction]) -> bool:
+    for i in range(len(body)):
+        ins = body[i]
+        if (
+            is_binary(ins.op)
+            and i >= 2
+            and body[i - 1].op == Op.PUSH
+            and body[i - 2].op == Op.PUSH
+        ):
+            result = _eval_binary(ins.op, body[i - 2].arg, body[i - 1].arg)
+            if result is not None:
+                body[i - 2 : i + 1] = [Instruction(Op.PUSH, result)]
+                return True
+        if ins.op in _UNARY and i >= 1 and body[i - 1].op == Op.PUSH:
+            value = body[i - 1].arg
+            folded = -value if ins.op == Op.NEG else (1 if value == 0 else 0)
+            body[i - 1 : i + 1] = [Instruction(Op.PUSH, folded)]
+            return True
+    return False
+
+
+def fold_cfg(cfg: CFG) -> int:
+    """Fold constants and literal branches; returns rewrite count."""
+    rewrites = 0
+    for block in cfg.blocks.values():
+        while _fold_once(block.instructions):
+            rewrites += 1
+        term = block.terminator
+        if (
+            isinstance(term, CondBranch)
+            and block.instructions
+            and block.instructions[-1].op == Op.PUSH
+        ):
+            value = block.instructions.pop().arg
+            condition_true = (value == 0) == (term.op == Op.JZ)
+            target = term.taken if condition_true else term.fallthrough
+            block.terminator = Goto(target)
+            rewrites += 1
+    return rewrites

@@ -1,0 +1,49 @@
+"""Dead-code elimination.
+
+Two pieces:
+
+* dead-store elimination — a ``STORE x`` whose slot is not live
+  afterwards becomes a ``POP`` (the pushed value still has to leave the
+  stack); peephole then deletes adjacent ``PUSH/LOAD ; POP`` pairs;
+* unreachable-block removal — delegated to ``CFG.remove_unreachable``
+  (also run by the linearizer, but running it here keeps later passes'
+  analyses smaller).
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op
+from repro.cfg.dataflow import live_slots_at_each_instruction, liveness
+from repro.cfg.graph import CFG
+
+
+def eliminate_dead_stores(cfg: CFG) -> int:
+    """Replace dead STOREs with POPs; returns the number replaced.
+
+    Refuses to touch instrumented code: instrumentation actions may
+    read locals (e.g. the path-profiling register, parameter-value
+    profiling) invisibly to the liveness analysis.
+    """
+    for block in cfg.blocks.values():
+        if block.has_instrumentation():
+            return 0
+    _, live_out = liveness(cfg)
+    replaced = 0
+    for bid, block in cfg.blocks.items():
+        after = live_slots_at_each_instruction(block, live_out[bid])
+        for index, ins in enumerate(block.instructions):
+            if ins.op == Op.STORE and ins.arg not in after[index]:
+                block.instructions[index] = Instruction(Op.POP)
+                replaced += 1
+    return replaced
+
+
+def remove_unreachable_blocks(cfg: CFG) -> int:
+    """Drop blocks unreachable from the entry; returns how many."""
+    return len(cfg.remove_unreachable())
+
+
+def dce_cfg(cfg: CFG) -> int:
+    """Run both DCE pieces; returns total rewrites."""
+    return eliminate_dead_stores(cfg) + remove_unreachable_blocks(cfg)

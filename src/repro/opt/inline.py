@@ -1,0 +1,142 @@
+"""Call-site inlining.
+
+The paper notes (§4.3) that its method-entry check overhead "would be
+reduced if more aggressive inlining were performed before
+instrumentation occurs" — inlining removes call edges, hence entry
+checks. This pass provides that knob: the default heuristic mirrors
+Jalapeño's "default, non-aggressive static inlining" (tiny callees
+only); the adaptive example uses profile-directed selection instead.
+
+Mechanics (linear splice, run before any pseudo-ops exist):
+
+* the CALL is replaced by stores of the arguments into fresh local
+  slots (the callee's params, renumbered), the callee body with locals
+  and branch targets shifted, and each callee RETURN turned into a JUMP
+  past the splice (its return value simply stays on the stack);
+* recursive callees (directly or via the call under consideration) are
+  skipped; HALT inside a callee is kept as HALT.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.bytecode.function import Function
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import BRANCH_OPS, Op
+from repro.bytecode.program import Program
+
+
+def _is_directly_recursive(fn: Function) -> bool:
+    return any(
+        ins.op == Op.CALL and ins.arg == fn.name for ins in fn.code
+    )
+
+
+def inline_call_site(caller: Function, pc: int, callee: Function) -> Function:
+    """Return a new function with the CALL at *pc* inlined.
+
+    Precondition: ``caller.code[pc]`` is ``CALL callee.name`` and the
+    callee is not the caller itself.
+    """
+    call_ins = caller.code[pc]
+    assert call_ins.op == Op.CALL and call_ins.arg == callee.name
+    offset = caller.num_locals
+
+    prologue: List[Instruction] = [
+        Instruction(Op.STORE, offset + slot)
+        for slot in reversed(range(callee.num_params))
+    ]
+    splice_len = len(prologue) + len(callee.code)
+    end_pc = pc + splice_len  # first instruction after the splice
+    delta = splice_len - 1
+
+    body: List[Instruction] = []
+    for ins in callee.code:
+        if ins.op == Op.RETURN:
+            body.append(Instruction(Op.JUMP, end_pc))
+        elif ins.op in BRANCH_OPS:
+            body.append(
+                Instruction(ins.op, ins.arg + pc + len(prologue), ins.meta)
+            )
+        elif ins.op in (Op.LOAD, Op.STORE):
+            body.append(Instruction(ins.op, ins.arg + offset, ins.meta))
+        else:
+            body.append(ins.copy())
+
+    new_code: List[Instruction] = []
+    for index, ins in enumerate(caller.code):
+        if index == pc:
+            new_code.extend(prologue)
+            new_code.extend(body)
+            continue
+        if ins.op in BRANCH_OPS and ins.arg > pc:
+            new_code.append(Instruction(ins.op, ins.arg + delta, ins.meta))
+        else:
+            new_code.append(ins.copy())
+
+    return Function(
+        caller.name,
+        caller.num_params,
+        caller.num_locals + callee.num_locals,
+        new_code,
+        dict(caller.notes),
+    )
+
+
+def inline_function_calls(
+    fn: Function,
+    program: Program,
+    should_inline,
+    max_result_size: int,
+) -> Function:
+    """Repeatedly inline eligible call sites in *fn* (outside-in,
+    re-scanning after each splice) until none remain or the size cap is
+    reached."""
+    current = fn
+    progress = True
+    while progress:
+        progress = False
+        for pc, ins in enumerate(current.code):
+            if ins.op != Op.CALL:
+                continue
+            callee = program.functions.get(ins.arg)
+            if callee is None or callee.name == current.name:
+                continue
+            if _is_directly_recursive(callee):
+                continue
+            if not should_inline(current, callee):
+                continue
+            if len(current.code) + len(callee.code) > max_result_size:
+                continue
+            current = inline_call_site(current, pc, callee)
+            progress = True
+            break
+    return current
+
+
+def default_heuristic(max_callee_size: int = 12):
+    """Jalapeño-style non-aggressive heuristic: tiny callees only."""
+
+    def should_inline(caller: Function, callee: Function) -> bool:
+        return len(callee.code) <= max_callee_size
+
+    return should_inline
+
+
+def inline_program(
+    program: Program,
+    should_inline=None,
+    max_result_size: int = 2000,
+    functions: Optional[Set[str]] = None,
+) -> Program:
+    """Inline across the whole program; returns a new Program."""
+    should_inline = should_inline or default_heuristic()
+    result = program.copy()
+    names = functions if functions is not None else set(result.functions)
+    for name in sorted(names):
+        fn = result.functions[name]
+        result.replace_function(
+            inline_function_calls(fn, result, should_inline, max_result_size)
+        )
+    return result

@@ -1,0 +1,77 @@
+"""Peephole simplification over basic-block bodies.
+
+Patterns (applied to fixpoint within each block):
+
+* ``PUSH k ; POP``            -> (nothing)
+* ``LOAD x ; POP``            -> (nothing)
+* ``DUP ; POP``               -> (nothing)
+* ``SWAP ; SWAP``             -> (nothing)
+* ``NOT ; NOT``               -> (nothing)   (MiniJ NOT is 0/1-valued,
+  and every NOT consumer treats nonzero uniformly, so double negation
+  of an arbitrary int only matters if the exact value escapes — which
+  the pair's removal only affects when the first NOT's input was
+  produced by a comparison; to stay conservative the pair is removed
+  only when preceded by a comparison or NOT)
+* ``LOAD x ; STORE x``        -> (nothing)
+* ``PUSH 0 ; ADD`` / ``PUSH 0 ; SUB`` / ``PUSH 1 ; MUL`` -> (nothing)
+* ``PUSH 0 ; MUL``            -> ``POP ; PUSH 0``
+
+Operating inside blocks keeps branch targets stable; the linearizer
+re-derives pcs afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op
+from repro.cfg.graph import CFG
+
+_BOOLEAN_PRODUCERS = {
+    Op.LT, Op.LE, Op.GT, Op.GE, Op.EQ, Op.NE, Op.NOT,
+}
+
+_PURE_PRODUCERS = {Op.PUSH, Op.LOAD, Op.DUP}
+
+
+def _simplify_once(body: List[Instruction]) -> bool:
+    """One left-to-right pass; returns True if anything changed."""
+    for i in range(len(body) - 1):
+        a, b = body[i], body[i + 1]
+        if b.op == Op.POP and a.op in _PURE_PRODUCERS:
+            del body[i : i + 2]
+            return True
+        if a.op == Op.SWAP and b.op == Op.SWAP:
+            del body[i : i + 2]
+            return True
+        if (
+            a.op == Op.NOT
+            and b.op == Op.NOT
+            and i > 0
+            and body[i - 1].op in _BOOLEAN_PRODUCERS
+        ):
+            del body[i : i + 2]
+            return True
+        if a.op == Op.LOAD and b.op == Op.STORE and a.arg == b.arg:
+            del body[i : i + 2]
+            return True
+        if a.op == Op.PUSH and a.arg == 0 and b.op in (Op.ADD, Op.SUB, Op.OR, Op.XOR):
+            del body[i : i + 2]
+            return True
+        if a.op == Op.PUSH and a.arg == 1 and b.op == Op.MUL:
+            del body[i : i + 2]
+            return True
+        if a.op == Op.PUSH and a.arg == 0 and b.op == Op.MUL:
+            body[i : i + 2] = [Instruction(Op.POP), Instruction(Op.PUSH, 0)]
+            return True
+    return False
+
+
+def peephole_cfg(cfg: CFG) -> int:
+    """Simplify every block body; returns the number of rewrites."""
+    rewrites = 0
+    for block in cfg.blocks.values():
+        while _simplify_once(block.instructions):
+            rewrites += 1
+    return rewrites

@@ -1,0 +1,67 @@
+"""Optimization pipelines (Jalapeño-style O0/O1/O2).
+
+* **O0** — straight codegen output.
+* **O1** — per-function cleanup: constant folding, peephole, dead-store
+  elimination, unreachable-block removal (iterated to a fixpoint).
+* **O2** — O1 plus non-aggressive inlining of tiny callees, matching
+  the paper's "default, non-aggressive static inlining heuristics".
+
+Loop unrolling is deliberately *not* part of any level (Jalapeño did
+not implement it); :mod:`repro.opt.unroll` is applied explicitly by the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.program import Program
+from repro.bytecode.verifier import verify_program
+from repro.cfg.graph import CFG
+from repro.cfg.linearize import linearize
+from repro.opt.const_fold import fold_cfg
+from repro.opt.dce import dce_cfg
+from repro.opt.inline import default_heuristic, inline_program
+from repro.opt.peephole import peephole_cfg
+
+#: Safety bound on cleanup iterations per function.
+_MAX_PASS_ITERATIONS = 20
+
+
+def cleanup_function_cfg(cfg: CFG) -> int:
+    """Iterate fold/peephole/DCE on one CFG until nothing changes."""
+    total = 0
+    for _ in range(_MAX_PASS_ITERATIONS):
+        changed = fold_cfg(cfg) + peephole_cfg(cfg) + dce_cfg(cfg)
+        total += changed
+        if changed == 0:
+            break
+    return total
+
+
+def cleanup_program(program: Program) -> Program:
+    """O1: per-function cleanup across the program."""
+    result = program.copy()
+    for name in result.function_names():
+        cfg = CFG.from_function(result.functions[name])
+        cleanup_function_cfg(cfg)
+        result.replace_function(linearize(cfg))
+    return result
+
+
+def optimize_program(
+    program: Program,
+    level: int = 2,
+    inline_heuristic=None,
+    verify: bool = True,
+) -> Program:
+    """Apply the requested optimization level; returns a new Program."""
+    if level <= 0:
+        return program.copy()
+    result = cleanup_program(program)
+    if level >= 2:
+        result = inline_program(
+            result, inline_heuristic or default_heuristic()
+        )
+        result = cleanup_program(result)
+    if verify:
+        verify_program(result)
+    return result

@@ -1,0 +1,183 @@
+"""Sampling statistics for profiles.
+
+The paper evaluates accuracy empirically (overlap vs interval). This
+module adds the estimation theory that explains those curves and lets a
+user *plan* a profiling run:
+
+* each sample is (approximately) a draw from the true event
+  distribution, so a sampled profile is a multinomial estimate;
+* the expected overlap of an n-sample estimate with the truth has a
+  closed-form approximation driven by per-key standard errors;
+* inverting it answers "how many samples do I need for X% overlap?",
+  and dividing by the check rate turns that into a sample interval.
+
+These are model-based approximations (samples are treated as i.i.d.;
+counter-based sampling is periodic, which is usually *better* than
+i.i.d. but can be worse under aliasing — see §4.4), validated
+empirically by the test suite against actual framework runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.profiles.profile import Profile
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def standard_errors(
+    profile: Profile, num_samples: Optional[int] = None
+) -> Dict[Hashable, float]:
+    """Per-key standard error of the estimated share under multinomial
+    sampling: ``sqrt(p * (1 - p) / n)``.
+
+    ``num_samples`` defaults to the profile's own total weight (correct
+    when each recorded event came from its own sample).
+    """
+    n = num_samples if num_samples is not None else profile.total()
+    if n <= 0:
+        return {key: 0.0 for key in profile.counts}
+    return {
+        key: math.sqrt(max(0.0, share * (1.0 - share)) / n)
+        for key, share in profile.normalized().items()
+    }
+
+
+def expected_overlap(true_profile: Profile, num_samples: int) -> float:
+    """Predicted overlap (%) of an n-sample estimate with the truth.
+
+    For each key with true share p, the estimate errs by ~|N(0, se)|
+    with mean ``se * sqrt(2/pi)``; overlap loses half of the total
+    absolute error (overestimates on some keys mirror underestimates on
+    others), giving
+
+        E[overlap] ≈ 100 * (1 - 0.5 * sum_k se_k * sqrt(2/pi))
+
+    clamped to [0, 100]. Keys the sample set misses entirely are covered
+    by the same approximation (their loss is p itself ~ se-scale).
+    """
+    if num_samples <= 0:
+        return 0.0
+    ses = standard_errors(true_profile, num_samples)
+    expected_loss = 0.5 * _SQRT_2_OVER_PI * sum(ses.values())
+    return max(0.0, min(100.0, 100.0 * (1.0 - expected_loss)))
+
+
+def required_samples(
+    true_profile: Profile, target_overlap: float
+) -> int:
+    """Smallest n with ``expected_overlap(profile, n) >= target``.
+
+    Closed-form inversion of :func:`expected_overlap`: the loss term
+    scales as 1/sqrt(n).
+    """
+    if not 0.0 < target_overlap < 100.0:
+        raise ValueError("target_overlap must be in (0, 100)")
+    # loss budget per the formula above
+    budget = (100.0 - target_overlap) / 100.0
+    spread = 0.5 * _SQRT_2_OVER_PI * sum(
+        math.sqrt(max(0.0, p * (1.0 - p)))
+        for p in true_profile.normalized().values()
+    )
+    if spread == 0.0:
+        return 1
+    return max(1, math.ceil((spread / budget) ** 2))
+
+
+def recommended_interval(
+    true_profile: Profile,
+    checks_per_run: int,
+    target_overlap: float,
+) -> int:
+    """Sample interval achieving ``target_overlap`` over a run that
+    executes ``checks_per_run`` checks — the planning form of the
+    paper's overhead/accuracy trade-off knob."""
+    needed = required_samples(true_profile, target_overlap)
+    return max(1, checks_per_run // needed)
+
+
+def chi_square_statistic(
+    expected: Profile, observed: Profile
+) -> Tuple[float, int]:
+    """Pearson chi-square of *observed* counts against the *expected*
+    distribution (scaled to the observed total).
+
+    Returns ``(statistic, degrees_of_freedom)``. Keys absent from the
+    expected profile are pooled into a pseudo-key with a half-count
+    floor so the statistic stays finite.
+    """
+    total_obs = observed.total()
+    if total_obs == 0 or expected.total() == 0:
+        return 0.0, 0
+    expected_shares = expected.normalized()
+    statistic = 0.0
+    dof = -1
+    for key, share in expected_shares.items():
+        exp_count = share * total_obs
+        if exp_count <= 0:
+            continue
+        obs_count = observed.count(key)
+        statistic += (obs_count - exp_count) ** 2 / exp_count
+        dof += 1
+    extras = sum(
+        count for key, count in observed.counts.items()
+        if key not in expected_shares
+    )
+    if extras:
+        statistic += (extras - 0.5) ** 2 / 0.5
+        dof += 1
+    return statistic, max(0, dof)
+
+
+def profiles_consistent(
+    expected: Profile,
+    observed: Profile,
+    significance: float = 0.001,
+) -> bool:
+    """True if *observed* is plausibly drawn from *expected*.
+
+    Uses scipy's chi-square survival function when scipy is available;
+    otherwise falls back to the Wilson–Hilferty normal approximation.
+    Tiny observed totals (fewer than 5 expected counts per key on
+    average) return True — too little data to reject anything.
+    """
+    statistic, dof = chi_square_statistic(expected, observed)
+    if dof <= 0:
+        return True
+    if observed.total() < 5 * (dof + 1):
+        return True
+    p_value = _chi2_sf(statistic, dof)
+    return p_value >= significance
+
+
+def _chi2_sf(statistic: float, dof: int) -> float:
+    try:
+        from scipy.stats import chi2
+
+        return float(chi2.sf(statistic, dof))
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        # Wilson–Hilferty: (X/k)^(1/3) ~ N(1 - 2/(9k), 2/(9k))
+        z = ((statistic / dof) ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof)))
+        z /= math.sqrt(2.0 / (9.0 * dof))
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def overlap_confidence_band(
+    true_profile: Profile, num_samples: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """(low, high) band around :func:`expected_overlap` at ~95% (z=1.96).
+
+    The loss is a sum of |normal| terms; we bound its standard
+    deviation by the root-sum-square of the per-key ses.
+    """
+    if num_samples <= 0:
+        return 0.0, 0.0
+    ses = list(standard_errors(true_profile, num_samples).values())
+    center = expected_overlap(true_profile, num_samples)
+    sd = 50.0 * math.sqrt(sum(se * se for se in ses))
+    return (
+        max(0.0, center - z * sd),
+        min(100.0, center + z * sd),
+    )

@@ -1,0 +1,88 @@
+"""Space-budgeted method selection for instrumentation.
+
+Paper §3: "an adaptive system will likely instrument only the hot
+methods ... If space is limited, the number of methods instrumented
+simultaneously can be limited." This helper implements that policy:
+given a hotness estimate and a code-space budget, pick the hottest
+methods whose *duplicated* size fits, for use as the framework's
+``functions=`` argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bytecode.program import Program
+
+
+@dataclass
+class BudgetSelection:
+    """Outcome of :func:`select_functions_within_budget`."""
+
+    selected: List[str]
+    skipped: List[str]
+    budget_instructions: int
+    used_instructions: int
+
+    @property
+    def utilization(self) -> float:
+        if self.budget_instructions == 0:
+            return 0.0
+        return self.used_instructions / self.budget_instructions
+
+
+def select_functions_within_budget(
+    program: Program,
+    hotness: Dict[str, float],
+    budget_instructions: int,
+    min_hotness: float = 0.0,
+) -> BudgetSelection:
+    """Choose the hottest methods whose duplication fits the budget.
+
+    The space cost of instrumenting a method under Full-Duplication is
+    approximately one extra copy of its body, so each candidate charges
+    its instruction count against ``budget_instructions``. Methods are
+    considered hottest-first (deterministic tie-break by name); a
+    method that does not fit is skipped and later, smaller methods may
+    still be selected (greedy knapsack).
+    """
+    if budget_instructions < 0:
+        raise ValueError("budget must be >= 0")
+    candidates = [
+        (share, name)
+        for name, share in hotness.items()
+        if share >= min_hotness and name in program.functions
+    ]
+    candidates.sort(key=lambda item: (-item[0], item[1]))
+    selected: List[str] = []
+    skipped: List[str] = []
+    used = 0
+    for _share, name in candidates:
+        size = program.functions[name].instruction_count()
+        if used + size <= budget_instructions:
+            selected.append(name)
+            used += size
+        else:
+            skipped.append(name)
+    return BudgetSelection(
+        selected=selected,
+        skipped=skipped,
+        budget_instructions=budget_instructions,
+        used_instructions=used,
+    )
+
+
+def hotness_from_samples(
+    program: Program, call_edge_profile, floor: float = 0.0
+) -> Dict[str, float]:
+    """Convenience: method hotness restricted to functions that exist
+    in *program* (sampled callee shares, see
+    :func:`repro.adaptive.hotness.method_hotness`)."""
+    from repro.adaptive.hotness import method_hotness
+
+    return {
+        name: share
+        for name, share in method_hotness(call_edge_profile).items()
+        if name in program.functions and share >= floor
+    }

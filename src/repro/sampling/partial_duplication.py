@@ -1,0 +1,155 @@
+"""Partial-Duplication (paper §3.1): shrink the duplicated code.
+
+Starting from Full-Duplication, remove every *top-node* and
+*bottom-node* from the duplicated code without violating Property 1.
+Both are defined on the duplicated-code DAG (duplicated blocks with the
+redirected backedges excluded):
+
+* **bottom-node** — a non-instrumented duplicated block from which no
+  instrumented block is reachable. Once execution reaches one, no more
+  instrumentation can run before returning to checking code, so it may
+  as well return immediately: every duplicated edge into it is
+  redirected to the corresponding *checking* block.
+* **top-node** — a non-instrumented duplicated block such that no path
+  from a duplicated-code entry point reaches it through an instrumented
+  block (equivalently: it is not instrumented and has no instrumented
+  DAG ancestor). Removing it requires two adjustments (the paper's
+  list): (1) checks in the checking code that branch *to* a removed
+  node are deleted; (2) for every duplicated edge from a removed
+  top-node into a kept block, the corresponding checking-code edge
+  gains a check targeting that kept duplicate.
+
+The static number of checks may grow or shrink; the dynamic number is
+≤ Full-Duplication's, and the instrumentation behaves identically —
+both facts are exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.cfg.basic_block import CheckBranch, Goto
+from repro.cfg.graph import CFG
+from repro.sampling.duplication import (
+    DuplicationResult,
+    dup_dag_edges,
+    full_duplicate,
+)
+
+
+@dataclass
+class PartialDuplicationStats:
+    """What the pruning removed/added (reported by the harness)."""
+
+    top_nodes: int = 0
+    bottom_nodes: int = 0
+    checks_removed: int = 0
+    checks_added: int = 0
+    blocks_before: int = 0
+    blocks_after: int = 0
+
+
+def _instrumented_dup_blocks(result: DuplicationResult) -> Set[int]:
+    return {
+        bid
+        for bid in result.dup_bids
+        if bid in result.cfg.blocks
+        and result.cfg.block(bid).has_instrumentation()
+    }
+
+
+def _reaches_instrumented(
+    nodes: Set[int], edges: List[Tuple[int, int]], instrumented: Set[int]
+) -> Set[int]:
+    """Nodes from which an instrumented node is reachable (incl. self)."""
+    preds: Dict[int, List[int]] = {bid: [] for bid in nodes}
+    for src, dst in edges:
+        preds[dst].append(src)
+    marked = set(instrumented)
+    stack = list(instrumented)
+    while stack:
+        bid = stack.pop()
+        for pred in preds.get(bid, ()):
+            if pred not in marked:
+                marked.add(pred)
+                stack.append(pred)
+    return marked
+
+
+def _has_instrumented_ancestor(
+    nodes: Set[int], edges: List[Tuple[int, int]], instrumented: Set[int]
+) -> Set[int]:
+    """Nodes with an instrumented node on some DAG path above them
+    (incl. instrumented nodes themselves)."""
+    succs: Dict[int, List[int]] = {bid: [] for bid in nodes}
+    for src, dst in edges:
+        succs[src].append(dst)
+    marked = set(instrumented)
+    stack = list(instrumented)
+    while stack:
+        bid = stack.pop()
+        for succ in succs.get(bid, ()):
+            if succ not in marked:
+                marked.add(succ)
+                stack.append(succ)
+    return marked
+
+
+def partial_duplicate(
+    cfg: CFG, yieldpoint_opt: bool = False
+) -> Tuple[DuplicationResult, PartialDuplicationStats]:
+    """Full-Duplication followed by top/bottom-node pruning, in place."""
+    result = full_duplicate(cfg, yieldpoint_opt=yieldpoint_opt)
+    stats = PartialDuplicationStats(blocks_before=len(cfg.blocks))
+
+    dup_nodes = {bid for bid in result.dup_bids if bid in cfg.blocks}
+    edges = dup_dag_edges(result)
+    instrumented = _instrumented_dup_blocks(result)
+
+    reaches = _reaches_instrumented(dup_nodes, edges, instrumented)
+    below = _has_instrumented_ancestor(dup_nodes, edges, instrumented)
+    bottoms = dup_nodes - reaches
+    tops = dup_nodes - below - bottoms  # prefer the bottom rule on overlap
+    stats.bottom_nodes = len(bottoms)
+    stats.top_nodes = len(tops)
+    removed = bottoms | tops
+    if not removed:
+        stats.blocks_after = len(cfg.blocks)
+        return result, stats
+
+    orig_of: Dict[int, int] = {dup: orig for orig, dup in result.dup_map.items()}
+
+    # (1) Kept duplicated block -> removed bottom-node: branch to the
+    # corresponding checking block instead.
+    for src in sorted(dup_nodes - removed):
+        block = cfg.block(src)
+        for dst in block.successors():
+            if dst in bottoms:
+                block.terminator.retarget(dst, orig_of[dst])
+
+    # (2) Checks that branch to a removed node are deleted.
+    for bid in sorted(cfg.blocks):
+        block = cfg.blocks[bid]
+        term = block.terminator
+        if isinstance(term, CheckBranch) and term.taken in removed:
+            block.terminator = Goto(term.fallthrough)
+            stats.checks_removed += 1
+
+    # (3) Removed top-node -> kept duplicated block: the corresponding
+    # checking edge gains a check that can re-enter duplicated code.
+    for src in sorted(tops):
+        block = cfg.block(src)
+        for dst in list(dict.fromkeys(block.successors())):
+            if dst in dup_nodes and dst not in removed:
+                check_src = orig_of[src]
+                check_dst = orig_of[dst]
+                trampoline = cfg.split_edge(check_src, check_dst)
+                trampoline.terminator = CheckBranch(dst, check_dst)
+                result.trampolines.append(trampoline.bid)
+                stats.checks_added += 1
+
+    # Removed nodes are now unreachable (nothing targets them).
+    cfg.remove_unreachable()
+    stats.blocks_after = len(cfg.blocks)
+    return result, stats

@@ -1,0 +1,152 @@
+"""Static and dynamic verification of the framework's invariants.
+
+Property 1 (paper §2): *the number of checks executed in the checking
+code is less than or equal to the number of backedges and method
+entries executed, independent of the instrumentation being performed.*
+
+Static checks (on a transformed function) verify the structure that
+implies Property 1; the dynamic check compares ExecStats counters from
+an actual run. Both are used by the test suite; the harness runs the
+dynamic check on every experiment as a tripwire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.bytecode.function import Function
+from repro.bytecode.opcodes import Op
+from repro.cfg.basic_block import CheckBranch
+from repro.cfg.graph import CFG
+from repro.vm.tracing import ExecStats
+
+
+@dataclass
+class StaticCheckReport:
+    """Result of :func:`verify_check_placement`."""
+
+    ok: bool = True
+    problems: List[str] = field(default_factory=list)
+    checks: int = 0
+    instrumented_checking_blocks: int = 0
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.problems.append(message)
+
+
+def _blocks_reachable_without_taken_checks(cfg: CFG) -> Set[int]:
+    """Blocks reachable from the entry when no check ever fires — by
+    construction, the checking code (plus trampolines)."""
+    seen: Set[int] = set()
+    stack = [cfg.entry]
+    while stack:
+        bid = stack.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        term = cfg.block(bid).terminator
+        if isinstance(term, CheckBranch):
+            stack.append(term.fallthrough)
+        else:
+            stack.extend(term.successors())
+    return seen
+
+
+def checking_code_blocks(fn: Function) -> Set[int]:
+    """Block ids of the checking code of a transformed function."""
+    cfg = CFG.from_function(fn)
+    return _blocks_reachable_without_taken_checks(cfg)
+
+
+def verify_check_placement(fn: Function) -> StaticCheckReport:
+    """Statically verify a Full/Partial-Duplication output function.
+
+    Invariants checked:
+
+    1. The checking code (blocks reachable when no check fires)
+       contains no INSTR/GUARDED_INSTR operations.
+    2. Every check's taken target lies *outside* the checking code
+       (checks jump into duplicated code).
+    3. The duplicated code (everything else) contains no cycles among
+       itself — its backedges must have been redirected to checking
+       code, bounding per-sample execution.
+    """
+    report = StaticCheckReport()
+    cfg = CFG.from_function(fn)
+    checking = _blocks_reachable_without_taken_checks(cfg)
+
+    for bid in sorted(checking):
+        block = cfg.block(bid)
+        if block.has_instrumentation():
+            report.instrumented_checking_blocks += 1
+            report.fail(
+                f"{fn.name}: checking block B{bid} contains instrumentation"
+            )
+        term = block.terminator
+        if isinstance(term, CheckBranch):
+            report.checks += 1
+            if term.taken in checking:
+                report.fail(
+                    f"{fn.name}: check in B{bid} targets checking code "
+                    f"B{term.taken}"
+                )
+
+    dup = set(cfg.blocks) - checking
+    # Cycle check over the duplicated subgraph.
+    succs = {
+        bid: [s for s in cfg.block(bid).successors() if s in dup]
+        for bid in dup
+    }
+    indegree = {bid: 0 for bid in dup}
+    for bid in dup:
+        for succ in succs[bid]:
+            indegree[succ] += 1
+    ready = [bid for bid, deg in indegree.items() if deg == 0]
+    visited = 0
+    while ready:
+        bid = ready.pop()
+        visited += 1
+        for succ in succs[bid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if visited != len(dup):
+        report.fail(f"{fn.name}: duplicated code contains a cycle")
+    return report
+
+
+def property1_dynamic(stats: ExecStats) -> bool:
+    """Dynamic Property 1 over one run's statistics.
+
+    ``checks_executed`` counts only CHECK instructions (checking-code
+    checks); GUARDED_INSTR polls are No-Duplication's and exempt by
+    definition (the paper's §3.2 weakening).
+    """
+    return stats.property1_holds()
+
+
+def property1_vs_baseline(
+    transformed: ExecStats, baseline: ExecStats
+) -> bool:
+    """Cross-run Property 1: checks executed in the transformed run
+    must not exceed the *baseline* run's method entries + backedges.
+
+    This is the paper's statement verbatim (the bound is over the
+    uninstrumented execution). Requires both runs to use the same
+    program input, which holds for our deterministic workloads.
+    """
+    opportunities = (
+        baseline.calls + baseline.threads_spawned + baseline.backward_jumps
+    )
+    return transformed.checks_executed <= opportunities
+
+
+def check_budget(stats: ExecStats) -> str:
+    """Human-readable Property-1 budget line for reports."""
+    return (
+        f"checks={stats.checks_executed} <= entries+backedges="
+        f"{stats.check_opportunities} : "
+        f"{'OK' if stats.property1_holds() else 'VIOLATED'}"
+    )

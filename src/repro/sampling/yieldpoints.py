@@ -1,0 +1,71 @@
+"""Yieldpoint insertion (the Jalapeño thread-scheduling substrate, §4.5).
+
+Jalapeño implements quasi-preemptive threading by placing *yieldpoints*
+— polls of a timer-set threadswitch bit — on every method entry and
+backedge, guaranteeing finite time between scheduler opportunities.
+Our baseline programs get the same treatment, so:
+
+* baseline and instrumented programs pay the same scheduling tax (the
+  paper's overheads are all relative to yieldpoint-bearing code);
+* the Jalapeño-specific optimization (strip yieldpoints from checking
+  code, because the finite sample interval keeps the distance between
+  the duplicated code's surviving yieldpoints finite) is a real,
+  testable scheduling transformation here, not just a cost tweak.
+
+Run :func:`insert_yieldpoints` once on the freshly compiled program;
+the sampling transforms then inherit (and, in Jalapeño mode, strip)
+the yieldpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.cfg.graph import CFG
+from repro.cfg.linearize import linearize
+from repro.cfg.loops import sampling_backedges
+
+
+def insert_yieldpoints_cfg(cfg: CFG) -> int:
+    """Insert YIELDPOINT at the entry and at each backedge source.
+
+    The backedge yieldpoint goes at the *end* of the source block (just
+    before the branch), so after Full-Duplication it travels with the
+    block copy whose backedge transfers back to checking code — i.e. it
+    lands in duplicated code exactly as §4.5 describes.
+
+    Returns the number of yieldpoints inserted. Idempotence is the
+    caller's concern; this function always inserts.
+    """
+    inserted = 0
+    entry = cfg.entry_block()
+    entry.instructions.insert(0, Instruction(Op.YIELDPOINT))
+    inserted += 1
+    for src, _header in dict.fromkeys(sampling_backedges(cfg)):
+        cfg.block(src).instructions.append(Instruction(Op.YIELDPOINT))
+        inserted += 1
+    return inserted
+
+
+def insert_yieldpoints(
+    program: Program, functions: Optional[Iterable[str]] = None
+) -> Program:
+    """Return a copy of *program* with yieldpoints in every function
+    (or the selected ones)."""
+    result = program.copy()
+    names = list(functions) if functions is not None else result.function_names()
+    for name in names:
+        cfg = CFG.from_function(result.function(name))
+        insert_yieldpoints_cfg(cfg)
+        fn = linearize(cfg, notes={"yieldpoints": True})
+        result.replace_function(fn)
+    return result
+
+
+def count_yieldpoints(program: Program) -> int:
+    return sum(
+        fn.count_op(Op.YIELDPOINT) for fn in program.functions.values()
+    )

@@ -1,0 +1,23 @@
+"""The virtual machine: interpreter, cost model, values, threads, stats."""
+
+from repro.vm.cost_model import CostModel, powerpc_ctr_model
+from repro.vm.frame import Frame, GreenThread
+from repro.vm.interpreter import VM, VMResult, run_program
+from repro.vm.tracing import ExecStats
+from repro.vm.values import RArray, RObject, Value, is_reference, truthy
+
+__all__ = [
+    "VM",
+    "VMResult",
+    "run_program",
+    "CostModel",
+    "powerpc_ctr_model",
+    "ExecStats",
+    "Frame",
+    "GreenThread",
+    "RObject",
+    "RArray",
+    "Value",
+    "is_reference",
+    "truthy",
+]

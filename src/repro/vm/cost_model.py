@@ -1,0 +1,169 @@
+"""Deterministic cycle cost model.
+
+This is the substitution for the paper's wall-clock measurements (see
+DESIGN.md §2): every executed instruction is charged a fixed cycle cost,
+so "running time" is a deterministic integer and overhead percentages
+are exact ratios of extra work — the same arithmetic that drives the
+paper's numbers, minus measurement noise.
+
+The default constants model the paper's own itemization on a simple
+in-order machine:
+
+* a counter-based check is "a memory load, compare, branch, decrement,
+  and store" (§4.3) → 5 cycles;
+* a Jalapeño yieldpoint is a bit test and conditional branch (plus its
+  share of keeping the bit warm) → 4 cycles, so replacing a yieldpoint
+  with a check (the Jalapeño-specific optimization, §4.5) costs +1 where
+  adding a check beside the yieldpoint costs +5;
+* a taken sample check pays an instruction-cache transfer penalty for
+  jumping into cold duplicated code (§4.4 note 6);
+* ``IO`` models long-latency operations (the paper's §2.1 discussion of
+  timer-interrupt mis-attribution).
+
+Costs are plain attributes so experiments can build variant models
+(``CostModel(check_cost=1)`` models the PowerPC decrement-and-check
+single instruction mentioned in §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bytecode.opcodes import Op
+
+#: Per-opcode base costs. INSTR/GUARDED_INSTR/CHECK/YIELDPOINT/IO get
+#: their cost from dedicated CostModel attributes, not this table.
+DEFAULT_OP_COSTS: Dict[Op, int] = {
+    Op.PUSH: 1,
+    Op.POP: 1,
+    Op.DUP: 1,
+    Op.SWAP: 1,
+    Op.LOAD: 1,
+    Op.STORE: 1,
+    Op.ADD: 1,
+    Op.SUB: 1,
+    Op.MUL: 3,
+    Op.DIV: 20,
+    Op.MOD: 20,
+    Op.AND: 1,
+    Op.OR: 1,
+    Op.XOR: 1,
+    Op.SHL: 1,
+    Op.SHR: 1,
+    Op.NEG: 1,
+    Op.NOT: 1,
+    Op.LT: 1,
+    Op.LE: 1,
+    Op.GT: 1,
+    Op.GE: 1,
+    Op.EQ: 1,
+    Op.NE: 1,
+    Op.JUMP: 1,
+    Op.JZ: 1,
+    Op.JNZ: 1,
+    Op.CALL: 6,
+    Op.RETURN: 4,
+    Op.HALT: 1,
+    Op.NEW: 12,
+    Op.GETFIELD: 2,
+    Op.PUTFIELD: 2,
+    Op.NEWARRAY: 12,
+    Op.ALOAD: 2,
+    Op.ASTORE: 2,
+    Op.ALEN: 1,
+    Op.PRINT: 8,
+    Op.SPAWN: 30,
+    Op.NOP: 1,
+    # Placeholders; overridden by CostModel attributes below.
+    Op.IO: 0,
+    Op.YIELDPOINT: 0,
+    Op.CHECK: 0,
+    Op.INSTR: 0,
+    Op.GUARDED_INSTR: 0,
+}
+
+
+class CostModel:
+    """Cycle costs for the simulated machine.
+
+    Attributes:
+        check_cost: cycles per executed sample check (taken or not).
+        yieldpoint_cost: cycles per executed yieldpoint poll.
+        sample_transfer_penalty: extra cycles when a check is taken
+            (jump into cold duplicated code; models the icache miss the
+            paper cites for why interval-1 sampling is *slower* than
+            exhaustive instrumentation).
+        io_base_cost: cycles per unit of an IO instruction's latency
+            class (IO arg k costs ``k * io_base_cost``).
+        thread_switch_cost: cycles charged when the scheduler actually
+            switches threads at a yieldpoint.
+    """
+
+    def __init__(
+        self,
+        op_costs: Dict[Op, int] = None,
+        check_cost: int = 5,
+        yieldpoint_cost: int = 4,
+        sample_transfer_penalty: int = 20,
+        io_base_cost: int = 400,
+        thread_switch_cost: int = 50,
+        gc_every_allocs: int = 64,
+        gc_pause_cycles: int = 2500,
+    ):
+        merged = dict(DEFAULT_OP_COSTS)
+        if op_costs:
+            merged.update(op_costs)
+        self.op_costs = merged
+        self.check_cost = check_cost
+        self.yieldpoint_cost = yieldpoint_cost
+        self.sample_transfer_penalty = sample_transfer_penalty
+        self.io_base_cost = io_base_cost
+        self.thread_switch_cost = thread_switch_cost
+        # Deterministic GC model: every Nth allocation (NEW/NEWARRAY)
+        # charges a collection pause. Pauses depend only on allocation
+        # counts, so baseline and transformed runs pause identically;
+        # their role is to give timer-based triggers a realistic
+        # long-latency event to mis-attribute samples across (§4.6).
+        self.gc_every_allocs = gc_every_allocs
+        self.gc_pause_cycles = gc_pause_cycles
+
+    def cost_table(self) -> List[int]:
+        """Dense list indexed by opcode int, for the interpreter's hot
+        path. Special-cased ops get their attribute cost baked in
+        (extras like the transfer penalty are added by the interpreter).
+        """
+        size = max(int(op) for op in Op) + 1
+        table = [0] * size
+        for op, cost in self.op_costs.items():
+            table[int(op)] = cost
+        table[int(Op.CHECK)] = self.check_cost
+        table[int(Op.GUARDED_INSTR)] = self.check_cost
+        table[int(Op.YIELDPOINT)] = self.yieldpoint_cost
+        # IO and INSTR costs are data-dependent; interpreter adds them.
+        table[int(Op.IO)] = 0
+        table[int(Op.INSTR)] = 0
+        return table
+
+    def with_overrides(self, **kwargs: int) -> "CostModel":
+        """A copy of this model with the given attributes replaced."""
+        model = CostModel(
+            op_costs=dict(self.op_costs),
+            check_cost=self.check_cost,
+            yieldpoint_cost=self.yieldpoint_cost,
+            sample_transfer_penalty=self.sample_transfer_penalty,
+            io_base_cost=self.io_base_cost,
+            thread_switch_cost=self.thread_switch_cost,
+            gc_every_allocs=self.gc_every_allocs,
+            gc_pause_cycles=self.gc_pause_cycles,
+        )
+        for key, value in kwargs.items():
+            if not hasattr(model, key):
+                raise AttributeError(f"CostModel has no attribute {key!r}")
+            setattr(model, key, value)
+        return model
+
+
+#: Model for a machine with a fused decrement-and-check instruction
+#: (the PowerPC count-register trick from §2.2).
+def powerpc_ctr_model() -> CostModel:
+    return CostModel(check_cost=1)

@@ -1,0 +1,547 @@
+"""The bytecode interpreter.
+
+Executes a verified :class:`Program` under a :class:`CostModel`,
+accumulating deterministic cycle counts (:class:`ExecStats`). The
+sampling framework's pseudo-ops are first-class here:
+
+* ``CHECK target`` — polls the VM's trigger; on fire, control transfers
+  to *target* (duplicated code) and the sample-transfer penalty is
+  charged.
+* ``GUARDED_INSTR action`` — polls the trigger; on fire, the
+  instrumentation action runs (No-Duplication's guarded operations).
+* ``INSTR action`` — always runs the action (exhaustive instrumentation
+  and duplicated-code bodies).
+* ``YIELDPOINT`` — green-thread scheduling poll; a virtual timer sets
+  the threadswitch bit every ``timer_period`` cycles.
+
+Dispatch is a plain if/elif ladder over opcode ints ordered by dynamic
+frequency — the pragmatic fast path for a pure-Python interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.errors import FuelExhaustedError, StackOverflowError, VMTrap
+from repro.sampling.triggers import NeverTrigger, Trigger
+from repro.vm.cost_model import CostModel
+from repro.vm.frame import Frame, GreenThread
+from repro.vm.tracing import ExecStats
+from repro.vm.values import RArray, RObject, Value
+
+# Opcode ints hoisted for the dispatch ladder.
+_PUSH = int(Op.PUSH)
+_POP = int(Op.POP)
+_DUP = int(Op.DUP)
+_SWAP = int(Op.SWAP)
+_LOAD = int(Op.LOAD)
+_STORE = int(Op.STORE)
+_ADD = int(Op.ADD)
+_SUB = int(Op.SUB)
+_MUL = int(Op.MUL)
+_DIV = int(Op.DIV)
+_MOD = int(Op.MOD)
+_AND = int(Op.AND)
+_OR = int(Op.OR)
+_XOR = int(Op.XOR)
+_SHL = int(Op.SHL)
+_SHR = int(Op.SHR)
+_NEG = int(Op.NEG)
+_NOT = int(Op.NOT)
+_LT = int(Op.LT)
+_LE = int(Op.LE)
+_GT = int(Op.GT)
+_GE = int(Op.GE)
+_EQ = int(Op.EQ)
+_NE = int(Op.NE)
+_JUMP = int(Op.JUMP)
+_JZ = int(Op.JZ)
+_JNZ = int(Op.JNZ)
+_CALL = int(Op.CALL)
+_RETURN = int(Op.RETURN)
+_HALT = int(Op.HALT)
+_NEW = int(Op.NEW)
+_GETFIELD = int(Op.GETFIELD)
+_PUTFIELD = int(Op.PUTFIELD)
+_NEWARRAY = int(Op.NEWARRAY)
+_ALOAD = int(Op.ALOAD)
+_ASTORE = int(Op.ASTORE)
+_ALEN = int(Op.ALEN)
+_PRINT = int(Op.PRINT)
+_IO = int(Op.IO)
+_SPAWN = int(Op.SPAWN)
+_NOP = int(Op.NOP)
+_YIELDPOINT = int(Op.YIELDPOINT)
+_CHECK = int(Op.CHECK)
+_INSTR = int(Op.INSTR)
+_GUARDED_INSTR = int(Op.GUARDED_INSTR)
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+@dataclass
+class VMResult:
+    """Outcome of one VM run."""
+
+    value: Value
+    output: List[Value] = field(default_factory=list)
+    stats: ExecStats = field(default_factory=ExecStats)
+    trigger: Optional[Trigger] = None
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+class VM:
+    """A virtual machine instance (one per run; holds all mutable state).
+
+    Args:
+        program: verified program to execute.
+        cost_model: cycle costs (default :class:`CostModel`).
+        trigger: sample trigger polled by CHECK/GUARDED_INSTR
+            (default :class:`NeverTrigger` — checks cost cycles but never
+            fire).
+        timer_period: simulated cycles between virtual timer interrupts
+            (sets the threadswitch bit and notifies the trigger).
+        fuel: maximum instructions to execute before raising
+            :class:`FuelExhaustedError` (infinite-loop guard).
+        max_stack_depth: frame-stack limit per thread.
+        record_opcode_counts: collect per-opcode execution counts
+            (slower; used by calibration tooling).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cost_model: Optional[CostModel] = None,
+        trigger: Optional[Trigger] = None,
+        timer_period: int = 100_000,
+        fuel: int = 500_000_000,
+        max_stack_depth: int = 4000,
+        record_opcode_counts: bool = False,
+    ):
+        self.program = program
+        self.cost_model = cost_model or CostModel()
+        self.trigger = trigger or NeverTrigger()
+        self.timer_period = timer_period
+        self.fuel = fuel
+        self.max_stack_depth = max_stack_depth
+        self.stats = ExecStats(record_opcode_counts)
+        self.output: List[Value] = []
+        self.threads: List[GreenThread] = []
+        self.current_thread: Optional[GreenThread] = None
+        self._next_tid = 0
+        self._threadswitch_bit = False
+        self._alloc_count = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self) -> VMResult:
+        """Execute the program's entry function to completion.
+
+        Spawned threads are run to completion as well (the scheduler
+        round-robins at yieldpoints); the result is the entry thread's
+        return value.
+        """
+        entry = self.program.entry_function()
+        # The entry thread counts as one method entry (threads_spawned
+        # feeds the Property-1 opportunity count).
+        main_thread = self._spawn_thread(entry, [])
+        index = 0
+        while True:
+            runnable = [t for t in self.threads if not t.done]
+            if not runnable:
+                break
+            index %= len(runnable)
+            thread = runnable[index]
+            switched = self._run_thread(thread)
+            if thread.done or not switched:
+                # Thread finished (or ran dry): move on without charging
+                # a switch.
+                index += 1
+            else:
+                self.stats.thread_switches += 1
+                self.stats.cycles += self.cost_model.thread_switch_cost
+                index += 1
+        return VMResult(
+            value=main_thread.result if main_thread.result is not None else 0,
+            output=self.output,
+            stats=self.stats,
+            trigger=self.trigger,
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _spawn_thread(self, fn, args: List[Value]) -> GreenThread:
+        thread = GreenThread(self._next_tid, fn, args)
+        self._next_tid += 1
+        self.threads.append(thread)
+        self.stats.threads_spawned += 1
+        return thread
+
+    def _io_value(self, thread: GreenThread) -> int:
+        thread.io_state = (thread.io_state * _LCG_A + _LCG_C) & _LCG_MASK
+        return (thread.io_state >> 33) & 0xFFFF
+
+    def _run_thread(self, thread: GreenThread) -> bool:
+        """Run *thread* until it finishes or yields to the scheduler.
+
+        Returns True if the thread yielded (a switch should be charged),
+        False if it finished.
+        """
+        self.current_thread = thread
+        self.trigger.notify_thread(thread.tid)
+        program_functions = self.program.functions
+        classes = self.program.classes
+        cost = self.cost_model.cost_table()
+        io_base = self.cost_model.io_base_cost
+        penalty = self.cost_model.sample_transfer_penalty
+        gc_every = self.cost_model.gc_every_allocs
+        gc_pause = self.cost_model.gc_pause_cycles
+        trigger = self.trigger
+        stats = self.stats
+        output = self.output
+        fuel = self.fuel
+        timer_period = self.timer_period
+        next_tick = (stats.cycles // timer_period + 1) * timer_period
+        opcode_counts = stats.opcode_counts
+
+        frames = thread.frames
+        frame = frames[-1]
+        code = frame.function.code
+        pc = frame.pc
+        stack = frame.stack
+        locals_ = frame.locals
+
+        cycles = stats.cycles
+        executed = stats.instructions
+
+        while True:
+            if executed >= fuel:
+                stats.cycles = cycles
+                stats.instructions = executed
+                raise FuelExhaustedError(
+                    f"instruction budget of {fuel} exhausted in "
+                    f"{frame.function.name}@{pc}"
+                )
+            ins = code[pc]
+            op = int(ins.op)
+            executed += 1
+            cycles += cost[op]
+            if cycles >= next_tick:
+                while cycles >= next_tick:
+                    next_tick += timer_period
+                    stats.timer_ticks += 1
+                    trigger.notify_timer_tick()
+                self._threadswitch_bit = True
+            if opcode_counts is not None:
+                opcode_counts[op] = opcode_counts.get(op, 0) + 1
+            pc += 1
+
+            if op == _LOAD:
+                stack.append(locals_[ins.arg])
+            elif op == _PUSH:
+                stack.append(ins.arg)
+            elif op == _STORE:
+                locals_[ins.arg] = stack.pop()
+            elif op == _JUMP:
+                target = ins.arg
+                if target < pc:
+                    stats.backward_jumps += 1
+                pc = target
+            elif op == _JZ:
+                if stack.pop() == 0:
+                    target = ins.arg
+                    if target < pc:
+                        stats.backward_jumps += 1
+                    pc = target
+            elif op == _JNZ:
+                if stack.pop() != 0:
+                    target = ins.arg
+                    if target < pc:
+                        stats.backward_jumps += 1
+                    pc = target
+            elif op == _ADD:
+                b = stack.pop()
+                stack[-1] = stack[-1] + b
+            elif op == _SUB:
+                b = stack.pop()
+                stack[-1] = stack[-1] - b
+            elif op == _LT:
+                b = stack.pop()
+                stack[-1] = 1 if stack[-1] < b else 0
+            elif op == _LE:
+                b = stack.pop()
+                stack[-1] = 1 if stack[-1] <= b else 0
+            elif op == _GT:
+                b = stack.pop()
+                stack[-1] = 1 if stack[-1] > b else 0
+            elif op == _GE:
+                b = stack.pop()
+                stack[-1] = 1 if stack[-1] >= b else 0
+            elif op == _EQ:
+                b = stack.pop()
+                stack[-1] = 1 if stack[-1] == b else 0
+            elif op == _NE:
+                b = stack.pop()
+                stack[-1] = 1 if stack[-1] != b else 0
+            elif op == _MUL:
+                b = stack.pop()
+                stack[-1] = stack[-1] * b
+            elif op == _DIV:
+                b = stack.pop()
+                if b == 0:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        "division by zero", frame.function.name, pc - 1
+                    )
+                stack[-1] = stack[-1] // b
+            elif op == _MOD:
+                b = stack.pop()
+                if b == 0:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap("modulo by zero", frame.function.name, pc - 1)
+                stack[-1] = stack[-1] % b
+            elif op == _AND:
+                b = stack.pop()
+                stack[-1] = stack[-1] & b
+            elif op == _OR:
+                b = stack.pop()
+                stack[-1] = stack[-1] | b
+            elif op == _XOR:
+                b = stack.pop()
+                stack[-1] = stack[-1] ^ b
+            elif op == _SHL:
+                b = stack.pop()
+                stack[-1] = stack[-1] << (b & 63)
+            elif op == _SHR:
+                b = stack.pop()
+                stack[-1] = stack[-1] >> (b & 63)
+            elif op == _NEG:
+                stack[-1] = -stack[-1]
+            elif op == _NOT:
+                stack[-1] = 1 if stack[-1] == 0 else 0
+            elif op == _CHECK:
+                stats.checks_executed += 1
+                if trigger.poll():
+                    stats.checks_taken += 1
+                    cycles += penalty
+                    pc = ins.arg
+            elif op == _YIELDPOINT:
+                stats.yieldpoints_executed += 1
+                if self._threadswitch_bit:
+                    self._threadswitch_bit = False
+                    if any(
+                        t is not thread and not t.done for t in self.threads
+                    ):
+                        frame.pc = pc
+                        stats.cycles = cycles
+                        stats.instructions = executed
+                        return True
+            elif op == _INSTR:
+                action = ins.arg
+                cycles += action.cost
+                stats.instr_ops_executed += 1
+                frame.pc = pc
+                action.execute(self, frame)
+            elif op == _GUARDED_INSTR:
+                stats.guarded_checks_executed += 1
+                if trigger.poll():
+                    stats.guarded_checks_taken += 1
+                    action = ins.arg
+                    cycles += action.cost
+                    stats.instr_ops_executed += 1
+                    frame.pc = pc
+                    action.execute(self, frame)
+            elif op == _CALL:
+                callee = program_functions[ins.arg]
+                stats.calls += 1
+                if len(frames) >= self.max_stack_depth:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise StackOverflowError(
+                        f"call depth {len(frames)} in {callee.name}"
+                    )
+                nargs = callee.num_params
+                if nargs:
+                    args = stack[-nargs:]
+                    del stack[-nargs:]
+                else:
+                    args = []
+                frame.pc = pc
+                frame = Frame(callee, args)
+                frames.append(frame)
+                code = callee.code
+                pc = 0
+                stack = frame.stack
+                locals_ = frame.locals
+            elif op == _RETURN:
+                stats.returns += 1
+                result = stack.pop()
+                frames.pop()
+                if not frames:
+                    thread.done = True
+                    thread.result = result
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    return False
+                frame = frames[-1]
+                code = frame.function.code
+                pc = frame.pc
+                stack = frame.stack
+                locals_ = frame.locals
+                stack.append(result)
+            elif op == _GETFIELD:
+                ref = stack[-1]
+                if not isinstance(ref, RObject):
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"GETFIELD on non-object {ref!r}",
+                        frame.function.name,
+                        pc - 1,
+                    )
+                stack[-1] = ref.slots[ref.klass.slot_of(ins.arg[1])]
+            elif op == _PUTFIELD:
+                value = stack.pop()
+                ref = stack.pop()
+                if not isinstance(ref, RObject):
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"PUTFIELD on non-object {ref!r}",
+                        frame.function.name,
+                        pc - 1,
+                    )
+                ref.slots[ref.klass.slot_of(ins.arg[1])] = value
+            elif op == _NEW:
+                self._alloc_count += 1
+                if self._alloc_count % gc_every == 0:
+                    cycles += gc_pause
+                    stats.gc_pauses += 1
+                stack.append(RObject(classes[ins.arg]))
+            elif op == _NEWARRAY:
+                length = stack.pop()
+                if not isinstance(length, int) or length < 0:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"bad array length {length!r}",
+                        frame.function.name,
+                        pc - 1,
+                    )
+                self._alloc_count += 1
+                if self._alloc_count % gc_every == 0:
+                    cycles += gc_pause
+                    stats.gc_pauses += 1
+                stack.append(RArray(length))
+            elif op == _ALOAD:
+                idx = stack.pop()
+                ref = stack[-1]
+                if not isinstance(ref, RArray):
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"ALOAD on non-array {ref!r}",
+                        frame.function.name,
+                        pc - 1,
+                    )
+                try:
+                    stack[-1] = ref.slots[idx]
+                except IndexError:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"array index {idx} out of range [0, {len(ref)})",
+                        frame.function.name,
+                        pc - 1,
+                    ) from None
+            elif op == _ASTORE:
+                value = stack.pop()
+                idx = stack.pop()
+                ref = stack.pop()
+                if not isinstance(ref, RArray):
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"ASTORE on non-array {ref!r}",
+                        frame.function.name,
+                        pc - 1,
+                    )
+                try:
+                    ref.slots[idx] = value
+                except IndexError:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"array index {idx} out of range [0, {len(ref)})",
+                        frame.function.name,
+                        pc - 1,
+                    ) from None
+            elif op == _ALEN:
+                ref = stack[-1]
+                if not isinstance(ref, RArray):
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"ALEN on non-array {ref!r}",
+                        frame.function.name,
+                        pc - 1,
+                    )
+                stack[-1] = len(ref)
+            elif op == _DUP:
+                stack.append(stack[-1])
+            elif op == _POP:
+                stack.pop()
+            elif op == _SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif op == _PRINT:
+                output.append(stack.pop())
+            elif op == _IO:
+                cycles += io_base * ins.arg
+                stats.io_ops += 1
+                stack.append(self._io_value(thread))
+            elif op == _SPAWN:
+                callee = program_functions[ins.arg]
+                nargs = callee.num_params
+                if nargs:
+                    args = stack[-nargs:]
+                    del stack[-nargs:]
+                else:
+                    args = []
+                child = self._spawn_thread(callee, args)
+                stack.append(child.tid)
+            elif op == _NOP:
+                pass
+            elif op == _HALT:
+                thread.done = True
+                thread.result = 0
+                stats.cycles = cycles
+                stats.instructions = executed
+                return False
+            else:
+                stats.cycles = cycles
+                stats.instructions = executed
+                raise VMTrap(
+                    f"unimplemented opcode {ins.op.name}",
+                    frame.function.name,
+                    pc - 1,
+                )
+
+
+def run_program(
+    program: Program,
+    cost_model: Optional[CostModel] = None,
+    trigger: Optional[Trigger] = None,
+    **kwargs,
+) -> VMResult:
+    """Convenience wrapper: build a VM and run it."""
+    return VM(program, cost_model=cost_model, trigger=trigger, **kwargs).run()

@@ -1,0 +1,125 @@
+"""Execution statistics collected by the interpreter.
+
+The harness reads these to compute overhead breakdowns (Table 2's
+backedge/entry columns), to verify Property 1 dynamically, and to report
+sample counts (Table 4's "Num Samples" column).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bytecode.opcodes import Op
+
+
+class ExecStats:
+    """Counters for one VM run. All values are exact and deterministic."""
+
+    __slots__ = (
+        "instructions",
+        "cycles",
+        "calls",
+        "returns",
+        "backward_jumps",
+        "checks_executed",
+        "checks_taken",
+        "guarded_checks_executed",
+        "guarded_checks_taken",
+        "instr_ops_executed",
+        "yieldpoints_executed",
+        "thread_switches",
+        "threads_spawned",
+        "io_ops",
+        "gc_pauses",
+        "timer_ticks",
+        "opcode_counts",
+    )
+
+    def __init__(self, record_opcode_counts: bool = False):
+        self.instructions = 0
+        self.cycles = 0
+        self.calls = 0
+        self.returns = 0
+        self.backward_jumps = 0
+        self.checks_executed = 0
+        self.checks_taken = 0
+        self.guarded_checks_executed = 0
+        self.guarded_checks_taken = 0
+        self.instr_ops_executed = 0
+        self.yieldpoints_executed = 0
+        self.thread_switches = 0
+        self.threads_spawned = 0
+        self.io_ops = 0
+        self.gc_pauses = 0
+        self.timer_ticks = 0
+        self.opcode_counts: Optional[Dict[int, int]] = (
+            {} if record_opcode_counts else None
+        )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def samples_taken(self) -> int:
+        """Samples that transferred into duplicated code plus guarded
+        instrumentation firings (the paper's 'Num Samples')."""
+        return self.checks_taken + self.guarded_checks_taken
+
+    @property
+    def check_opportunities(self) -> int:
+        """Method entries + backedge executions: the Property-1 bound on
+        how many checks a conforming transform may execute.
+
+        Thread entry functions count as entered once each. Taken checks
+        are added back because a fired backedge check *replaces* the
+        backward jump it sampled (control jumps forward into duplicated
+        code instead), so the raw backward-jump counter undercounts the
+        original program's backedge traversals by exactly the number of
+        taken checks. This same-run bound therefore matches the paper's
+        definition, which is stated over the uninstrumented execution;
+        :func:`repro.sampling.properties.property1_vs_baseline` gives
+        the cross-run variant with no adjustment.
+        """
+        return (
+            self.calls
+            + self.threads_spawned
+            + self.backward_jumps
+            + self.checks_taken
+        )
+
+    def property1_holds(self) -> bool:
+        """Dynamic Property 1: checks executed <= entries + backedges."""
+        return self.checks_executed <= self.check_opportunities
+
+    def opcode_count(self, op: Op) -> int:
+        if self.opcode_counts is None:
+            raise ValueError(
+                "opcode counts were not recorded; construct the VM with "
+                "record_opcode_counts=True"
+            )
+        return self.opcode_counts.get(int(op), 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "calls": self.calls,
+            "returns": self.returns,
+            "backward_jumps": self.backward_jumps,
+            "checks_executed": self.checks_executed,
+            "checks_taken": self.checks_taken,
+            "guarded_checks_executed": self.guarded_checks_executed,
+            "guarded_checks_taken": self.guarded_checks_taken,
+            "instr_ops_executed": self.instr_ops_executed,
+            "yieldpoints_executed": self.yieldpoints_executed,
+            "thread_switches": self.thread_switches,
+            "threads_spawned": self.threads_spawned,
+            "io_ops": self.io_ops,
+            "gc_pauses": self.gc_pauses,
+            "timer_ticks": self.timer_ticks,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExecStats instrs={self.instructions} cycles={self.cycles} "
+            f"checks={self.checks_executed} samples={self.samples_taken}>"
+        )

@@ -1,0 +1,64 @@
+"""Runtime value model: integers plus heap references.
+
+The VM is untyped at the instruction level — stack slots and locals hold
+either Python ints or references (:class:`RObject` / :class:`RArray`).
+Type confusion (e.g. GETFIELD on an int) raises ``VMTrap`` at the site,
+mirroring how a real VM's verifier+runtime split works: our bytecode
+verifier checks shape, the runtime checks reference kinds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.bytecode.klass import Klass
+
+
+class RObject:
+    """A heap object: one integer/reference slot per declared field."""
+
+    __slots__ = ("klass", "slots")
+
+    def __init__(self, klass: Klass):
+        self.klass = klass
+        self.slots: List["Value"] = [0] * klass.num_fields()
+
+    def get(self, slot: int) -> "Value":
+        return self.slots[slot]
+
+    def set(self, slot: int, value: "Value") -> None:
+        self.slots[slot] = value
+
+    def __repr__(self) -> str:
+        return f"<{self.klass.name} {self.slots!r}>"
+
+
+class RArray:
+    """A fixed-length heap array of ints/references."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self, length: int):
+        self.slots: List["Value"] = [0] * length
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __repr__(self) -> str:
+        preview = self.slots[:8]
+        suffix = "..." if len(self.slots) > 8 else ""
+        return f"<array[{len(self.slots)}] {preview!r}{suffix}>"
+
+
+Value = Union[int, RObject, RArray]
+
+
+def is_reference(value: Value) -> bool:
+    return isinstance(value, (RObject, RArray))
+
+
+def truthy(value: Value) -> bool:
+    """MiniJ truth: 0 is false, everything else (including refs) true."""
+    if isinstance(value, int):
+        return value != 0
+    return True

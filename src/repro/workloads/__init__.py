@@ -1,0 +1,17 @@
+"""The ten-workload benchmark suite (paper benchmark analogs)."""
+
+from repro.workloads.suite import (
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "register",
+    "get_workload",
+    "workload_names",
+    "all_workloads",
+]

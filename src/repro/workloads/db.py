@@ -1,0 +1,140 @@
+"""``db`` — analog of SPECjvm98 _209_db (in-memory database).
+
+Character: the paper's *lowest* instrumentation overheads (8.3%
+call-edge, 7.7% field-access) — _209_db's time goes into bulk data
+operations whose per-event cost dwarfs the instrumentation. The analog
+runs index lookups, a shell sort, and range scans over a record table,
+with a simulated disk read (``io``) per batch so total cycles are
+dominated by long-latency operations, suppressing every *relative*
+overhead exactly as in the paper's row.
+"""
+
+from repro.workloads.suite import Workload, register
+
+SOURCE = """
+// Record table: parallel arrays (key, balance); batched "disk" loads.
+
+class Table {
+    field tqueries; field thits; field tscans; field tcommits;
+    field tdepth; field tsplits; field tmerges; field tfill;
+}
+
+func rebalanceStats(table, keys, n) {
+    // index maintenance after each batch: pure in-memory bookkeeping
+    // with dense field traffic and no disk I/O (timer ticks land in
+    // the io() calls instead, under-sampling these accesses)
+    for (var i = 1; i < n; i = i + 1) {
+        if (keys[i] < keys[i - 1]) {
+            table.tsplits = table.tsplits + 1;
+        } else {
+            table.tmerges = table.tmerges + 1;
+        }
+        table.tfill = (table.tfill + keys[i] % 16) % 1000003;
+    }
+    table.tdepth = table.tdepth + 1;
+    return table.tfill;
+}
+
+func shellSort(keys, vals, n) {
+    var gap = n / 2;
+    while (gap > 0) {
+        for (var i = gap; i < n; i = i + 1) {
+            var k = keys[i];
+            var v = vals[i];
+            var j = i;
+            while (j >= gap && keys[j - gap] > k) {
+                keys[j] = keys[j - gap];
+                vals[j] = vals[j - gap];
+                j = j - gap;
+            }
+            keys[j] = k;
+            vals[j] = v;
+        }
+        gap = gap / 2;
+    }
+    return n;
+}
+
+func binarySearch(keys, n, target) {
+    var lo = 0;
+    var hi = n - 1;
+    while (lo <= hi) {
+        var mid = (lo + hi) / 2;
+        if (keys[mid] == target) {
+            return mid;
+        }
+        if (keys[mid] < target) {
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return 0 - 1;
+}
+
+func rangeSum(vals, lo, hi) {
+    var total = 0;
+    for (var i = lo; i <= hi; i = i + 1) {
+        total = total + vals[i];
+    }
+    return total;
+}
+
+func main() {
+    var n = 40 * __SCALE__;
+    var keys = newarray(n);
+    var vals = newarray(n);
+    var table = new Table;
+    var checksum = 0;
+    var batches = 5;
+    for (var b = 0; b < batches; b = b + 1) {
+        // load a batch from "disk"
+        var seed = io(2) + b * 7919;
+        for (var i = 0; i < n; i = i + 1) {
+            seed = (seed * 69069 + 1) % 2147483648;
+            keys[i] = (seed >> 12) % (4 * n);
+            vals[i] = (seed >> 5) % 1000;
+        }
+        shellSort(keys, vals, n);
+        // point queries
+        for (var q = 0; q < 12; q = q + 1) {
+            table.tqueries = table.tqueries + 1;
+            var idx = binarySearch(keys, n, (q * 37) % (4 * n));
+            if (idx >= 0) {
+                table.thits = table.thits + 1;
+                checksum = (checksum + vals[idx]) % 1000000007;
+            } else {
+                checksum = (checksum + 1) % 1000000007;
+            }
+            if (q % 3 == 0) {
+                // write-back of the touched page (long latency; the
+                // code that *follows* is the field-light probe loop)
+                checksum = (checksum + io(1) % 7) % 1000000007;
+            }
+        }
+        // index maintenance (field-heavy, far from any I/O)
+        checksum = (checksum + rebalanceStats(table, keys, n / 2)) % 1000000007;
+        // range scan
+        table.tscans = table.tscans + 1;
+        checksum = (checksum + rangeSum(vals, n / 4, (3 * n) / 4)) % 1000000007;
+        // commit to "disk"
+        var ack = io(1);
+        table.tcommits = table.tcommits + 1;
+        checksum = (checksum + ack % 97) % 1000000007;
+    }
+    checksum = (checksum + table.tqueries + table.thits * 3
+                + table.tscans * 5 + table.tcommits * 7
+                + table.tsplits + table.tmerges + table.tdepth) % 1000000007;
+    print(checksum);
+    return checksum;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="db",
+        paper_name="_209_db",
+        description="record sort/search with simulated disk I/O",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,230 @@
+"""``javac`` — analog of SPECjvm98 _213_javac (the JDK 1.0.2 compiler).
+
+Character: a compiler compiling source — many small methods (lexing,
+parsing, tree walking, emission), object allocation with field traffic,
+and a *skewed* call-edge profile: a handful of hot scanner/parser edges
+dominate, with a long tail. This workload feeds Figure 7 (the paper
+plots javac's call-edge sample-percentages; theirs overlaps 93.8% at
+interval 1000).
+
+The analog compiles a stream of arithmetic expressions: scanner over a
+character-code array, recursive-descent parser building heap AST nodes,
+a constant-folding pass, and bytecode-ish emission into an array.
+"""
+
+from repro.workloads.suite import Workload, register
+
+SOURCE = """
+class Node { field ntag; field nval; field nleft; field nright; }
+class Scanner { field spos; field stok; field stokval; field ssrc; field slen; }
+
+// token kinds: 0 eof, 1 int, 2 plus, 3 minus, 4 star, 5 slash, 6 lpar, 7 rpar
+// char codes: 0..9 digits, 10 '+', 11 '-', 12 '*', 13 '/', 14 '(', 15 ')'
+
+func isDigit(c) { return c >= 0 && c <= 9; }
+
+func scanNext(s) {
+    var src = s.ssrc;
+    var pos = s.spos;
+    if (pos >= s.slen) {
+        s.stok = 0;
+        return 0;
+    }
+    var c = src[pos];
+    if (isDigit(c)) {
+        var v = 0;
+        while (pos < s.slen && isDigit(src[pos])) {
+            v = v * 10 + src[pos];
+            pos = pos + 1;
+        }
+        s.spos = pos;
+        s.stok = 1;
+        s.stokval = v;
+        return 1;
+    }
+    s.spos = pos + 1;
+    if (c == 10) { s.stok = 2; return 2; }
+    if (c == 11) { s.stok = 3; return 3; }
+    if (c == 12) { s.stok = 4; return 4; }
+    if (c == 13) { s.stok = 5; return 5; }
+    if (c == 14) { s.stok = 6; return 6; }
+    s.stok = 7;
+    return 7;
+}
+
+func newLeaf(v) {
+    var n = new Node;
+    n.ntag = 1;
+    n.nval = v;
+    return n;
+}
+
+func newBinop(tag, l, r) {
+    var n = new Node;
+    n.ntag = tag;
+    n.nleft = l;
+    n.nright = r;
+    return n;
+}
+
+func parsePrimary(s) {
+    if (s.stok == 6) {
+        scanNext(s);
+        var inner = parseExpr(s);
+        scanNext(s); // consume ')'
+        return inner;
+    }
+    var leaf = newLeaf(s.stokval);
+    scanNext(s);
+    return leaf;
+}
+
+func parseTerm(s) {
+    var left = parsePrimary(s);
+    while (s.stok == 4 || s.stok == 5) {
+        var op = s.stok;
+        scanNext(s);
+        left = newBinop(op, left, parsePrimary(s));
+    }
+    return left;
+}
+
+func parseExpr(s) {
+    var left = parseTerm(s);
+    while (s.stok == 2 || s.stok == 3) {
+        var op = s.stok;
+        scanNext(s);
+        left = newBinop(op, left, parseTerm(s));
+    }
+    return left;
+}
+
+func evalOp(tag, a, b) {
+    if (tag == 2) { return a + b; }
+    if (tag == 3) { return a - b; }
+    if (tag == 4) { return a * b; }
+    if (b == 0) { return 0; }
+    return a / b;
+}
+
+func foldTree(n) {
+    if (n.ntag == 1) {
+        return n;
+    }
+    var l = foldTree(n.nleft);
+    var r = foldTree(n.nright);
+    n.nleft = l;
+    n.nright = r;
+    if (l.ntag == 1 && r.ntag == 1) {
+        return newLeaf(evalOp(n.ntag, l.nval, r.nval));
+    }
+    return n;
+}
+
+func emitTree(n, code, pos) {
+    if (n.ntag == 1) {
+        code[pos] = 1;
+        code[pos + 1] = n.nval;
+        return pos + 2;
+    }
+    pos = emitTree(n.nleft, code, pos);
+    pos = emitTree(n.nright, code, pos);
+    code[pos] = n.ntag;
+    return pos + 1;
+}
+
+func runCode(code, clen) {
+    var stack = newarray(64);
+    var sp = 0;
+    var pc = 0;
+    while (pc < clen) {
+        var op = code[pc];
+        if (op == 1) {
+            stack[sp] = code[pc + 1];
+            sp = sp + 1;
+            pc = pc + 2;
+        } else {
+            var b = stack[sp - 1];
+            var a = stack[sp - 2];
+            sp = sp - 1;
+            var v = 0;
+            if (op == 2) { v = a + b; }
+            else {
+                if (op == 3) { v = a - b; }
+                else {
+                    if (op == 4) { v = a * b; }
+                    else {
+                        if (b != 0) { v = a / b; }
+                    }
+                }
+            }
+            stack[sp - 1] = v;
+            pc = pc + 1;
+        }
+    }
+    return stack[0];
+}
+
+func genSource(src, cap, seed) {
+    // emit: num (op num)* with random parens depth 1
+    var pos = 0;
+    var terms = 4 + seed % 5;
+    for (var t = 0; t < terms && pos + 6 < cap; t = t + 1) {
+        if (t > 0) {
+            src[pos] = 10 + (seed >> 3) % 4;
+            pos = pos + 1;
+            seed = (seed * 69069 + 5) % 2147483648;
+        }
+        if (seed % 3 == 0 && pos + 5 < cap) {
+            src[pos] = 14;
+            src[pos + 1] = (seed >> 7) % 10;
+            src[pos + 2] = 10 + (seed >> 11) % 4;
+            src[pos + 3] = 1 + (seed >> 13) % 9;
+            src[pos + 4] = 15;
+            pos = pos + 5;
+        } else {
+            src[pos] = (seed >> 9) % 10;
+            pos = pos + 1;
+        }
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+    }
+    return pos;
+}
+
+func compileOne(src, slen, code) {
+    var s = new Scanner;
+    s.ssrc = src;
+    s.slen = slen;
+    s.spos = 0;
+    scanNext(s);
+    var tree = parseExpr(s);
+    tree = foldTree(tree);
+    var clen = emitTree(tree, code, 0);
+    return runCode(code, clen);
+}
+
+func main() {
+    var units = 22 * __SCALE__;
+    var src = newarray(64);
+    var code = newarray(192);
+    var checksum = 0;
+    var seed = 424243;
+    for (var u = 0; u < units; u = u + 1) {
+        seed = (seed * 48271) % 2147483647;
+        var slen = genSource(src, 64, seed);
+        var value = compileOne(src, slen, code);
+        checksum = (checksum * 31 + value + slen) % 1000000007;
+    }
+    print(checksum);
+    return checksum;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="javac",
+        paper_name="_213_javac",
+        description="mini compiler: many small methods, skewed call edges",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,122 @@
+"""``jess`` — analog of SPECjvm98 _202_jess (expert-system shell).
+
+Character: rule matching through many short method calls — _202_jess
+has the paper's second-highest call-edge instrumentation overhead
+(133.2%). The analog runs a forward-chaining rule engine over an
+array-encoded fact base: duplicate detection (`hasFact`) and assertion
+(`addFact`) are real method calls made per candidate match, and the
+engine object's bookkeeping fields are touched on every rule firing.
+"""
+
+from repro.workloads.suite import Workload, register
+
+SOURCE = """
+class Engine {
+    field easserted; field etested; field erounds; field escore;
+}
+
+func factKind(facts, i) { return facts[i * 3]; }
+func factA(facts, i) { return facts[i * 3 + 1]; }
+func factB(facts, i) { return facts[i * 3 + 2]; }
+
+func hasFact(facts, count, kind, a, b) {
+    for (var i = 0; i < count; i = i + 1) {
+        if (facts[i * 3] == kind
+            && facts[i * 3 + 1] == a
+            && facts[i * 3 + 2] == b) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+func addFact(engine, facts, count, capacity, kind, a, b) {
+    if (count >= capacity) {
+        return count;
+    }
+    engine.etested = engine.etested + 1;
+    if (hasFact(facts, count, kind, a, b) == 1) {
+        return count;
+    }
+    facts[count * 3] = kind;
+    facts[count * 3 + 1] = a;
+    facts[count * 3 + 2] = b;
+    engine.easserted = engine.easserted + 1;
+    engine.escore = (engine.escore * 13 + kind * 100 + a * 10 + b) % 1000003;
+    return count + 1;
+}
+
+func joinTest(engine, facts, j, kind, value) {
+    // rete-style alpha/beta token test: called per candidate pair
+    engine.etested = engine.etested + 1;
+    if (facts[j * 3] != kind) {
+        return 0;
+    }
+    if (facts[j * 3 + 1] != value) {
+        return 0;
+    }
+    return 1;
+}
+
+func fireRules(engine, facts, count, capacity) {
+    // parent(x,y) => ancestor(x,y)
+    // ancestor(x,y) & parent(y,z) => ancestor(x,z)
+    var added = 1;
+    while (added == 1) {
+        added = 0;
+        engine.erounds = engine.erounds + 1;
+        for (var i = 0; i < count; i = i + 1) {
+            if (factKind(facts, i) == 1) {
+                var before = count;
+                count = addFact(engine, facts, count, capacity,
+                                2, factA(facts, i), factB(facts, i));
+                if (count != before) { added = 1; }
+            }
+        }
+        for (var i = 0; i < count; i = i + 1) {
+            if (factKind(facts, i) == 2) {
+                var bi = factB(facts, i);
+                for (var j = 0; j < count; j = j + 1) {
+                    if (joinTest(engine, facts, j, 1, bi) == 1) {
+                        var before2 = count;
+                        count = addFact(engine, facts, count, capacity,
+                                        2, factA(facts, i), factB(facts, j));
+                        if (count != before2) { added = 1; }
+                    }
+                }
+            }
+        }
+    }
+    return count;
+}
+
+func main() {
+    var people = 8 + 2 * __SCALE__;
+    var capacity = people * people + people;
+    var facts = newarray(capacity * 3);
+    var engine = new Engine;
+    var count = 0;
+    // a family chain plus some branches: parent(i, i+1)
+    for (var p = 0; p + 1 < people; p = p + 1) {
+        count = addFact(engine, facts, count, capacity, 1, p, p + 1);
+    }
+    // a couple of second children
+    for (var p = 0; p + 2 < people; p = p + 3) {
+        count = addFact(engine, facts, count, capacity, 1, p, p + 2);
+    }
+    count = fireRules(engine, facts, count, capacity);
+    var checksum = (engine.escore + count * 31 + engine.easserted * 7
+                    + engine.etested + engine.erounds) % 1000000007;
+    print(checksum);
+    return checksum;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="jess",
+        paper_name="_202_jess",
+        description="forward-chaining rules: very high call density",
+        source=SOURCE,
+    )
+)

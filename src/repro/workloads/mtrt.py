@@ -1,0 +1,121 @@
+"""``mtrt`` — analog of SPECjvm98 _227_mtrt (multi-threaded raytracer).
+
+Character: two worker threads ray-marching over halves of an image
+plane, intersecting rays against spheres held in objects with x/y/z/r
+fields, through a stack of small vector-math functions (the paper's
+call-edge row is 122.2%). Threading exercises the yieldpoint scheduler:
+the workers only interleave at yieldpoints, and under the
+Jalapeño-specific optimization, only when samples are taken.
+"""
+
+from repro.workloads.suite import Workload, register
+
+SOURCE = """
+class Sphere { field sx; field sy; field sz; field sr; }
+class Scene { field spheres; field nspheres; field img; field acc1; field acc2; }
+class Tracer { field trays; field ttests; field thits; field tshades; }
+class Ray { field rox; field roy; field rdx; field rdy; }
+
+func dot3(ax, ay, az, bx, by, bz) {
+    return ax * bx + ay * by + az * bz;
+}
+
+func intersect(s, ox, oy, dx, dy) {
+    // fixed-point ray/sphere test in the z=plane slice
+    var cx = s.sx - ox;
+    var cy = s.sy - oy;
+    var proj = dot3(cx, cy, 0, dx, dy, 0);
+    if (proj <= 0) { return 0 - 1; }
+    var d2 = dot3(cx, cy, 0, cx, cy, 0) - (proj * proj) / 4096;
+    var r2 = s.sr * s.sr;
+    if (d2 > r2) { return 0 - 1; }
+    return proj - (r2 - d2) / 64;
+}
+
+func shade(hit, depth) {
+    if (hit < 0) { return 10; }
+    var base = 255 - (hit % 200);
+    if (depth > 0 && base > 128) {
+        return (base + shade(hit / 2, depth - 1)) / 2;
+    }
+    return base;
+}
+
+func traceRay(scene, tr, ox, oy, dx, dy) {
+    var ray = new Ray;
+    ray.rox = ox;
+    ray.roy = oy;
+    ray.rdx = dx;
+    ray.rdy = dy;
+    var best = 0 - 1;
+    var spheres = scene.spheres;
+    tr.trays = tr.trays + 1;
+    for (var i = 0; i < scene.nspheres; i = i + 1) {
+        tr.ttests = tr.ttests + 1;
+        var hit = intersect(spheres[i], ray.rox, ray.roy, ray.rdx, ray.rdy);
+        if (hit >= 0 && (best < 0 || hit < best)) {
+            best = hit;
+            tr.thits = tr.thits + 1;
+        }
+    }
+    tr.tshades = tr.tshades + 1;
+    return shade(best, 2);
+}
+
+func renderRows(scene, y0, y1, w, slot) {
+    var img = scene.img;
+    var tr = new Tracer;
+    var acc = 0;
+    for (var y = y0; y < y1; y = y + 1) {
+        for (var x = 0; x < w; x = x + 1) {
+            var dx = 32 + (x * 64) / w;
+            var dy = 32 + (y * 64) / w;
+            var c = traceRay(scene, tr, x * 16, y * 16, dx, dy);
+            img[y * w + x] = c;
+            acc = (acc + c) % 1000003;
+        }
+    }
+    acc = (acc + tr.trays + tr.ttests * 3 + tr.thits * 5
+           + tr.tshades * 7) % 1000003;
+    if (slot == 1) { scene.acc1 = acc; }
+    if (slot == 2) { scene.acc2 = acc; }
+    return acc;
+}
+
+func main() {
+    var w = 12 + 4 * __SCALE__;
+    var h = w;
+    var scene = new Scene;
+    scene.nspheres = 6;
+    scene.spheres = newarray(scene.nspheres);
+    var spheres = scene.spheres;
+    for (var i = 0; i < scene.nspheres; i = i + 1) {
+        var s = new Sphere;
+        s.sx = (i * 97) % 300;
+        s.sy = (i * 57) % 300;
+        s.sz = 0;
+        s.sr = 20 + (i * 13) % 40;
+        spheres[i] = s;
+    }
+    scene.img = newarray(w * h);
+    // Two worker threads render the lower two thirds; the main thread
+    // renders the top strip. Rows are disjoint and workers' results are
+    // not read by main, so the checksum is schedule-independent (the
+    // workers' cycles and profile events still count).
+    spawn renderRows(scene, h / 3, (2 * h) / 3, w, 1);
+    spawn renderRows(scene, (2 * h) / 3, h, w, 2);
+    var mine = renderRows(scene, 0, h / 3, w, 0);
+    var checksum = (mine * 31 + w) % 1000000007;
+    print(checksum);
+    return checksum;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="mtrt",
+        paper_name="_227_mtrt",
+        description="two-thread raytracer: vector-math call stack",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,218 @@
+"""``optcompiler`` — analog of the Jalapeño optimizing compiler run on
+a subset of itself.
+
+Character: the paper's highest call-edge instrumentation overhead
+(189%) — an optimizer is a storm of small analysis/transform method
+calls over an IR. The analog builds straight-line three-address IR
+functions in arrays, then runs real(ish) passes over each: constant
+propagation, algebraic simplification, dead-code elimination, and a
+cost estimator — each pass and each per-instruction helper is its own
+function, so call density is extreme while loops stay modest.
+"""
+
+from repro.workloads.suite import Workload, register
+
+SOURCE = """
+class PassStats {
+    field pvisited; field pfolded; field psimplified; field plive;
+}
+
+// IR: per-instruction arrays. op codes: 0 const, 1 add, 2 mul, 3 copy.
+// dst/a/b are virtual register numbers (a is an immediate for const).
+// Accessors validate their index (like Jalapeño's assertion-bearing IR
+// accessors), which also keeps them beyond the inliner's size bound —
+// the call density is the point of this workload.
+
+func irOp(ops, i) {
+    if (i < 0 || i >= len(ops)) {
+        print(0 - 99);
+        return 0 - 1;
+    }
+    return ops[i];
+}
+
+func irDst(dsts, i) {
+    if (i < 0 || i >= len(dsts)) {
+        print(0 - 98);
+        return 0 - 1;
+    }
+    return dsts[i];
+}
+
+func irA(as_, i) {
+    if (i < 0 || i >= len(as_)) {
+        print(0 - 97);
+        return 0 - 1;
+    }
+    return as_[i];
+}
+
+func irB(bs, i) {
+    if (i < 0 || i >= len(bs)) {
+        print(0 - 96);
+        return 0 - 1;
+    }
+    return bs[i];
+}
+
+func propagate(ops, dsts, as_, bs, n, known, vals, st) {
+    var changed = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        st.pvisited = st.pvisited + 1;
+        var op = irOp(ops, i);
+        var d = irDst(dsts, i);
+        if (op == 0) {
+            if (known[d] == 0) {
+                known[d] = 1;
+                vals[d] = irA(as_, i);
+                changed = changed + 1;
+            }
+        }
+        if (op == 1 || op == 2) {
+            var ra = irA(as_, i);
+            var rb = irB(bs, i);
+            if (known[ra] == 1 && known[rb] == 1 && known[d] == 0) {
+                known[d] = 1;
+                if (op == 1) { vals[d] = vals[ra] + vals[rb]; }
+                else { vals[d] = vals[ra] * vals[rb]; }
+                // rewrite to a constant
+                ops[i] = 0;
+                as_[i] = vals[d];
+                st.pfolded = st.pfolded + 1;
+                changed = changed + 1;
+            }
+        }
+        if (op == 3) {
+            var rs = irA(as_, i);
+            if (known[rs] == 1 && known[d] == 0) {
+                known[d] = 1;
+                vals[d] = vals[rs];
+                ops[i] = 0;
+                as_[i] = vals[rs];
+                changed = changed + 1;
+            }
+        }
+    }
+    return changed;
+}
+
+func simplify(ops, dsts, as_, bs, n, known, vals, st) {
+    var changed = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        st.pvisited = st.pvisited + 1;
+        if (irOp(ops, i) == 2 && known[irB(bs, i)] == 1
+            && vals[irB(bs, i)] == 1) {
+            // x * 1 -> copy x
+            ops[i] = 3;
+            st.psimplified = st.psimplified + 1;
+            changed = changed + 1;
+        }
+        if (irOp(ops, i) == 1 && known[irB(bs, i)] == 1
+            && vals[irB(bs, i)] == 0) {
+            // x + 0 -> copy x
+            ops[i] = 3;
+            st.psimplified = st.psimplified + 1;
+            changed = changed + 1;
+        }
+    }
+    return changed;
+}
+
+func markUse(used, r) { used[r] = 1; return r; }
+
+func deadCode(ops, dsts, as_, bs, n, used, nregs, st) {
+    for (var r = 0; r < nregs; r = r + 1) { used[r] = 0; }
+    // last register is the function result
+    markUse(used, nregs - 1);
+    var live = 0;
+    for (var i = n - 1; i >= 0; i = i - 1) {
+        st.pvisited = st.pvisited + 1;
+        var d = irDst(dsts, i);
+        if (used[d] == 1) {
+            live = live + 1;
+            var op = irOp(ops, i);
+            if (op == 1 || op == 2) {
+                markUse(used, irA(as_, i));
+                markUse(used, irB(bs, i));
+            }
+            if (op == 3) {
+                markUse(used, irA(as_, i));
+            }
+        }
+    }
+    return live;
+}
+
+func estimateCost(ops, n, st) {
+    var cost = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        st.pvisited = st.pvisited + 1;
+        var op = irOp(ops, i);
+        if (op == 2) { cost = cost + 3; }
+        else { cost = cost + 1; }
+    }
+    return cost;
+}
+
+func optimizeUnit(ops, dsts, as_, bs, n, known, vals, used, nregs, st) {
+    for (var r = 0; r < nregs; r = r + 1) { known[r] = 0; vals[r] = 0; }
+    var rounds = 0;
+    var changed = 1;
+    while (changed > 0 && rounds < 8) {
+        changed = propagate(ops, dsts, as_, bs, n, known, vals, st)
+                  + simplify(ops, dsts, as_, bs, n, known, vals, st);
+        rounds = rounds + 1;
+    }
+    var live = deadCode(ops, dsts, as_, bs, n, used, nregs, st);
+    st.plive = st.plive + live;
+    return estimateCost(ops, n, st) * 100 + live + rounds;
+}
+
+func main() {
+    var units = 7 * __SCALE__;
+    var n = 40;
+    var nregs = n + 4;
+    var ops = newarray(n);
+    var dsts = newarray(n);
+    var as_ = newarray(n);
+    var bs = newarray(n);
+    var known = newarray(nregs);
+    var vals = newarray(nregs);
+    var used = newarray(nregs);
+    var checksum = 0;
+    var seed = 90210;
+    var st = new PassStats;
+    for (var u = 0; u < units; u = u + 1) {
+        // generate a unit: mix of consts and ops over earlier regs
+        for (var i = 0; i < n; i = i + 1) {
+            seed = (seed * 69069 + 1) % 2147483648;
+            dsts[i] = i + 4;
+            if (i < 4 || seed % 3 == 0) {
+                ops[i] = 0;
+                as_[i] = (seed >> 8) % 7;
+            } else {
+                ops[i] = 1 + (seed >> 5) % 2;
+                as_[i] = (seed >> 9) % (i + 4);
+                bs[i] = (seed >> 13) % (i + 4);
+            }
+        }
+        dsts[n - 1] = nregs - 1;
+        checksum = (checksum * 31
+                    + optimizeUnit(ops, dsts, as_, bs, n,
+                                   known, vals, used, nregs, st)) % 1000000007;
+    }
+    checksum = (checksum + st.pvisited + st.pfolded * 31
+                + st.psimplified * 17 + st.plive * 7) % 1000000007;
+    print(checksum);
+    return checksum;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="optcompiler",
+        paper_name="opt-compiler",
+        description="IR optimizer passes: extreme call density",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,116 @@
+"""``pbob`` — analog of IBM's pBOB (portable Business Object Benchmark).
+
+Character: TPC-C-flavoured transaction processing on several warehouse
+threads — moderate call density (72.3% call-edge in Table 1), light
+field traffic (20.2%), and multithreading. Each teller thread runs its
+own warehouse (disjoint data, so the checksum is schedule-independent);
+transactions mix stock updates, order placement, and payment math.
+"""
+
+from repro.workloads.suite import Workload, register
+
+SOURCE = """
+class Warehouse {
+    field wid; field worders; field wlines; field wunits; field wcash; field wydone;
+}
+
+func nextRand(seed) {
+    return (seed * 48271) % 2147483647;
+}
+
+func pickItem(seed, nitems) {
+    // non-uniform: favour low item ids like TPC-C's NURand
+    var a = (seed >> 3) % nitems;
+    var b = (seed >> 9) % nitems;
+    if (a < b) { return a; }
+    return b;
+}
+
+func newOrder(w, stock, nitems, seed) {
+    var lines = 3 + seed % 4;
+    var total = 0;
+    for (var l = 0; l < lines; l = l + 1) {
+        seed = nextRand(seed);
+        var item = pickItem(seed, nitems);
+        var qty = 1 + seed % 5;
+        if (stock[item] < qty) {
+            stock[item] = stock[item] + 50; // restock
+        }
+        stock[item] = stock[item] - qty;
+        w.wlines = w.wlines + 1;
+        w.wunits = w.wunits + qty;
+        total = total + qty * (item % 97 + 1);
+    }
+    w.worders = w.worders + 1;
+    return total;
+}
+
+func payment(w, amount) {
+    // authorization round-trip: long-latency external call
+    var auth = io(2);
+    w.wcash = (w.wcash + amount + auth % 13) % 1000000007;
+    return w.wcash;
+}
+
+func stockLevel(stock, nitems, threshold) {
+    var low = 0;
+    for (var i = 0; i < nitems; i = i + 1) {
+        if (stock[i] < threshold) {
+            low = low + 1;
+        }
+    }
+    return low;
+}
+
+func runTeller(w, transactions, nitems) {
+    var stock = newarray(nitems);
+    for (var i = 0; i < nitems; i = i + 1) {
+        stock[i] = 40 + (i * 7) % 60;
+    }
+    var seed = 1000 + w.wid * 131;
+    var result = 0;
+    for (var t = 0; t < transactions; t = t + 1) {
+        seed = nextRand(seed);
+        var kind = seed % 10;
+        if (kind < 5) {
+            result = (result + newOrder(w, stock, nitems, seed)) % 1000000007;
+        } else {
+            if (kind < 9) {
+                result = (result + payment(w, seed % 5000)) % 1000000007;
+            } else {
+                result = (result + stockLevel(stock, nitems, 30)) % 1000000007;
+            }
+        }
+    }
+    w.wydone = result;
+    return result;
+}
+
+func spawnTeller(w, transactions, nitems) {
+    runTeller(w, transactions, nitems);
+    return 0;
+}
+
+func main() {
+    var transactions = 60 * __SCALE__;
+    var nitems = 64;
+    // two teller threads on their own warehouses, plus main's own
+    var w1 = new Warehouse; w1.wid = 1;
+    var w2 = new Warehouse; w2.wid = 2;
+    var w0 = new Warehouse; w0.wid = 0;
+    spawn spawnTeller(w1, transactions, nitems);
+    spawn spawnTeller(w2, transactions, nitems);
+    var checksum = runTeller(w0, transactions, nitems);
+    print(checksum);
+    return checksum;
+}
+"""
+
+WORKLOAD = register(
+    Workload(
+        name="pbob",
+        paper_name="pBOB",
+        description="TPC-C-style teller threads on disjoint warehouses",
+        source=SOURCE,
+    )
+)

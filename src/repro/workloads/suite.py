@@ -1,0 +1,125 @@
+"""The benchmark suite: ten MiniJ analogs of the paper's workloads.
+
+The paper evaluates on SPECjvm98 (input size 10), the Jalapeño
+optimizing compiler on itself, pBOB, and VolanoMark. We cannot run Java
+benchmarks, so each workload here is a MiniJ program engineered to the
+same *character* — the mix of loop backedges, calls, field accesses,
+allocation, threading and I/O that drives that benchmark's row in the
+paper's tables (see each module's docstring for the mapping rationale).
+
+Every workload is deterministic and returns a checksum from ``main`` so
+semantic preservation under transformation is testable. ``scale``
+multiplies the input size; the default keeps a full baseline run around
+10^5 VM instructions so the whole experiment matrix fits in CI time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+from repro.bytecode.program import Program
+from repro.errors import HarnessError
+from repro.frontend.compiler import CompileOptions, compile_baseline
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: a MiniJ source template plus metadata.
+
+    The source must contain the literal token ``__SCALE__`` wherever
+    the problem size appears.
+    """
+
+    name: str
+    paper_name: str
+    description: str
+    source: str
+    default_scale: int = 1
+
+    def render_source(self, scale: Optional[int] = None) -> str:
+        actual = self.default_scale if scale is None else scale
+        if actual < 1:
+            raise HarnessError(f"{self.name}: scale must be >= 1")
+        return self.source.replace("__SCALE__", str(actual))
+
+    def compile(self, scale: Optional[int] = None) -> Program:
+        """Compile the experiment-ready baseline (O2 + yieldpoints +
+        call-site ids). Cached per (workload, scale); callers receive a
+        fresh copy so transforms can't corrupt the cache."""
+        actual = self.default_scale if scale is None else scale
+        return _compile_cached(self.name, actual).copy()
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise HarnessError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise HarnessError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None
+
+
+def workload_names() -> List[str]:
+    """Suite order follows the paper's tables."""
+    _ensure_loaded()
+    return [
+        "compress",
+        "jess",
+        "db",
+        "javac",
+        "mpegaudio",
+        "mtrt",
+        "jack",
+        "optcompiler",
+        "pbob",
+        "volano",
+    ]
+
+
+def all_workloads() -> List[Workload]:
+    return [get_workload(name) for name in workload_names()]
+
+
+@lru_cache(maxsize=None)
+def _compile_cached(name: str, scale: int) -> Program:
+    workload = get_workload(name)
+    return compile_baseline(
+        workload.render_source(scale), CompileOptions(opt_level=2)
+    )
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import the workload modules (each registers itself)."""
+    global _loaded
+    if _loaded:
+        return
+    from repro.workloads import (  # noqa: F401
+        compress,
+        db,
+        jack,
+        javac,
+        jess,
+        mpegaudio,
+        mtrt,
+        optcompiler,
+        pbob,
+        volano,
+    )
+
+    _loaded = True

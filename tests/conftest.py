@@ -1,0 +1,74 @@
+"""Shared fixtures: small canonical programs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Op, Program
+from repro.frontend import compile_baseline, compile_source
+
+
+LOOP_CALL_SOURCE = """
+class Box { field bval; field bhits; }
+
+func bump(box, amount) {
+    box.bval = (box.bval + amount) % 1000003;
+    box.bhits = box.bhits + 1;
+    return box.bval;
+}
+
+func triangle(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        acc = acc + i;
+    }
+    return acc;
+}
+
+func main() {
+    var box = new Box;
+    var total = 0;
+    for (var round = 0; round < 12; round = round + 1) {
+        total = (total + triangle(round + 3)) % 1000003;
+        bump(box, total);
+    }
+    print(total);
+    print(box.bhits);
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def loop_call_program():
+    """A compiled, experiment-ready program with loops, calls, fields."""
+    return compile_baseline(LOOP_CALL_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def loop_call_unopt():
+    """Same program at O0 without VM conventions (raw codegen)."""
+    from repro.frontend import CompileOptions
+
+    return compile_source(LOOP_CALL_SOURCE, CompileOptions(opt_level=0))
+
+
+def build_countdown(name: str = "main", start: int = 10) -> Program:
+    """Hand-built bytecode: count down from *start*, return 0."""
+    b = BytecodeBuilder(name, num_params=0)
+    slot = b.new_local()
+    loop = b.new_label("loop")
+    done = b.new_label("done")
+    b.push(start).store(slot)
+    b.label(loop)
+    b.load(slot).jz(done)
+    b.load(slot).push(1).emit(Op.SUB).store(slot)
+    b.jump(loop)
+    b.label(done)
+    b.load(slot).ret()
+    return Program([b.build()], entry=name)
+
+
+@pytest.fixture()
+def countdown_program():
+    return build_countdown()

@@ -1,0 +1,138 @@
+"""Tests for the textual assembler and the disassembler round-trip."""
+
+import pytest
+
+from repro.bytecode import Op, assemble, disassemble_program, verify_program
+from repro.errors import AssemblerError
+from repro.vm import run_program
+
+COUNT_SOURCE = """
+# count to 5
+func main(0) locals=1 {
+    push 5
+    store 0
+loop:
+    load 0
+    jz done
+    load 0
+    push 1
+    sub
+    store 0
+    jump loop
+done:
+    push 0
+    ret
+}
+"""
+
+
+class TestAssemble:
+    def test_simple_function(self):
+        prog = assemble(COUNT_SOURCE)
+        verify_program(prog)
+        fn = prog.function("main")
+        assert fn.num_params == 0
+        assert fn.num_locals == 1
+        assert run_program(prog).value == 0
+
+    def test_class_single_line(self):
+        prog = assemble(
+            "class Point { x y }\n"
+            "func main(0) {\n  new Point\n  getfield Point.x\n  ret\n}\n"
+        )
+        assert prog.klass("Point").fields == ("x", "y")
+        assert run_program(prog).value == 0
+
+    def test_class_multi_line(self):
+        prog = assemble(
+            "class Rec {\n a\n b\n c\n}\nfunc main(0) {\n push 1\n ret\n}\n"
+        )
+        assert prog.klass("Rec").num_fields() == 3
+
+    def test_params_and_call(self):
+        prog = assemble(
+            "func add(2) {\n  load 0\n  load 1\n  add\n  ret\n}\n"
+            "func main(0) {\n  push 2\n  push 3\n  call add\n  ret\n}\n"
+        )
+        assert run_program(prog).value == 5
+
+    def test_hex_literals(self):
+        prog = assemble("func main(0) {\n  push 0xff\n  ret\n}\n")
+        assert run_program(prog).value == 255
+
+    def test_io_default_latency(self):
+        prog = assemble("func main(0) {\n  io\n  ret\n}\n")
+        ins = prog.function("main").code[0]
+        assert ins.op is Op.IO and ins.arg == 1
+
+    def test_comments_ignored(self):
+        prog = assemble(
+            "# header\nfunc main(0) { # trailing\n  push 1 # one\n  ret\n}\n"
+        )
+        assert run_program(prog).value == 1
+
+    def test_getfield_operand(self):
+        prog = assemble(
+            "class C { f }\n"
+            "func main(0) {\n  new C\n  getfield C.f\n  ret\n}\n"
+        )
+        assert prog.function("main").code[1].arg == ("C", "f")
+
+
+class TestAssembleErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("func main(0) {\n  frobnicate\n  ret\n}\n")
+
+    def test_missing_label(self):
+        with pytest.raises(AssemblerError, match="unbound"):
+            assemble("func main(0) {\n  jump nowhere\n  ret\n}\n")
+
+    def test_branch_without_operand(self):
+        with pytest.raises(AssemblerError, match="needs a label"):
+            assemble("func main(0) {\n  jump\n}\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblerError, match="bad integer"):
+            assemble("func main(0) {\n  push banana\n  ret\n}\n")
+
+    def test_unexpected_operand(self):
+        with pytest.raises(AssemblerError, match="takes no operand"):
+            assemble("func main(0) {\n  add 3\n  ret\n}\n")
+
+    def test_field_operand_requires_dot(self):
+        with pytest.raises(AssemblerError, match="Class.field"):
+            assemble("func main(0) {\n  getfield x\n  ret\n}\n")
+
+    def test_missing_close_brace(self):
+        with pytest.raises(AssemblerError, match="missing"):
+            assemble("func main(0) {\n  push 1\n  ret\n")
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(AssemblerError, match="expected"):
+            assemble("banana\n")
+
+    def test_unknown_callee_caught_by_reference_validation(self):
+        with pytest.raises(Exception, match="unknown function"):
+            assemble("func main(0) {\n  call ghost\n  ret\n}\n")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassemble_preserves_semantics(self):
+        prog = assemble(COUNT_SOURCE)
+        text = disassemble_program(prog)
+        again = assemble(text)
+        assert run_program(prog).value == run_program(again).value
+        assert (
+            prog.function("main").instruction_count()
+            == again.function("main").instruction_count()
+        )
+
+    def test_roundtrip_with_classes_and_calls(self, loop_call_program):
+        text = disassemble_program(loop_call_program)
+        again = assemble(text)
+        verify_program(again)
+        r1 = run_program(loop_call_program)
+        r2 = run_program(again)
+        assert r1.value == r2.value
+        assert r1.output == r2.output

@@ -1,0 +1,106 @@
+"""Tests for space-budgeted method selection (paper §3)."""
+
+import pytest
+
+from repro.instrument import CallEdgeInstrumentation
+from repro.sampling import (
+    CounterTrigger,
+    SamplingFramework,
+    Strategy,
+    hotness_from_samples,
+    select_functions_within_budget,
+)
+from repro.vm import run_program
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def program():
+    return get_workload("javac").compile()
+
+
+@pytest.fixture(scope="module")
+def hotness(program):
+    instr = CallEdgeInstrumentation()
+    transformed = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+        program, instr
+    )
+    run_program(transformed, trigger=CounterTrigger(31))
+    return hotness_from_samples(program, instr.profile)
+
+
+class TestSelection:
+    def test_hottest_first_within_budget(self, program, hotness):
+        total = sum(
+            program.functions[name].instruction_count() for name in hotness
+        )
+        selection = select_functions_within_budget(
+            program, hotness, budget_instructions=total
+        )
+        assert set(selection.selected) == set(hotness)
+        assert selection.skipped == []
+
+    def test_budget_limits_selection(self, program, hotness):
+        smallest = min(
+            program.functions[name].instruction_count() for name in hotness
+        )
+        selection = select_functions_within_budget(
+            program, hotness, budget_instructions=smallest
+        )
+        assert len(selection.selected) <= len(hotness)
+        assert selection.used_instructions <= smallest
+        assert selection.skipped  # something had to give
+
+    def test_zero_budget(self, program, hotness):
+        selection = select_functions_within_budget(program, hotness, 0)
+        assert selection.selected == []
+        assert selection.utilization == 0.0
+
+    def test_negative_budget_rejected(self, program, hotness):
+        with pytest.raises(ValueError):
+            select_functions_within_budget(program, hotness, -1)
+
+    def test_greedy_fills_with_smaller_methods(self, program):
+        sizes = {
+            name: program.functions[name].instruction_count()
+            for name in program.function_names()
+        }
+        big = max(sizes, key=sizes.get)
+        small = min(sizes, key=sizes.get)
+        hotness = {big: 0.9, small: 0.1}
+        # budget fits only the small method
+        selection = select_functions_within_budget(
+            program, hotness, budget_instructions=sizes[small]
+        )
+        assert selection.selected == [small]
+        assert big in selection.skipped
+
+    def test_min_hotness_filter(self, program):
+        hotness = {"scanNext": 0.5, "genSource": 0.01}
+        selection = select_functions_within_budget(
+            program, hotness, budget_instructions=10**6, min_hotness=0.05
+        )
+        assert "genSource" not in selection.selected
+
+
+class TestEndToEnd:
+    def test_budgeted_instrumentation_runs(self, program, hotness):
+        """Select within a tight budget, instrument only those methods,
+        and confirm semantics and reduced code growth."""
+        base = run_program(program)
+        budget = program.total_instructions() // 4
+        selection = select_functions_within_budget(program, hotness, budget)
+        assert selection.selected
+
+        fw = SamplingFramework(Strategy.FULL_DUPLICATION)
+        instr = CallEdgeInstrumentation()
+        partial_cover = fw.transform(
+            program, instr, functions=selection.selected
+        )
+        result = run_program(partial_cover, trigger=CounterTrigger(23))
+        assert result.value == base.value
+        # growth bounded by roughly the budget (plus checks)
+        growth = (
+            partial_cover.total_instructions() - program.total_instructions()
+        )
+        assert growth <= 2 * budget

@@ -1,0 +1,190 @@
+"""Tests for traversals, dominators, loops, and dataflow analyses."""
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Op
+from repro.cfg import (
+    CFG,
+    DominatorTree,
+    backedges,
+    dfs_preorder,
+    immediate_dominators,
+    is_reducible,
+    liveness,
+    loop_nesting_depth,
+    natural_loops,
+    postorder,
+    retreating_edges,
+    reverse_postorder,
+    sampling_backedges,
+)
+from repro.cfg.dataflow import block_uses_defs, live_slots_at_each_instruction
+from repro.frontend import compile_source
+
+
+def nested_loop_cfg():
+    """for i in 0..3: for j in 0..2: acc += 1"""
+    src = """
+    func main() {
+        var acc = 0;
+        for (var i = 0; i < 3; i = i + 1) {
+            for (var j = 0; j < 2; j = j + 1) {
+                acc = acc + 1;
+            }
+        }
+        return acc;
+    }
+    """
+    prog = compile_source(src)
+    return CFG.from_function(prog.function("main"))
+
+
+def diamond_cfg():
+    b = BytecodeBuilder("f", num_params=1)
+    els, end = b.new_label(), b.new_label()
+    b.load(0).jz(els)
+    b.push(1).emit(Op.POP).jump(end)
+    b.label(els)
+    b.push(2).emit(Op.POP)
+    b.label(end)
+    b.push(0).ret()
+    return CFG.from_function(b.build())
+
+
+class TestTraversal:
+    def test_preorder_starts_at_entry(self):
+        cfg = diamond_cfg()
+        order = dfs_preorder(cfg)
+        assert order[0] == cfg.entry
+        assert set(order) == set(cfg.blocks)
+
+    def test_postorder_ends_at_entry(self):
+        cfg = diamond_cfg()
+        order = postorder(cfg)
+        assert order[-1] == cfg.entry
+        assert set(order) == set(cfg.blocks)
+
+    def test_rpo_is_reversed_postorder(self):
+        cfg = nested_loop_cfg()
+        assert reverse_postorder(cfg) == list(reversed(postorder(cfg)))
+
+    def test_rpo_topological_on_dag(self):
+        cfg = diamond_cfg()
+        position = {bid: i for i, bid in enumerate(reverse_postorder(cfg))}
+        for src, dst in cfg.edges():
+            assert position[src] < position[dst]
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = nested_loop_cfg()
+        dom = DominatorTree(cfg)
+        for bid in cfg.reachable():
+            assert dom.dominates(cfg.entry, bid)
+
+    def test_entry_has_no_idom(self):
+        cfg = diamond_cfg()
+        idom = immediate_dominators(cfg)
+        assert idom[cfg.entry] is None
+
+    def test_diamond_join_dominated_by_entry_only(self):
+        cfg = diamond_cfg()
+        dom = DominatorTree(cfg)
+        entry = cfg.entry_block()
+        then_bid, else_bid = entry.successors()[0], entry.successors()[1]
+        join = cfg.block(then_bid).successors()[0]
+        assert dom.dominates(cfg.entry, join)
+        assert not dom.dominates(then_bid, join)
+        assert not dom.dominates(else_bid, join)
+
+    def test_dominated_set_and_depth(self):
+        cfg = diamond_cfg()
+        dom = DominatorTree(cfg)
+        assert dom.dominated_set(cfg.entry) == cfg.reachable()
+        assert dom.depth(cfg.entry) == 0
+
+    def test_strictly_dominates(self):
+        cfg = diamond_cfg()
+        dom = DominatorTree(cfg)
+        assert not dom.strictly_dominates(cfg.entry, cfg.entry)
+
+
+class TestLoops:
+    def test_nested_loops_found(self):
+        cfg = nested_loop_cfg()
+        loops = natural_loops(cfg)
+        assert len(loops) == 2
+        sizes = sorted(len(loop.body) for loop in loops)
+        assert sizes[0] < sizes[1]  # inner loop strictly smaller
+        inner = min(loops, key=lambda l: len(l.body))
+        outer = max(loops, key=lambda l: len(l.body))
+        assert inner.body < outer.body
+
+    def test_backedge_targets_dominate_sources(self):
+        cfg = nested_loop_cfg()
+        dom = DominatorTree(cfg)
+        for src, header in backedges(cfg):
+            assert dom.dominates(header, src)
+
+    def test_diamond_has_no_loops(self):
+        cfg = diamond_cfg()
+        assert backedges(cfg) == []
+        assert natural_loops(cfg) == []
+
+    def test_reducible(self):
+        assert is_reducible(nested_loop_cfg())
+        assert is_reducible(diamond_cfg())
+
+    def test_sampling_backedges_cover_retreating(self):
+        cfg = nested_loop_cfg()
+        assert set(retreating_edges(cfg)) <= set(sampling_backedges(cfg))
+
+    def test_nesting_depth(self):
+        cfg = nested_loop_cfg()
+        depth = loop_nesting_depth(cfg)
+        assert max(depth.values()) == 2
+        assert depth[cfg.entry] == 0
+
+
+class TestLiveness:
+    def test_block_uses_defs(self):
+        b = BytecodeBuilder("f", num_locals=2)
+        b.load(0).store(1).load(1).emit(Op.POP).push(0).ret()
+        cfg = CFG.from_function(b.build())
+        uses, defs = block_uses_defs(cfg.entry_block())
+        assert uses == {0}     # slot 1 is defined before its use
+        assert defs == {1}
+
+    def test_loop_variable_live_around_backedge(self):
+        src = """
+        func main() {
+            var acc = 0;
+            for (var i = 0; i < 5; i = i + 1) {
+                acc = acc + i;
+            }
+            return acc;
+        }
+        """
+        from repro.frontend import CompileOptions
+
+        prog = compile_source(src, CompileOptions(opt_level=0))
+        cfg = CFG.from_function(prog.function("main"))
+        live_in, live_out = liveness(cfg)
+        from repro.cfg.loops import natural_loops as nl
+
+        loops = nl(cfg)
+        assert loops
+        header = loops[0].header
+        # both acc and i are live at the loop header
+        assert len(live_in[header]) >= 2
+
+    def test_per_instruction_liveness(self):
+        b = BytecodeBuilder("f", num_locals=1)
+        b.push(1).store(0).load(0).ret()
+        cfg = CFG.from_function(b.build())
+        block = cfg.entry_block()
+        after = live_slots_at_each_instruction(block, frozenset())
+        # slot 0 live right after the store (it is loaded next)
+        assert 0 in after[1]
+        # dead after the load
+        assert 0 not in after[2]

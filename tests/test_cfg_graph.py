@@ -1,0 +1,195 @@
+"""Tests for CFG construction, queries, and mutation primitives."""
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Op
+from repro.cfg import CFG, CheckBranch, CondBranch, Goto, Halt, Return
+from repro.cfg.linearize import linearize
+from repro.errors import CFGError
+from repro.vm import run_program
+from repro.bytecode import Program
+
+
+def diamond_function():
+    """if (p) acc=1 else acc=2; return acc"""
+    b = BytecodeBuilder("f", num_params=1)
+    acc = b.new_local()
+    els, end = b.new_label(), b.new_label()
+    b.load(0).jz(els)
+    b.push(1).store(acc).jump(end)
+    b.label(els)
+    b.push(2).store(acc)
+    b.label(end)
+    b.load(acc).ret()
+    return b.build()
+
+
+def loop_function():
+    b = BytecodeBuilder("f", num_params=1)
+    head, done = b.new_label(), b.new_label()
+    b.label(head)
+    b.load(0).jz(done)
+    b.load(0).push(1).emit(Op.SUB).store(0)
+    b.jump(head)
+    b.label(done)
+    b.push(0).ret()
+    return b.build()
+
+
+class TestFromFunction:
+    def test_diamond_block_structure(self):
+        cfg = CFG.from_function(diamond_function())
+        assert len(cfg.blocks) == 4
+        entry = cfg.entry_block()
+        assert isinstance(entry.terminator, CondBranch)
+        succs = entry.successors()
+        assert len(succs) == 2
+
+    def test_loop_has_backedge_shape(self):
+        cfg = CFG.from_function(loop_function())
+        # entry/header, body, exit
+        assert len(cfg.blocks) == 3
+        header = cfg.entry_block()
+        body_bid = header.terminator.fallthrough
+        body = cfg.block(body_bid)
+        assert isinstance(body.terminator, Goto)
+        assert body.terminator.target == cfg.entry
+
+    def test_terminators_not_in_bodies(self):
+        cfg = CFG.from_function(diamond_function())
+        for block in cfg.blocks.values():
+            for ins in block.instructions:
+                assert ins.op not in (
+                    Op.JUMP, Op.JZ, Op.JNZ, Op.RETURN, Op.HALT, Op.CHECK,
+                )
+
+    def test_empty_function_rejected(self):
+        from repro.bytecode import Function
+
+        with pytest.raises(CFGError):
+            CFG.from_function(Function("f", 0, 0, []))
+
+    def test_check_decodes_to_checkbranch(self):
+        from repro.bytecode import Function, Instruction
+
+        fn = Function(
+            "f", 0, 0,
+            [
+                Instruction(Op.CHECK, 2),
+                Instruction(Op.NOP),
+                Instruction(Op.PUSH, 0),
+                Instruction(Op.RETURN),
+            ],
+        )
+        cfg = CFG.from_function(fn)
+        assert isinstance(cfg.entry_block().terminator, CheckBranch)
+
+
+class TestQueries:
+    def test_predecessors_map(self):
+        cfg = CFG.from_function(diamond_function())
+        preds = cfg.predecessors_map()
+        # the join block has two predecessors
+        join = max(preds, key=lambda bid: len(preds[bid]))
+        assert len(preds[join]) == 2
+
+    def test_edges_and_reachable(self):
+        cfg = CFG.from_function(diamond_function())
+        assert len(cfg.edges()) == 4
+        assert cfg.reachable() == set(cfg.blocks)
+
+    def test_instruction_count(self):
+        fn = diamond_function()
+        cfg = CFG.from_function(fn)
+        # bodies exclude the control transfers
+        assert cfg.instruction_count() < fn.instruction_count()
+
+
+class TestMutation:
+    def test_remove_unreachable(self):
+        cfg = CFG.from_function(diamond_function())
+        orphan = cfg.new_block(terminator=Return())
+        assert orphan.bid in cfg.blocks
+        removed = cfg.remove_unreachable()
+        assert orphan.bid in removed
+        assert orphan.bid not in cfg.blocks
+
+    def test_split_edge_preserves_semantics(self):
+        fn = loop_function()
+        prog0 = Program(
+            [BytecodeBuilder("main").push(5).call("f").ret().build(), fn]
+        )
+        base = run_program(prog0)
+
+        cfg = CFG.from_function(fn)
+        src, dst = cfg.edges()[0]
+        mid = cfg.split_edge(src, dst)
+        assert mid.successors() == (dst,)
+        prog1 = Program(
+            [
+                BytecodeBuilder("main").push(5).call("f").ret().build(),
+                linearize(cfg),
+            ]
+        )
+        assert run_program(prog1).value == base.value
+
+    def test_split_missing_edge_rejected(self):
+        cfg = CFG.from_function(diamond_function())
+        with pytest.raises(CFGError, match="no edge"):
+            cfg.split_edge(cfg.entry, cfg.entry)
+
+    def test_clone_subgraph_redirects_internal_edges(self):
+        cfg = CFG.from_function(loop_function())
+        mapping = cfg.clone_subgraph(sorted(cfg.blocks))
+        for orig, clone in mapping.items():
+            orig_succs = cfg.block(orig).successors()
+            # impossible to compare directly: clone successors are the
+            # mapped ids of the original's successors
+            expected = tuple(mapping.get(s, s) for s in orig_succs)
+            # the clone of the original was made before retargeting, so
+            # recompute from the clone block itself
+            assert cfg.block(clone).successors() == expected
+
+    def test_clone_preserves_bodies(self):
+        cfg = CFG.from_function(diamond_function())
+        mapping = cfg.clone_subgraph(sorted(cfg.blocks))
+        for orig, clone in mapping.items():
+            a = cfg.block(orig).instructions
+            b = cfg.block(clone).instructions
+            assert [i.op for i in a] == [i.op for i in b]
+            assert a is not b
+
+    def test_map_instructions_delete(self):
+        cfg = CFG.from_function(diamond_function())
+        before = cfg.instruction_count()
+        cfg.map_instructions(
+            lambda block, idx, ins: None if ins.op is Op.PUSH else ins
+        )
+        assert cfg.instruction_count() < before
+
+
+class TestTerminators:
+    def test_retarget(self):
+        t = CondBranch(Op.JZ, 1, 2)
+        t.retarget(1, 9)
+        assert t.successors() == (9, 2)
+        g = Goto(3)
+        g.retarget(3, 4)
+        assert g.successors() == (4,)
+        c = CheckBranch(5, 6)
+        c.retarget(6, 7)
+        assert c.successors() == (5, 7)
+
+    def test_exits_have_no_successors(self):
+        assert Return().successors() == ()
+        assert Halt().successors() == ()
+
+    def test_condbranch_requires_conditional_op(self):
+        with pytest.raises(CFGError):
+            CondBranch(Op.JUMP, 1, 2)
+
+    def test_copy_is_independent(self):
+        t = CondBranch(Op.JNZ, 1, 2)
+        dup = t.copy()
+        dup.retarget(1, 8)
+        assert t.taken == 1

@@ -1,0 +1,139 @@
+"""Tests for MiniJ semantic analysis."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.frontend import check, parse
+
+
+def check_source(source: str):
+    return check(parse(source))
+
+
+def check_main(body: str):
+    return check_source(f"func main() {{ {body} }}")
+
+
+class TestScoping:
+    def test_undefined_variable(self):
+        with pytest.raises(TypeCheckError, match="undefined"):
+            check_main("x = 1;")
+
+    def test_declared_then_used(self):
+        checked = check_main("var x = 1; x = x + 1;")
+        assert checked.functions["main"].num_locals == 1
+
+    def test_redeclaration_in_same_scope(self):
+        with pytest.raises(TypeCheckError, match="already declared"):
+            check_main("var x = 1; var x = 2;")
+
+    def test_shadowing_in_nested_block_allowed(self):
+        checked = check_main("var x = 1; { var x = 2; } x = 3;")
+        assert checked.functions["main"].num_locals == 2
+
+    def test_block_scope_ends(self):
+        with pytest.raises(TypeCheckError, match="undefined"):
+            check_main("{ var x = 1; } x = 2;")
+
+    def test_for_init_scopes_over_body_not_after(self):
+        check_main("for (var i = 0; i < 3; i = i + 1) { var y = i; }")
+        with pytest.raises(TypeCheckError, match="undefined"):
+            check_main("for (var i = 0; i < 3; i = i + 1) { } i = 5;")
+
+    def test_params_are_in_scope(self):
+        check_source("func f(a, b) { return a + b; } func main() { return f(1, 2); }")
+
+    def test_duplicate_params(self):
+        with pytest.raises(TypeCheckError, match="duplicate parameter"):
+            check_source("func f(a, a) { return 0; }")
+
+    def test_slot_assignment_is_sequential(self):
+        checked = check_source("func f(p) { var a = 0; var b = 0; return b; }")
+        assert checked.functions["f"].num_locals == 3
+
+
+class TestFunctions:
+    def test_unknown_function(self):
+        with pytest.raises(TypeCheckError, match="unknown function"):
+            check_main("ghost();")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TypeCheckError, match="argument"):
+            check_source(
+                "func f(a) { return a; } func main() { return f(1, 2); }"
+            )
+
+    def test_forward_reference_allowed(self):
+        check_source(
+            "func main() { return later(1); } func later(x) { return x; }"
+        )
+
+    def test_mutual_recursion_allowed(self):
+        check_source(
+            "func even(n) { if (n == 0) { return 1; } return odd(n - 1); }"
+            "func odd(n) { if (n == 0) { return 0; } return even(n - 1); }"
+            "func main() { return even(4); }"
+        )
+
+    def test_duplicate_function(self):
+        with pytest.raises(TypeCheckError, match="duplicate function"):
+            check_source("func f() { return 0; } func f() { return 1; }")
+
+    def test_spawn_checked_like_call(self):
+        with pytest.raises(TypeCheckError, match="argument"):
+            check_source(
+                "func w(a) { return a; } func main() { spawn w(); return 0; }"
+            )
+
+
+class TestClassesAndFields:
+    def test_unknown_class_in_new(self):
+        with pytest.raises(TypeCheckError, match="unknown class"):
+            check_main("var p = new Ghost;")
+
+    def test_unknown_field(self):
+        with pytest.raises(TypeCheckError, match="unknown field"):
+            check_source(
+                "class P { field x; } "
+                "func main() { var p = new P; return p.y; }"
+            )
+
+    def test_field_resolution(self):
+        checked = check_source(
+            "class P { field x; } class Q { field y; } "
+            "func main() { var p = new P; return p.x; }"
+        )
+        assert checked.field_owner == {"x": "P", "y": "Q"}
+
+    def test_globally_unique_field_names(self):
+        with pytest.raises(TypeCheckError, match="globally unique"):
+            check_source("class A { field x; } class B { field x; }")
+
+    def test_duplicate_field_in_class(self):
+        with pytest.raises(TypeCheckError, match="duplicate field"):
+            check_source("class A { field x; field x; }")
+
+    def test_duplicate_class(self):
+        with pytest.raises(TypeCheckError, match="duplicate class"):
+            check_source("class A { } class A { }")
+
+    def test_class_function_name_collision(self):
+        with pytest.raises(TypeCheckError, match="both"):
+            check_source("class A { } func A() { return 0; }")
+
+
+class TestControlFlow:
+    def test_break_outside_loop(self):
+        with pytest.raises(TypeCheckError, match="break"):
+            check_main("break;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(TypeCheckError, match="continue"):
+            check_main("continue;")
+
+    def test_break_inside_nested_if_inside_loop(self):
+        check_main("while (1) { if (1) { break; } }")
+
+    def test_break_not_leaking_from_loop(self):
+        with pytest.raises(TypeCheckError, match="break"):
+            check_main("while (1) { } break;")

@@ -1,0 +1,235 @@
+"""Tests for MiniJ code generation: compile, run, check results.
+
+These are execution tests: each asserts the *observable behaviour* of a
+language construct, which pins down codegen, verifier, and interpreter
+together. Every program is run at O0 so the optimizer cannot mask
+codegen bugs.
+"""
+
+import pytest
+
+from repro.errors import VMTrap
+from repro.frontend import CompileOptions, compile_source
+from repro.vm import run_program
+
+
+def run_main(body: str, extra: str = ""):
+    source = f"{extra}\nfunc main() {{ {body} }}"
+    program = compile_source(source, CompileOptions(opt_level=0))
+    return run_program(program)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2", 3),
+            ("10 - 4", 6),
+            ("6 * 7", 42),
+            ("17 / 5", 3),
+            ("17 % 5", 2),
+            ("6 & 3", 2),
+            ("6 | 3", 7),
+            ("6 ^ 3", 5),
+            ("1 << 4", 16),
+            ("32 >> 3", 4),
+            ("-(5)", -5),
+            ("!0", 1),
+            ("!7", 0),
+        ],
+    )
+    def test_binary_and_unary(self, expr, expected):
+        assert run_main(f"return {expr};").value == expected
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("3 < 4", 1), ("4 < 4", 0),
+            ("4 <= 4", 1), ("5 <= 4", 0),
+            ("5 > 4", 1), ("4 > 4", 0),
+            ("4 >= 4", 1), ("3 >= 4", 0),
+            ("4 == 4", 1), ("4 == 5", 0),
+            ("4 != 5", 1), ("4 != 4", 0),
+        ],
+    )
+    def test_comparisons(self, expr, expected):
+        assert run_main(f"return {expr};").value == expected
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(VMTrap, match="division"):
+            run_main("var z = 0; return 1 / z;")
+
+    def test_modulo_by_zero_traps(self):
+        with pytest.raises(VMTrap, match="modulo"):
+            run_main("var z = 0; return 1 % z;")
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        # if && were strict, 1/z would trap
+        result = run_main("var z = 0; if (z != 0 && 1 / z > 0) { return 1; } return 2;")
+        assert result.value == 2
+
+    def test_or_skips_rhs(self):
+        result = run_main("var z = 0; if (z == 0 || 1 / z > 0) { return 1; } return 2;")
+        assert result.value == 1
+
+    def test_values_are_boolean(self):
+        assert run_main("return 7 && 9;").value == 1
+        assert run_main("return 0 || 5;").value == 1
+        assert run_main("return 0 || 0;").value == 0
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run_main("if (1) { return 10; } else { return 20; }").value == 10
+        assert run_main("if (0) { return 10; } else { return 20; }").value == 20
+
+    def test_if_without_else(self):
+        assert run_main("if (0) { return 1; } return 2;").value == 2
+
+    def test_while_loop(self):
+        body = "var n = 0; while (n < 5) { n = n + 1; } return n;"
+        assert run_main(body).value == 5
+
+    def test_for_loop_sum(self):
+        body = "var s = 0; for (var i = 1; i <= 10; i = i + 1) { s = s + i; } return s;"
+        assert run_main(body).value == 55
+
+    def test_break(self):
+        body = (
+            "var i = 0; while (1) { if (i == 3) { break; } i = i + 1; }"
+            " return i;"
+        )
+        assert run_main(body).value == 3
+
+    def test_continue_in_for_runs_update(self):
+        body = (
+            "var s = 0;"
+            "for (var i = 0; i < 6; i = i + 1) {"
+            "  if (i % 2 == 0) { continue; }"
+            "  s = s + i;"
+            "}"
+            "return s;"
+        )
+        assert run_main(body).value == 9  # 1 + 3 + 5
+
+    def test_nested_loops(self):
+        body = (
+            "var c = 0;"
+            "for (var i = 0; i < 3; i = i + 1) {"
+            "  for (var j = 0; j < 4; j = j + 1) { c = c + 1; }"
+            "}"
+            "return c;"
+        )
+        assert run_main(body).value == 12
+
+    def test_implicit_return_zero(self):
+        assert run_main("var x = 5;").value == 0
+
+
+class TestFunctions:
+    def test_call_and_args(self):
+        extra = "func add3(a, b, c) { return a + b * 10 + c * 100; }"
+        assert run_main("return add3(1, 2, 3);", extra).value == 321
+
+    def test_recursion(self):
+        extra = (
+            "func fib(n) {"
+            " if (n < 2) { return n; }"
+            " return fib(n - 1) + fib(n - 2);"
+            "}"
+        )
+        assert run_main("return fib(10);", extra).value == 55
+
+    def test_void_call_as_statement(self):
+        extra = "func noop() { return 0; }"
+        assert run_main("noop(); return 7;", extra).value == 7
+
+
+class TestHeap:
+    def test_object_fields(self):
+        extra = "class P { field x; field y; }"
+        body = "var p = new P; p.x = 3; p.y = p.x * 2; return p.x + p.y;"
+        assert run_main(body, extra).value == 9
+
+    def test_fields_default_to_zero(self):
+        extra = "class P { field x; }"
+        assert run_main("var p = new P; return p.x;", extra).value == 0
+
+    def test_objects_are_references(self):
+        extra = (
+            "class P { field x; }"
+            "func poke(p) { p.x = 42; return 0; }"
+        )
+        body = "var p = new P; poke(p); return p.x;"
+        assert run_main(body, extra).value == 42
+
+    def test_arrays(self):
+        body = (
+            "var a = newarray(4);"
+            "a[0] = 10; a[3] = 13;"
+            "return a[0] + a[3] + a[1] + len(a);"
+        )
+        assert run_main(body).value == 27
+
+    def test_array_out_of_bounds_traps(self):
+        with pytest.raises(VMTrap, match="out of range"):
+            run_main("var a = newarray(2); return a[5];")
+
+    def test_negative_index_traps_or_wraps(self):
+        # MiniJ inherits Python's negative indexing? No: the VM indexes
+        # the backing list, so -1 reads the last slot. We pin the
+        # contract: negative indices are a trap-free alias today ONLY if
+        # within range; the language spec says "don't".
+        result = run_main("var a = newarray(2); a[1] = 9; return a[0 - 1];")
+        assert result.value == 9
+
+
+class TestPrintAndIO:
+    def test_print_order(self):
+        result = run_main("print(1); print(2); print(3); return 0;")
+        assert result.output == [1, 2, 3]
+
+    def test_io_deterministic(self):
+        r1 = run_main("return io(1) + io(2);")
+        r2 = run_main("return io(1) + io(2);")
+        assert r1.value == r2.value
+        assert r1.stats.io_ops == 2
+
+
+class TestOptimizationLevels:
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_levels_agree(self, level):
+        source = """
+        func helper(x) { return x * 3 + 1; }
+        func main() {
+            var acc = 0;
+            for (var i = 0; i < 20; i = i + 1) {
+                if (i % 3 == 0) { acc = acc + helper(i); }
+                else { acc = acc - 1; }
+            }
+            print(acc);
+            return acc;
+        }
+        """
+        base = run_program(compile_source(source, CompileOptions(opt_level=0)))
+        other = run_program(
+            compile_source(source, CompileOptions(opt_level=level))
+        )
+        assert other.value == base.value
+        assert other.output == base.output
+
+    def test_o2_not_slower(self):
+        source = """
+        func tiny(x) { return x + 1; }
+        func main() {
+            var acc = 0;
+            for (var i = 0; i < 50; i = i + 1) { acc = tiny(acc); }
+            return acc;
+        }
+        """
+        o0 = run_program(compile_source(source, CompileOptions(opt_level=0)))
+        o2 = run_program(compile_source(source, CompileOptions(opt_level=2)))
+        assert o2.value == o0.value
+        assert o2.stats.cycles <= o0.stats.cycles

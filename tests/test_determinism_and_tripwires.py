@@ -1,0 +1,111 @@
+"""Cross-cutting guarantees: full determinism (including threads and
+timer triggers) and the harness's misbehaviour tripwires."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness import ExperimentRunner, RunSpec
+from repro.instrument import FieldAccessInstrumentation, Instrumentation
+from repro.instrument.base import InstrumentationAction
+from repro.sampling import SamplingFramework, Strategy, TimerTrigger
+from repro.vm import run_program
+from repro.workloads import get_workload
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["volano", "pbob", "mtrt"])
+    def test_threaded_workload_with_timer_trigger(self, name):
+        """Threads + virtual timer + timer-triggered sampling: two runs
+        must agree bit for bit (value, output, cycles, samples, and the
+        entire sampled profile)."""
+        program = get_workload(name).compile()
+
+        def run_once():
+            instr = FieldAccessInstrumentation()
+            transformed = SamplingFramework(
+                Strategy.FULL_DUPLICATION
+            ).transform(program, instr)
+            result = run_program(
+                transformed, trigger=TimerTrigger(), timer_period=2500
+            )
+            return (
+                result.value,
+                tuple(result.output),
+                result.stats.cycles,
+                result.stats.samples_taken,
+                tuple(sorted(instr.profile.counts.items())),
+            )
+
+        assert run_once() == run_once()
+
+    def test_thread_switch_counts_stable(self):
+        program = get_workload("mtrt").compile()
+        a = run_program(program, timer_period=3000).stats
+        b = run_program(program, timer_period=3000).stats
+        assert a.thread_switches == b.thread_switches
+        assert a.timer_ticks == b.timer_ticks
+
+
+class _CorruptingAction(InstrumentationAction):
+    """An action that (incorrectly) mutates program state: it zeroes
+    the first element of the first array argument it sees."""
+
+    cost = 1
+
+    def execute(self, vm, frame):
+        from repro.vm import RArray
+
+        for value in frame.locals:
+            if isinstance(value, RArray) and len(value):
+                value.slots[0] = 0
+                return
+
+
+class _CorruptingInstrumentation(Instrumentation):
+    kind = "corrupting"
+
+    def instrument_cfg(self, cfg, program):
+        self.insert_at_entry(cfg, _CorruptingAction())
+
+
+class TestTripwires:
+    def test_harness_detects_semantic_divergence(self):
+        """If an instrumentation (or a transform bug) changes program
+        behaviour, the runner's semantic tripwire must fire rather than
+        silently reporting garbage overheads."""
+        from repro.harness import experiment as exp
+
+        runner = ExperimentRunner()
+        exp._INSTRUMENTATION_FACTORIES["corrupting"] = (
+            _CorruptingInstrumentation
+        )
+        try:
+            with pytest.raises(HarnessError, match="diverged"):
+                runner.run(
+                    RunSpec(
+                        "db",
+                        Strategy.EXHAUSTIVE,
+                        ("corrupting",),
+                    )
+                )
+        finally:
+            del exp._INSTRUMENTATION_FACTORIES["corrupting"]
+
+    def test_corruption_invisible_when_checks_disabled(self):
+        """Sanity for the tripwire test: with checks disabled the same
+        corrupt run completes (and computes something different)."""
+        from repro.harness import experiment as exp
+
+        relaxed = ExperimentRunner(check_semantics=False,
+                                   check_property1=False)
+        exp._INSTRUMENTATION_FACTORIES["corrupting"] = (
+            _CorruptingInstrumentation
+        )
+        try:
+            result = relaxed.run(
+                RunSpec("db", Strategy.EXHAUSTIVE, ("corrupting",))
+            )
+            baseline_value = relaxed.baseline("db")[1].value
+            assert result.value != baseline_value
+        finally:
+            del exp._INSTRUMENTATION_FACTORIES["corrupting"]

@@ -1,0 +1,112 @@
+"""Interaction tests: framework features composed together."""
+
+import pytest
+
+from repro.adaptive import AdaptiveVMSimulation
+from repro.instrument import (
+    BlockCountInstrumentation,
+    CallEdgeInstrumentation,
+    CCTInstrumentation,
+    FieldAccessInstrumentation,
+    PathProfileInstrumentation,
+)
+from repro.sampling import (
+    BurstTrigger,
+    CounterTrigger,
+    PerThreadCounterTrigger,
+    RandomizedCounterTrigger,
+    SamplingFramework,
+    Strategy,
+)
+from repro.vm import run_program
+from repro.workloads import get_workload
+
+
+class TestCountedBackedgesCompositions:
+    def test_with_yieldpoint_opt(self):
+        program = get_workload("jack").compile()
+        base = run_program(program)
+        fw = SamplingFramework(
+            Strategy.FULL_DUPLICATION,
+            yieldpoint_opt=True,
+            sample_iterations=4,
+        )
+        transformed = fw.transform(program, FieldAccessInstrumentation())
+        result = run_program(transformed, trigger=CounterTrigger(43))
+        assert result.value == base.value
+
+    def test_with_multiple_instrumentations(self):
+        program = get_workload("javac").compile()
+        base = run_program(program)
+        call = CallEdgeInstrumentation()
+        path = PathProfileInstrumentation()
+        fw = SamplingFramework(
+            Strategy.FULL_DUPLICATION, sample_iterations=3
+        )
+        transformed = fw.transform(program, [call, path])
+        result = run_program(transformed, trigger=CounterTrigger(29))
+        assert result.value == base.value
+        assert call.profile.total() > 0
+        assert path.profile.total() > 0
+
+    def test_with_randomized_trigger(self):
+        program = get_workload("db").compile()
+        base = run_program(program)
+        fw = SamplingFramework(
+            Strategy.FULL_DUPLICATION, sample_iterations=4
+        )
+        transformed = fw.transform(program, BlockCountInstrumentation())
+        result = run_program(
+            transformed, trigger=RandomizedCounterTrigger(37, jitter=5)
+        )
+        assert result.value == base.value
+
+
+class TestTriggerInstrumentationCompositions:
+    @pytest.mark.parametrize(
+        "trigger_factory",
+        [
+            lambda: CounterTrigger(31),
+            lambda: BurstTrigger(31, burst_length=4),
+            lambda: PerThreadCounterTrigger(31),
+            lambda: RandomizedCounterTrigger(31, jitter=7),
+        ],
+        ids=["counter", "burst", "per-thread", "randomized"],
+    )
+    def test_triggers_on_threaded_workload(self, trigger_factory):
+        program = get_workload("mtrt").compile()
+        base = run_program(program)
+        instr = CCTInstrumentation(max_depth=4)
+        transformed = SamplingFramework(
+            Strategy.FULL_DUPLICATION
+        ).transform(program, instr)
+        result = run_program(transformed, trigger=trigger_factory())
+        assert result.value == base.value
+        assert instr.profile.total() > 0
+
+    def test_no_duplication_with_burst_trigger(self):
+        program = get_workload("jess").compile()
+        base = run_program(program)
+        instr = CallEdgeInstrumentation()
+        transformed = SamplingFramework(
+            Strategy.NO_DUPLICATION
+        ).transform(program, instr)
+        result = run_program(
+            transformed, trigger=BurstTrigger(23, burst_length=3)
+        )
+        assert result.value == base.value
+        assert instr.profile.total() > 0
+
+
+class TestAdaptiveOnThreadedSources:
+    def test_simulation_on_pbob(self):
+        src = get_workload("pbob").render_source(1)
+        result = AdaptiveVMSimulation(src, interval=67, max_epochs=4).run()
+        assert result.epochs
+        # value stability is asserted inside the simulation itself
+        assert result.steady_state_cycles <= result.baseline_epoch_cycles
+
+    def test_simulation_on_volano(self):
+        src = get_workload("volano").render_source(1)
+        result = AdaptiveVMSimulation(src, interval=67, max_epochs=3).run()
+        assert result.epochs

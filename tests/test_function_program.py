@@ -1,0 +1,134 @@
+"""Tests for Function, Klass and Program containers."""
+
+import pytest
+
+from repro.bytecode import (
+    BytecodeBuilder,
+    Function,
+    Instruction,
+    Klass,
+    Op,
+    Program,
+)
+from repro.errors import BytecodeError
+
+
+def make_fn(name="f", params=0):
+    return BytecodeBuilder(name, num_params=params).ret_const(0).build()
+
+
+class TestFunction:
+    def test_locals_must_cover_params(self):
+        with pytest.raises(BytecodeError):
+            Function("f", num_params=3, num_locals=2)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(BytecodeError):
+            Function("f", num_params=-1, num_locals=0)
+
+    def test_copy_is_deep_for_instructions(self):
+        fn = make_fn()
+        dup = fn.copy()
+        dup.code[0].arg = 99
+        assert fn.code[0].arg == 0
+
+    def test_copy_rename(self):
+        assert make_fn().copy("g").name == "g"
+
+    def test_count_op(self):
+        fn = make_fn()
+        assert fn.count_op(Op.PUSH) == 1
+        assert fn.count_op(Op.ADD) == 0
+
+    def test_called_functions_in_order(self):
+        b = BytecodeBuilder("f")
+        b.call("x").emit(Op.POP).call("y").ret()
+        fn = b.build()
+        assert fn.called_functions() == ["x", "y"]
+
+    def test_code_size_bytes(self):
+        fn = make_fn()
+        assert fn.code_size_bytes() == 4 * len(fn.code)
+
+
+class TestKlass:
+    def test_slot_assignment_follows_declaration_order(self):
+        kl = Klass("P", ["x", "y", "z"])
+        assert [kl.slot_of(f) for f in ("x", "y", "z")] == [0, 1, 2]
+
+    def test_unknown_field(self):
+        kl = Klass("P", ["x"])
+        with pytest.raises(BytecodeError, match="no field"):
+            kl.slot_of("y")
+        assert not kl.has_field("y")
+        assert kl.has_field("x")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(BytecodeError, match="duplicate"):
+            Klass("P", ["x", "x"])
+
+    def test_num_fields(self):
+        assert Klass("P", ["a", "b"]).num_fields() == 2
+
+
+class TestProgram:
+    def test_duplicate_function_rejected(self):
+        prog = Program([make_fn("f")])
+        with pytest.raises(BytecodeError, match="duplicate"):
+            prog.add_function(make_fn("f"))
+
+    def test_duplicate_class_rejected(self):
+        prog = Program(classes=[Klass("C", [])])
+        with pytest.raises(BytecodeError, match="duplicate"):
+            prog.add_class(Klass("C", []))
+
+    def test_replace_requires_existing(self):
+        prog = Program([make_fn("f")])
+        prog.replace_function(make_fn("f"))
+        with pytest.raises(BytecodeError, match="no function"):
+            prog.replace_function(make_fn("g"))
+
+    def test_lookup_errors(self):
+        prog = Program()
+        with pytest.raises(BytecodeError):
+            prog.function("nope")
+        with pytest.raises(BytecodeError):
+            prog.klass("nope")
+
+    def test_copy_isolates_functions(self):
+        prog = Program([make_fn("f")])
+        dup = prog.copy()
+        dup.function("f").code[0].arg = 42
+        assert prog.function("f").code[0].arg == 0
+
+    def test_validate_references_unknown_call(self):
+        b = BytecodeBuilder("main")
+        b.call("ghost").ret()
+        prog = Program([b.build()])
+        with pytest.raises(BytecodeError, match="unknown function"):
+            prog.validate_references()
+
+    def test_validate_references_unknown_class(self):
+        b = BytecodeBuilder("main")
+        b.new("Ghost").emit(Op.POP).ret_const(0)
+        prog = Program([b.build()])
+        with pytest.raises(BytecodeError, match="unknown class"):
+            prog.validate_references()
+
+    def test_validate_references_unknown_field(self):
+        b = BytecodeBuilder("main")
+        b.new("C").getfield("C", "nope").ret()
+        prog = Program([b.build()], classes=[Klass("C", ["x"])])
+        with pytest.raises(BytecodeError, match="no field"):
+            prog.validate_references()
+
+    def test_validate_references_missing_entry(self):
+        prog = Program([make_fn("helper")])
+        with pytest.raises(BytecodeError, match="entry"):
+            prog.validate_references()
+
+    def test_totals(self):
+        prog = Program([make_fn("main"), make_fn("g")])
+        assert prog.total_instructions() == 4
+        assert prog.total_code_size_bytes() == 16
+        assert prog.function_names() == ["g", "main"]

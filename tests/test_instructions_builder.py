@@ -1,0 +1,140 @@
+"""Tests for Instruction/Label and the BytecodeBuilder."""
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Instruction, Label, Op, instr
+from repro.bytecode.instructions import format_arg
+from repro.errors import BytecodeError
+
+
+class TestInstruction:
+    def test_copy_shares_arg_and_meta(self):
+        ins = Instruction(Op.CALL, "f", meta=("f", 3))
+        dup = ins.copy()
+        assert dup is not ins
+        assert dup.op is Op.CALL
+        assert dup.arg == "f"
+        assert dup.meta == ("f", 3)
+
+    def test_equality_ignores_meta(self):
+        assert Instruction(Op.PUSH, 1) == Instruction(Op.PUSH, 1, meta="x")
+        assert Instruction(Op.PUSH, 1) != Instruction(Op.PUSH, 2)
+        assert Instruction(Op.PUSH, 1) != Instruction(Op.POP)
+
+    def test_is_branch(self):
+        assert Instruction(Op.JUMP, 0).is_branch()
+        assert Instruction(Op.CHECK, 0).is_branch()
+        assert not Instruction(Op.ADD).is_branch()
+
+    def test_repr_with_label(self):
+        lab = Label("target")
+        assert "target" in repr(Instruction(Op.JUMP, lab))
+
+    def test_format_arg(self):
+        assert format_arg(Instruction(Op.PUSH, 42)) == "42"
+        assert format_arg(Instruction(Op.ADD)) is None
+        assert format_arg(Instruction(Op.GETFIELD, ("C", "f"))) == "C.f"
+
+    def test_instr_helper(self):
+        ins = instr(Op.PUSH, 7)
+        assert ins.op is Op.PUSH and ins.arg == 7
+
+
+class TestLabel:
+    def test_labels_unique_by_identity(self):
+        a, b = Label("x"), Label("x")
+        assert a is not b
+        assert a.uid != b.uid
+
+    def test_auto_name(self):
+        assert Label().name.startswith("L")
+
+
+class TestBuilder:
+    def test_straight_line(self):
+        fn = BytecodeBuilder("f").push(1).push(2).emit(Op.ADD).ret().build()
+        assert [i.op for i in fn.code] == [
+            Op.PUSH, Op.PUSH, Op.ADD, Op.RETURN,
+        ]
+
+    def test_label_resolution(self):
+        b = BytecodeBuilder("f")
+        end = b.new_label("end")
+        b.push(1).jz(end).push(2).emit(Op.POP)
+        b.label(end)
+        b.push(0).ret()
+        fn = b.build()
+        jz = fn.code[1]
+        assert jz.op is Op.JZ
+        assert jz.arg == 4  # resolved to the push 0
+
+    def test_backward_label(self):
+        b = BytecodeBuilder("f", num_locals=1)
+        loop = b.new_label()
+        done = b.new_label()
+        b.push(3).store(0)
+        b.label(loop)
+        b.load(0).jz(done)
+        b.load(0).push(1).emit(Op.SUB).store(0)
+        b.jump(loop)
+        b.label(done)
+        b.ret_const(0)
+        fn = b.build()
+        jump = next(i for i in fn.code if i.op is Op.JUMP)
+        assert jump.arg == 2  # back to the loop head
+
+    def test_new_local_allocates_after_params(self):
+        b = BytecodeBuilder("f", num_params=2)
+        assert b.new_local() == 2
+        assert b.new_local() == 3
+        fn = b.push(0).ret().build()
+        assert fn.num_locals == 4
+
+    def test_unbound_label_rejected(self):
+        b = BytecodeBuilder("f")
+        lost = b.new_label()
+        b.jump(lost)
+        with pytest.raises(BytecodeError, match="unbound"):
+            b.build()
+
+    def test_trailing_label_rejected(self):
+        b = BytecodeBuilder("f")
+        b.push(0).ret()
+        b.label(b.new_label("after-end"))
+        with pytest.raises(BytecodeError, match="after the last"):
+            b.build()
+
+    def test_duplicate_label_binding_rejected(self):
+        b = BytecodeBuilder("f")
+        lab = b.new_label()
+        b.label(lab)
+        b.push(0)
+        with pytest.raises(BytecodeError, match="twice"):
+            b.label(lab)
+
+    def test_non_label_branch_arg_rejected(self):
+        b = BytecodeBuilder("f")
+        b.emit(Op.JUMP, 3)
+        with pytest.raises(BytecodeError, match="Label"):
+            b.build()
+
+    def test_call_shorthand(self):
+        fn = BytecodeBuilder("f", num_params=1).load(0).call("g").ret().build()
+        assert fn.code[1].op is Op.CALL
+        assert fn.code[1].arg == "g"
+
+    def test_field_shorthands(self):
+        b = BytecodeBuilder("f", num_params=1)
+        b.load(0).getfield("C", "x")
+        b.load(0).push(5).putfield("C", "x")
+        b.push(0).ret()
+        fn = b.build()
+        assert fn.code[1].op is Op.GETFIELD
+        assert fn.code[1].arg == ("C", "x")
+        assert fn.code[4].op is Op.PUTFIELD
+
+    def test_new_shorthand_and_ret_const(self):
+        fn = BytecodeBuilder("f").new("C").emit(Op.POP).ret_const(9).build()
+        assert fn.code[0].op is Op.NEW
+        assert fn.code[-2].arg == 9
+        assert fn.code[-1].op is Op.RETURN

@@ -1,0 +1,231 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a realistic pipeline: MiniJ source -> compiled
+baseline -> instrumentation + sampling transform -> VM run -> profile
+analysis, asserting the cross-cutting facts the paper's evaluation
+depends on.
+"""
+
+import pytest
+
+from repro import (
+    CallEdgeInstrumentation,
+    CombinedInstrumentation,
+    CostModel,
+    CounterTrigger,
+    FieldAccessInstrumentation,
+    SamplingFramework,
+    Strategy,
+    compile_baseline,
+    overlap_percentage,
+    run_program,
+)
+from repro.instrument import PathProfileInstrumentation
+from repro.sampling import RandomizedCounterTrigger, TimerTrigger
+from repro.workloads import get_workload
+
+
+class TestOverheadOrdering:
+    """The paper's qualitative claims as executable assertions."""
+
+    @pytest.fixture(scope="class")
+    def javac(self):
+        program = get_workload("javac").compile()
+        base = run_program(program)
+        return program, base
+
+    def test_framework_cheaper_than_exhaustive(self, javac):
+        program, base = javac
+        instr_ex = CallEdgeInstrumentation()
+        exhaustive = SamplingFramework(Strategy.EXHAUSTIVE).transform(
+            program, instr_ex
+        )
+        ex_cycles = run_program(exhaustive).stats.cycles
+
+        instr_fd = CallEdgeInstrumentation()
+        sampled = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, instr_fd
+        )
+        fd_cycles = run_program(
+            sampled, trigger=CounterTrigger(101)
+        ).stats.cycles
+
+        assert base.stats.cycles < fd_cycles < ex_cycles
+
+    def test_interval_one_costs_more_than_exhaustive(self, javac):
+        """Paper footnote 6: the back-and-forth jumping makes interval-1
+        sampling more expensive than plain exhaustive instrumentation."""
+        program, _ = javac
+        instr_ex = CallEdgeInstrumentation()
+        exhaustive = SamplingFramework(Strategy.EXHAUSTIVE).transform(
+            program, instr_ex
+        )
+        ex_cycles = run_program(exhaustive).stats.cycles
+
+        instr_fd = CallEdgeInstrumentation()
+        sampled = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, instr_fd
+        )
+        fd1_cycles = run_program(
+            sampled, trigger=CounterTrigger(1)
+        ).stats.cycles
+        assert fd1_cycles > ex_cycles
+
+    def test_overhead_decreases_with_interval(self, javac):
+        program, base = javac
+        sampled = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program,
+            [CallEdgeInstrumentation(), FieldAccessInstrumentation()],
+        )
+        cycles = [
+            run_program(sampled, trigger=CounterTrigger(i)).stats.cycles
+            for i in (1, 10, 100, 1000)
+        ]
+        assert cycles == sorted(cycles, reverse=True)
+        assert cycles[-1] > base.stats.cycles  # framework floor remains
+
+    def test_no_dup_beats_full_dup_for_sparse_instrumentation(self, javac):
+        """Call-edge instrumentation is sparse (entries only), the
+        paper's case where No-Duplication wins (Table 3 vs Table 2)."""
+        program, base = javac
+        fd = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, CallEdgeInstrumentation()
+        )
+        nd = SamplingFramework(Strategy.NO_DUPLICATION).transform(
+            program, CallEdgeInstrumentation()
+        )
+        fd_cycles = run_program(fd).stats.cycles   # never-trigger default
+        nd_cycles = run_program(nd).stats.cycles
+        assert nd_cycles < fd_cycles
+
+    def test_full_dup_beats_no_dup_for_dense_instrumentation(self):
+        """Field-access instrumentation is dense in jack; guarding each
+        op costs nearly as much as the framework's per-backedge checks
+        buy back (Table 3's field-access column)."""
+        program = get_workload("jack").compile()
+        fd = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, FieldAccessInstrumentation()
+        )
+        nd = SamplingFramework(Strategy.NO_DUPLICATION).transform(
+            program, FieldAccessInstrumentation()
+        )
+        fd_cycles = run_program(fd).stats.cycles
+        nd_cycles = run_program(nd).stats.cycles
+        assert fd_cycles < nd_cycles
+
+
+class TestAccuracy:
+    def test_sampled_profiles_track_perfect(self):
+        program = get_workload("javac").compile(scale=2)
+        instr_perfect = CallEdgeInstrumentation()
+        fd = SamplingFramework(Strategy.FULL_DUPLICATION)
+        perfect_prog = fd.transform(program, instr_perfect)
+        run_program(perfect_prog, trigger=CounterTrigger(1))
+
+        instr_sampled = CallEdgeInstrumentation()
+        sampled_prog = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, instr_sampled
+        )
+        stats = run_program(
+            sampled_prog, trigger=CounterTrigger(11)
+        ).stats
+        overlap = overlap_percentage(
+            instr_perfect.profile, instr_sampled.profile
+        )
+        assert stats.samples_taken > 100
+        assert overlap > 80.0
+
+    def test_multiple_instrumentations_share_one_pass(self):
+        program = get_workload("db").compile()
+        base = run_program(program)
+        call = CallEdgeInstrumentation()
+        field = FieldAccessInstrumentation()
+        combined = CombinedInstrumentation([call, field])
+        transformed = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, combined
+        )
+        result = run_program(transformed, trigger=CounterTrigger(1))
+        assert result.value == base.value
+        assert call.profile.total() > 0
+        assert field.profile.total() > 0
+
+    def test_path_profile_under_sampling(self):
+        program = get_workload("javac").compile()
+        base = run_program(program)
+        instr = PathProfileInstrumentation()
+        transformed = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, instr
+        )
+        result = run_program(transformed, trigger=CounterTrigger(31))
+        assert result.value == base.value
+        assert instr.profile.total() > 0
+
+
+class TestTunability:
+    def test_interval_change_at_runtime(self):
+        """The framework's tunability: one compiled artifact, different
+        sampling rates chosen per run (no recompile)."""
+        program = get_workload("db").compile()
+        transformed = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, CallEdgeInstrumentation()
+        )
+        samples = [
+            run_program(transformed, trigger=CounterTrigger(i)).stats.samples_taken
+            for i in (5, 50, 500)
+        ]
+        assert samples[0] > samples[1] > samples[2]
+
+    def test_deterministic_profiles(self):
+        """Paper: 'Running a deterministic application twice will result
+        in identical profiles.'"""
+        program = get_workload("jess").compile()
+        profiles = []
+        for _ in range(2):
+            instr = CallEdgeInstrumentation()
+            transformed = SamplingFramework(
+                Strategy.FULL_DUPLICATION
+            ).transform(program, instr)
+            run_program(transformed, trigger=CounterTrigger(37))
+            profiles.append(dict(instr.profile.counts))
+        assert profiles[0] == profiles[1]
+
+    def test_cost_model_swap(self):
+        """The PowerPC decrement-and-check model (check cost 1) lowers
+        framework overhead, as §2.2 predicts."""
+        from repro.vm import powerpc_ctr_model
+
+        program = get_workload("compress").compile()
+        transformed = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, CallEdgeInstrumentation()
+        )
+        default_cycles = run_program(transformed).stats.cycles
+        ppc_cycles = run_program(
+            transformed, cost_model=powerpc_ctr_model()
+        ).stats.cycles
+        assert ppc_cycles < default_cycles
+
+
+class TestTriggerBehaviour:
+    def test_timer_trigger_runs_and_samples(self):
+        program = get_workload("volano").compile()
+        base = run_program(program)
+        instr = FieldAccessInstrumentation()
+        transformed = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, instr
+        )
+        result = run_program(
+            transformed, trigger=TimerTrigger(), timer_period=2000
+        )
+        assert result.value == base.value
+        assert result.stats.samples_taken > 0
+
+    def test_randomized_trigger_preserves_semantics(self):
+        program = get_workload("db").compile()
+        base = run_program(program)
+        transformed = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, CallEdgeInstrumentation()
+        )
+        result = run_program(
+            transformed, trigger=RandomizedCounterTrigger(40, jitter=7)
+        )
+        assert result.value == base.value

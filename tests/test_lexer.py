@@ -1,0 +1,99 @@
+"""Tests for the MiniJ lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend import tokenize
+from repro.frontend.tokens import TokenType
+
+
+def types(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        assert types("  \n\t \r\n ") == []
+
+    def test_integers(self):
+        toks = tokenize("0 42 123456")
+        assert [t.value for t in toks[:-1]] == [0, 42, 123456]
+
+    def test_hex_integers(self):
+        toks = tokenize("0x10 0xFF 0xdeadBEEF")
+        assert [t.value for t in toks[:-1]] == [16, 255, 0xDEADBEEF]
+
+    def test_identifiers_and_keywords(self):
+        assert types("while whiles") == [TokenType.WHILE, TokenType.IDENT]
+        assert types("iff if") == [TokenType.IDENT, TokenType.IF]
+
+    def test_underscore_identifiers(self):
+        toks = tokenize("_x as_ a_b")
+        assert all(t.type is TokenType.IDENT for t in toks[:-1])
+
+    def test_all_keywords(self):
+        source = (
+            "class field func var if else while for return break "
+            "continue print new newarray len io spawn true false"
+        )
+        assert all(t is not TokenType.IDENT for t in types(source))
+
+
+class TestOperators:
+    def test_two_char_before_one_char(self):
+        assert types("<= < << =") == [
+            TokenType.LE, TokenType.LT, TokenType.SHL, TokenType.ASSIGN,
+        ]
+        assert types("== =") == [TokenType.EQ, TokenType.ASSIGN]
+        assert types("&& &") == [TokenType.ANDAND, TokenType.AMP]
+        assert types("|| |") == [TokenType.OROR, TokenType.PIPE]
+        assert types("!= !") == [TokenType.NE, TokenType.BANG]
+
+    def test_punctuation(self):
+        assert types("( ) { } [ ] , ; .") == [
+            TokenType.LPAREN, TokenType.RPAREN,
+            TokenType.LBRACE, TokenType.RBRACE,
+            TokenType.LBRACKET, TokenType.RBRACKET,
+            TokenType.COMMA, TokenType.SEMI, TokenType.DOT,
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert types("1 // two three\n4") == [TokenType.INT, TokenType.INT]
+
+    def test_line_comment_at_eof(self):
+        assert types("1 // trailing") == [TokenType.INT]
+
+    def test_block_comment(self):
+        assert types("1 /* 2\n 3 */ 4") == [TokenType.INT, TokenType.INT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("1 /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("a @ b")
+
+    def test_identifier_starting_with_digit(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError, match="hex"):
+            tokenize("0x")

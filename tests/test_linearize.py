@@ -1,0 +1,94 @@
+"""Tests for CFG re-linearization (layout, fixups, cold placement)."""
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Op, Program, verify_program
+from repro.cfg import CFG, linearize, roundtrip
+from repro.cfg.linearize import layout_order
+from repro.errors import CFGError
+from repro.vm import run_program
+
+
+def sum_to_n(n=10):
+    b = BytecodeBuilder("main")
+    i, acc = b.new_local(), b.new_local()
+    head, done = b.new_label(), b.new_label()
+    b.push(0).store(i).push(0).store(acc)
+    b.label(head)
+    b.load(i).push(n).emit(Op.LT).jz(done)
+    b.load(acc).load(i).emit(Op.ADD).store(acc)
+    b.load(i).push(1).emit(Op.ADD).store(i)
+    b.jump(head)
+    b.label(done)
+    b.load(acc).ret()
+    return Program([b.build()])
+
+
+class TestRoundTrip:
+    def test_semantics_preserved(self):
+        prog = sum_to_n()
+        base = run_program(prog)
+        prog2 = Program([roundtrip(prog.function("main"))])
+        assert run_program(prog2).value == base.value == 45
+
+    def test_roundtrip_idempotent_size(self):
+        fn = sum_to_n().function("main")
+        once = roundtrip(fn)
+        twice = roundtrip(once)
+        assert once.instruction_count() == twice.instruction_count()
+
+    def test_roundtrip_program_wide(self, loop_call_program):
+        base = run_program(loop_call_program)
+        again = loop_call_program.copy()
+        for name in again.function_names():
+            again.replace_function(roundtrip(again.function(name)))
+        verify_program(again)
+        result = run_program(again)
+        assert result.value == base.value
+        assert result.output == base.output
+
+
+class TestLayout:
+    def test_entry_first(self):
+        cfg = CFG.from_function(sum_to_n().function("main"))
+        assert layout_order(cfg)[0] == cfg.entry
+
+    def test_cold_blocks_placed_last(self):
+        cfg = CFG.from_function(sum_to_n().function("main"))
+        # Mark the loop body cold (artificial, but exercises placement).
+        exit_bids = [
+            bid for bid, blk in cfg.blocks.items()
+            if not blk.successors()
+        ]
+        cold = {exit_bids[0]}
+        order = layout_order(cfg, cold)
+        assert order[-1] in cold
+
+    def test_cold_entry_rejected(self):
+        cfg = CFG.from_function(sum_to_n().function("main"))
+        with pytest.raises(CFGError, match="entry"):
+            linearize(cfg, cold_blocks={cfg.entry})
+
+    def test_fallthrough_avoids_redundant_jumps(self):
+        fn = roundtrip(sum_to_n().function("main"))
+        jumps = fn.count_op(Op.JUMP)
+        # only the loop backedge should need an explicit JUMP
+        assert jumps == 1
+
+    def test_unreachable_blocks_dropped(self):
+        cfg = CFG.from_function(sum_to_n().function("main"))
+        from repro.cfg import Return
+
+        before = linearize(
+            CFG.from_function(sum_to_n().function("main"))
+        ).instruction_count()
+        orphan = cfg.new_block(terminator=Return())
+        fn = linearize(cfg)
+        # the orphan contributed no code: same size as without it
+        assert fn.instruction_count() == before
+        assert orphan.bid not in cfg.blocks  # removed in place
+
+    def test_notes_attached(self):
+        cfg = CFG.from_function(sum_to_n().function("main"))
+        fn = linearize(cfg, notes={"stage": "test"})
+        assert fn.notes["stage"] == "test"

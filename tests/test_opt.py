@@ -1,0 +1,304 @@
+"""Tests for the optimizer passes."""
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Instruction, Op, Program
+from repro.cfg import CFG, linearize
+from repro.frontend import CompileOptions, compile_source
+from repro.opt import (
+    cleanup_program,
+    default_heuristic,
+    dce_cfg,
+    eliminate_dead_stores,
+    fold_cfg,
+    inline_call_site,
+    inline_program,
+    optimize_program,
+    peephole_cfg,
+    unroll_program,
+)
+from repro.vm import run_program
+
+
+def cfg_of(build, name="f", params=0):
+    b = BytecodeBuilder(name, num_params=params)
+    build(b)
+    return CFG.from_function(b.build())
+
+
+class TestPeephole:
+    def test_push_pop_removed(self):
+        cfg = cfg_of(lambda b: b.push(5).emit(Op.POP).ret_const(0))
+        assert peephole_cfg(cfg) > 0
+        assert cfg.instruction_count() == 1  # just the push 0
+
+    def test_load_store_same_slot_removed(self):
+        def build(b):
+            b.new_local()
+            b.push(1).store(0)
+            b.load(0).store(0)
+            b.load(0).ret()
+
+        cfg = cfg_of(build)
+        peephole_cfg(cfg)
+        ops = [i.op for blk in cfg.blocks.values() for i in blk.instructions]
+        assert ops.count(Op.STORE) == 1
+
+    def test_add_zero_removed(self):
+        cfg = cfg_of(lambda b: b.push(7).push(0).emit(Op.ADD).ret())
+        peephole_cfg(cfg)
+        assert cfg.instruction_count() == 1
+
+    def test_mul_zero_rewritten(self):
+        def build(b):
+            b.new_local()
+            b.load(0).push(0).emit(Op.MUL).ret()
+
+        cfg = cfg_of(build)
+        peephole_cfg(cfg)
+        ops = [i.op for i in cfg.entry_block().instructions]
+        assert Op.MUL not in ops
+
+    def test_semantics_preserved(self):
+        source = """
+        func main() {
+            var a = 3;
+            var b = a * 1 + 0;
+            return b;
+        }
+        """
+        o0 = compile_source(source, CompileOptions(opt_level=0))
+        o1 = compile_source(source, CompileOptions(opt_level=1))
+        assert run_program(o0).value == run_program(o1).value == 3
+
+
+class TestConstFold:
+    def test_binary_folded(self):
+        cfg = cfg_of(lambda b: b.push(6).push(7).emit(Op.MUL).ret())
+        assert fold_cfg(cfg) == 1
+        ins = cfg.entry_block().instructions
+        assert len(ins) == 1 and ins[0].arg == 42
+
+    def test_unary_folded(self):
+        cfg = cfg_of(lambda b: b.push(5).emit(Op.NEG).ret())
+        fold_cfg(cfg)
+        assert cfg.entry_block().instructions[0].arg == -5
+
+    def test_division_by_zero_not_folded(self):
+        cfg = cfg_of(lambda b: b.push(1).push(0).emit(Op.DIV).ret())
+        assert fold_cfg(cfg) == 0
+
+    def test_chained_folding(self):
+        cfg = cfg_of(
+            lambda b: b.push(1).push(2).emit(Op.ADD).push(3).emit(Op.MUL).ret()
+        )
+        fold_cfg(cfg)
+        assert cfg.entry_block().instructions[0].arg == 9
+
+    def test_branch_folding_kills_dead_arm(self):
+        source = """
+        func main() {
+            if (1 < 2) { return 10; }
+            return 20;
+        }
+        """
+        o1 = compile_source(source, CompileOptions(opt_level=1))
+        assert run_program(o1).value == 10
+        main = o1.function("main")
+        # the untaken arm is gone
+        assert all(ins.arg != 20 for ins in main.code if ins.op is Op.PUSH)
+
+
+class TestDCE:
+    def test_dead_store_becomes_pop_then_vanishes(self):
+        source = """
+        func main() {
+            var unused = 42;
+            return 7;
+        }
+        """
+        o1 = compile_source(source, CompileOptions(opt_level=1))
+        assert run_program(o1).value == 7
+        assert o1.function("main").count_op(Op.STORE) == 0
+
+    def test_live_store_kept(self):
+        def build(b):
+            b.new_local()
+            b.push(5).store(0).load(0).ret()
+
+        cfg = cfg_of(build)
+        assert eliminate_dead_stores(cfg) == 0
+
+    def test_instrumented_code_untouched(self):
+        class FakeAction:
+            cost = 1
+
+        def build(b):
+            b.new_local()
+            b.push(5).store(0)
+            b.emit(Op.INSTR, FakeAction())
+            b.push(0).ret()
+
+        cfg = cfg_of(build)
+        assert eliminate_dead_stores(cfg) == 0  # refused: INSTR present
+
+    def test_dce_removes_unreachable(self):
+        def build(b):
+            end = b.new_label()
+            b.push(0).ret()
+            b.label(end)
+            b.push(1).ret()
+
+        cfg = cfg_of(build)
+        assert dce_cfg(cfg) >= 1
+
+
+class TestInline:
+    def make_pair(self):
+        callee = (
+            BytecodeBuilder("g", num_params=1)
+            .load(0).push(10).emit(Op.MUL).ret()
+        ).build()
+        caller = (
+            BytecodeBuilder("main")
+            .push(4).call("g").push(2).emit(Op.ADD).ret()
+        ).build()
+        return Program([caller, callee])
+
+    def test_inline_site_preserves_semantics(self):
+        prog = self.make_pair()
+        base = run_program(prog).value
+        pc = next(
+            i for i, ins in enumerate(prog.function("main").code)
+            if ins.op is Op.CALL
+        )
+        inlined = inline_call_site(
+            prog.function("main"), pc, prog.function("g")
+        )
+        prog2 = Program([inlined, prog.function("g")])
+        assert run_program(prog2).value == base == 42
+
+    def test_inline_removes_call(self):
+        prog = inline_program(self.make_pair(), default_heuristic(20))
+        assert prog.function("main").count_op(Op.CALL) == 0
+
+    def test_inline_respects_size_heuristic(self):
+        prog = inline_program(self.make_pair(), default_heuristic(2))
+        assert prog.function("main").count_op(Op.CALL) == 1
+
+    def test_recursive_callee_skipped(self):
+        rec = (
+            BytecodeBuilder("rec", num_params=1)
+            .load(0).call("rec").ret()
+        ).build()
+        main = BytecodeBuilder("main").push(1).call("rec").ret().build()
+        prog = inline_program(Program([main, rec]))
+        assert prog.function("main").count_op(Op.CALL) == 1
+
+    def test_inline_with_branches_in_callee(self):
+        source = """
+        func abs(x) { if (x < 0) { return 0 - x; } return x; }
+        func main() { return abs(0 - 9) + abs(4); }
+        """
+        o0 = compile_source(source, CompileOptions(opt_level=0))
+        o2 = compile_source(source, CompileOptions(opt_level=2))
+        assert run_program(o0).value == run_program(o2).value == 13
+        assert o2.function("main").count_op(Op.CALL) == 0
+
+    def test_inline_renumbers_locals(self):
+        prog = self.make_pair()
+        pc = next(
+            i for i, ins in enumerate(prog.function("main").code)
+            if ins.op is Op.CALL
+        )
+        inlined = inline_call_site(
+            prog.function("main"), pc, prog.function("g")
+        )
+        assert inlined.num_locals == (
+            prog.function("main").num_locals + prog.function("g").num_locals
+        )
+
+
+class TestUnroll:
+    def test_unroll_preserves_semantics_and_reduces_backedges(self):
+        source = """
+        func main() {
+            var acc = 0;
+            for (var i = 0; i < 37; i = i + 1) { acc = acc + i; }
+            return acc;
+        }
+        """
+        prog = compile_source(source, CompileOptions(opt_level=1))
+        base = run_program(prog)
+        unrolled = unroll_program(prog, factor=4)
+        result = run_program(unrolled)
+        assert result.value == base.value == 666
+        assert result.stats.backward_jumps < base.stats.backward_jumps
+        # roughly a quarter (exit tests retained, trip count not a
+        # multiple of 4)
+        assert result.stats.backward_jumps <= base.stats.backward_jumps // 3
+
+    def test_unroll_nested_only_innermost(self):
+        source = """
+        func main() {
+            var acc = 0;
+            for (var i = 0; i < 5; i = i + 1) {
+                for (var j = 0; j < 8; j = j + 1) { acc = acc + 1; }
+            }
+            return acc;
+        }
+        """
+        prog = compile_source(source, CompileOptions(opt_level=1))
+        base = run_program(prog)
+        unrolled = unroll_program(prog, factor=2)
+        result = run_program(unrolled)
+        assert result.value == base.value == 40
+        assert result.stats.backward_jumps < base.stats.backward_jumps
+
+    def test_factor_one_is_noop(self):
+        source = "func main() { var a = 0; while (a < 3) { a = a + 1; } return a; }"
+        prog = compile_source(source, CompileOptions(opt_level=1))
+        unrolled = unroll_program(prog, factor=1)
+        assert (
+            unrolled.function("main").instruction_count()
+            == prog.function("main").instruction_count()
+        )
+
+    def test_multi_backedge_loop_skipped(self):
+        # `continue` in a while loop produces a second backedge
+        source = """
+        func main() {
+            var a = 0;
+            var i = 0;
+            while (i < 10) {
+                i = i + 1;
+                if (i % 2 == 0) { continue; }
+                a = a + i;
+            }
+            return a;
+        }
+        """
+        prog = compile_source(source, CompileOptions(opt_level=0))
+        base = run_program(prog)
+        unrolled = unroll_program(prog, factor=3)
+        assert run_program(unrolled).value == base.value == 25
+
+
+class TestPipeline:
+    def test_level0_is_copy(self, loop_call_unopt):
+        out = optimize_program(loop_call_unopt, level=0)
+        assert out is not loop_call_unopt
+        assert out.total_instructions() == loop_call_unopt.total_instructions()
+
+    def test_levels_monotone_size(self, loop_call_unopt):
+        o1 = optimize_program(loop_call_unopt, level=1)
+        o2 = optimize_program(loop_call_unopt, level=2)
+        assert o1.total_instructions() <= loop_call_unopt.total_instructions()
+        base = run_program(loop_call_unopt)
+        assert run_program(o1).value == base.value
+        assert run_program(o2).value == base.value
+
+    def test_cleanup_idempotent(self, loop_call_unopt):
+        once = cleanup_program(loop_call_unopt)
+        twice = cleanup_program(once)
+        assert once.total_instructions() == twice.total_instructions()

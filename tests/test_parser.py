@@ -1,0 +1,178 @@
+"""Tests for the MiniJ parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse
+from repro.frontend import ast_nodes as ast
+
+
+def parse_main(body: str) -> ast.FuncDecl:
+    return parse(f"func main() {{ {body} }}").function("main")
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_main(body).body.statements[0]
+
+
+class TestDeclarations:
+    def test_class_and_func(self):
+        prog = parse(
+            "class P { field x; field y; } func main() { return 0; }"
+        )
+        assert [c.name for c in prog.classes] == ["P"]
+        assert prog.classes[0].fields == ["x", "y"]
+        assert [f.name for f in prog.functions] == ["main"]
+
+    def test_params(self):
+        prog = parse("func f(a, b, c) { return a; }")
+        assert prog.function("f").params == ["a", "b", "c"]
+
+    def test_empty_class(self):
+        prog = parse("class E { } func main() { return 0; }")
+        assert prog.classes[0].fields == []
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(ParseError, match="expected 'class' or 'func'"):
+            parse("banana")
+
+
+class TestStatements:
+    def test_var_with_and_without_init(self):
+        stmt = first_stmt("var x = 3;")
+        assert isinstance(stmt, ast.VarDecl) and stmt.init.value == 3
+        stmt = first_stmt("var y;")
+        assert isinstance(stmt, ast.VarDecl) and stmt.init is None
+
+    def test_assignment_targets(self):
+        assert isinstance(first_stmt("x = 1;"), ast.Assign)
+        stmt = first_stmt("p.f = 1;")
+        assert isinstance(stmt.target, ast.FieldAccess)
+        stmt = first_stmt("a[0] = 1;")
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_main("1 + 2 = 3;")
+
+    def test_if_else_chain(self):
+        stmt = first_stmt("if (a) { } else if (b) { } else { }")
+        assert isinstance(stmt, ast.If)
+        nested = stmt.else_block.statements[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_block is not None
+
+    def test_while(self):
+        stmt = first_stmt("while (x > 0) { x = x - 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full_header(self):
+        stmt = first_stmt("for (var i = 0; i < 3; i = i + 1) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.condition is not None
+        assert isinstance(stmt.update, ast.Assign)
+
+    def test_for_empty_clauses(self):
+        stmt = first_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.condition is None
+        assert stmt.update is None
+
+    def test_break_continue_return(self):
+        body = parse_main("while (1) { break; continue; } return 5;").body
+        loop = body.statements[0]
+        assert isinstance(loop.body.statements[0], ast.Break)
+        assert isinstance(loop.body.statements[1], ast.Continue)
+        assert isinstance(body.statements[1], ast.Return)
+
+    def test_bare_return(self):
+        stmt = first_stmt("return;")
+        assert isinstance(stmt, ast.Return) and stmt.value is None
+
+    def test_print(self):
+        stmt = first_stmt("print(1 + 2);")
+        assert isinstance(stmt, ast.Print)
+
+    def test_nested_block(self):
+        stmt = first_stmt("{ var x = 1; }")
+        assert isinstance(stmt, ast.Block)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match=";"):
+            parse_main("var x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("func main() { var x = 1;")
+
+
+class TestExpressions:
+    def expr(self, text: str) -> ast.Expr:
+        return first_stmt(f"x = {text};").value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_compare_over_bitor(self):
+        e = self.expr("1 | 2 < 3")
+        assert e.op == "|"
+        assert e.right.op == "<"
+
+    def test_left_associativity(self):
+        e = self.expr("10 - 3 - 2")
+        assert e.op == "-"
+        assert e.left.op == "-"
+        assert e.right.value == 2
+
+    def test_parentheses_override(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_short_circuit_structure(self):
+        e = self.expr("a && b || c")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_unary(self):
+        e = self.expr("-x")
+        assert isinstance(e, ast.Unary) and e.op == "-"
+        e = self.expr("!x")
+        assert e.op == "!"
+
+    def test_call_args(self):
+        e = self.expr("f(1, 2, 3)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 3
+
+    def test_postfix_chain(self):
+        e = self.expr("arr[0].f")
+        assert isinstance(e, ast.FieldAccess)
+        assert isinstance(e.obj, ast.Index)
+
+    def test_builtins(self):
+        assert isinstance(self.expr("new P"), ast.New)
+        assert isinstance(self.expr("newarray(8)"), ast.NewArray)
+        assert isinstance(self.expr("len(a)"), ast.Len)
+        io = self.expr("io(3)")
+        assert isinstance(io, ast.IORead) and io.latency_class == 3
+
+    def test_spawn(self):
+        e = self.expr("spawn f(1)")
+        assert isinstance(e, ast.SpawnExpr)
+        assert e.callee == "f" and len(e.args) == 1
+
+    def test_bool_literals(self):
+        assert self.expr("true").value is True
+        assert self.expr("false").value is False
+
+    def test_unexpected_token_in_expression(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            parse_main("x = ;")
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("func main() {\n  x = ;\n}")
+        assert excinfo.value.line == 2

@@ -1,0 +1,175 @@
+"""Structural tests for Partial-Duplication's top/bottom-node pruning,
+recreating the paper's Figure 4 and Figure 5 scenarios on hand-built
+CFGs with precisely placed instrumentation.
+"""
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Instruction, Op, Program, verify_program
+from repro.cfg import CFG, linearize
+from repro.instrument.base import Instrumentation, InstrumentationAction
+from repro.profiles import Profile
+from repro.sampling import CounterTrigger, partial_duplicate, full_duplicate
+from repro.vm import run_program
+
+
+class MarkAction(InstrumentationAction):
+    """Records a fixed marker (used to place instrumentation by hand)."""
+
+    cost = 2
+
+    def __init__(self, key, profile):
+        self.key = key
+        self.profile = profile
+
+    def execute(self, vm, frame):
+        self.profile.record(self.key)
+
+
+class PlacedInstrumentation(Instrumentation):
+    """Instrument exactly the requested block ids of the first CFG it
+    sees (hand-placement for structural tests)."""
+
+    kind = "placed"
+
+    def __init__(self, bids):
+        super().__init__()
+        self.bids = set(bids)
+
+    def instrument_cfg(self, cfg, program):
+        for bid in sorted(self.bids & set(cfg.blocks)):
+            self.insert_before(
+                cfg, bid, 0, MarkAction((cfg.name, bid), self.profile)
+            )
+
+
+def straight_chain_program():
+    """main: A -> B -> C -> D (straight line, no loops)."""
+    b = BytecodeBuilder("main")
+    slot = b.new_local()
+    lb, lc, ld = b.new_label("B"), b.new_label("C"), b.new_label("D")
+    b.push(1).store(slot)            # A
+    b.jump(lb)
+    b.label(lb)
+    b.load(slot).push(2).emit(Op.ADD).store(slot)   # B
+    b.jump(lc)
+    b.label(lc)
+    b.load(slot).push(3).emit(Op.MUL).store(slot)   # C
+    b.jump(ld)
+    b.label(ld)
+    b.load(slot).ret()               # D
+    return Program([b.build()])
+
+
+def chain_cfg_with_marks(marked_positions):
+    """Build the chain program's CFG and instrument the blocks whose
+    position-in-chain index is in *marked_positions* (0=A..3=D).
+    Returns (cfg, instrumentation, ordered block ids)."""
+    program = straight_chain_program()
+    cfg = CFG.from_function(program.function("main"))
+    # chain order = reachable order from entry
+    order = []
+    bid = cfg.entry
+    while True:
+        order.append(bid)
+        succs = cfg.block(bid).successors()
+        if not succs:
+            break
+        bid = succs[0]
+    instr = PlacedInstrumentation({order[i] for i in marked_positions})
+    instr.instrument_cfg(cfg, program)
+    return cfg, instr, order
+
+
+class TestTopBottomClassification:
+    def test_all_non_instrumented_prunes_everything(self):
+        cfg, _instr, _order = chain_cfg_with_marks(set())
+        result, stats = partial_duplicate(cfg)
+        # every duplicated node is top and/or bottom; all pruned
+        assert stats.blocks_after < stats.blocks_before
+        remaining_dups = [
+            bid for bid in result.dup_bids if bid in cfg.blocks
+        ]
+        assert remaining_dups == []
+        # and the entry check was removed (it targeted a pruned node)
+        assert stats.checks_removed >= 1
+
+    def test_middle_instrumented_prunes_ends(self):
+        # mark only C (position 2): A,B are top-nodes; D is a bottom-node
+        cfg, _instr, order = chain_cfg_with_marks({2})
+        dup_before = None
+        result, stats = partial_duplicate(cfg)
+        assert stats.top_nodes == 2
+        assert stats.bottom_nodes == 1
+        kept = [bid for bid in result.dup_bids if bid in cfg.blocks]
+        assert len(kept) == 1  # only C's duplicate survives
+
+    def test_first_instrumented_keeps_whole_chain_reachable(self):
+        # mark A: nothing above it -> no top nodes except none;
+        # B,C,D can't reach instrumentation -> bottoms
+        cfg, _instr, _order = chain_cfg_with_marks({0})
+        result, stats = partial_duplicate(cfg)
+        assert stats.top_nodes == 0
+        assert stats.bottom_nodes == 3
+
+    def test_last_instrumented(self):
+        # mark D: A,B,C are tops, no bottoms
+        cfg, _instr, _order = chain_cfg_with_marks({3})
+        result, stats = partial_duplicate(cfg)
+        assert stats.top_nodes == 3
+        assert stats.bottom_nodes == 0
+        # a check was added on the edge C->D (top -> instrumented), and
+        # the entry check (targeting top A') was removed
+        assert stats.checks_added == 1
+        assert stats.checks_removed == 1
+
+
+class TestFigure4Scenario:
+    """Figure 4: pruning a non-instrumented node between two
+    instrumented ones adds a check but preserves sampling of both."""
+
+    def build(self):
+        # A(instr) -> B(plain) -> C(instr) -> D(ret)
+        cfg, instr, order = chain_cfg_with_marks({0, 2})
+        return cfg, instr, order
+
+    def test_middle_plain_node_not_prunable(self):
+        cfg, _instr, _order = self.build()
+        result, stats = partial_duplicate(cfg)
+        # B is neither top (A above is instrumented) nor bottom (C below
+        # is instrumented): it must stay duplicated
+        assert stats.top_nodes == 0
+        assert stats.bottom_nodes == 1  # only D
+        kept = [bid for bid in result.dup_bids if bid in cfg.blocks]
+        assert len(kept) == 3  # A', B', C'
+
+
+class TestSemanticEquivalenceOnCrafted:
+    @pytest.mark.parametrize("marks", [set(), {0}, {2}, {3}, {0, 2}, {1, 3}])
+    def test_partial_runs_equal_baseline(self, marks):
+        program = straight_chain_program()
+        base = run_program(program)
+        cfg, instr, _ = chain_cfg_with_marks(marks)
+        partial_duplicate(cfg)
+        transformed = Program([linearize(cfg)])
+        verify_program(transformed)
+        for interval in (1, 2):
+            result = run_program(
+                transformed, trigger=CounterTrigger(interval)
+            )
+            assert result.value == base.value
+
+    @pytest.mark.parametrize("marks", [{0}, {2}, {0, 2}])
+    def test_partial_profiles_match_full_at_interval_one(self, marks):
+        # full duplication reference
+        cfg_full, instr_full, _ = chain_cfg_with_marks(marks)
+        full_duplicate(cfg_full)
+        prog_full = Program([linearize(cfg_full)])
+        run_program(prog_full, trigger=CounterTrigger(1))
+
+        cfg_part, instr_part, _ = chain_cfg_with_marks(marks)
+        partial_duplicate(cfg_part)
+        prog_part = Program([linearize(cfg_part)])
+        run_program(prog_part, trigger=CounterTrigger(1))
+
+        assert instr_part.profile.counts == instr_full.profile.counts

@@ -1,0 +1,217 @@
+"""Tests for the sampling-statistics utilities, including empirical
+validation against actual framework runs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_baseline
+from repro.instrument import BlockCountInstrumentation
+from repro.profiles import Profile, overlap_percentage
+from repro.profiles.statistics import (
+    chi_square_statistic,
+    expected_overlap,
+    overlap_confidence_band,
+    profiles_consistent,
+    recommended_interval,
+    required_samples,
+    standard_errors,
+)
+from repro.sampling import CounterTrigger, SamplingFramework, Strategy
+from repro.vm import run_program
+
+
+def make_profile(counts):
+    profile = Profile()
+    for key, weight in counts.items():
+        profile.record(key, weight)
+    return profile
+
+
+class TestStandardErrors:
+    def test_uniform_two_keys(self):
+        p = make_profile({"a": 50, "b": 50})
+        ses = standard_errors(p, num_samples=100)
+        assert ses["a"] == pytest.approx(0.05)
+
+    def test_scale_with_samples(self):
+        p = make_profile({"a": 1, "b": 1})
+        few = standard_errors(p, 10)["a"]
+        many = standard_errors(p, 1000)["a"]
+        assert many == pytest.approx(few / 10)
+
+    def test_empty(self):
+        assert standard_errors(Profile()) == {}
+
+
+class TestExpectedOverlap:
+    def test_monotone_in_samples(self):
+        p = make_profile({k: 10 for k in "abcdefgh"})
+        values = [expected_overlap(p, n) for n in (10, 100, 1000, 10000)]
+        assert values == sorted(values)
+
+    def test_limits(self):
+        p = make_profile({"a": 1, "b": 1})
+        assert expected_overlap(p, 0) == 0.0
+        assert expected_overlap(p, 10**9) > 99.9
+
+    def test_single_key_is_trivially_perfect(self):
+        p = make_profile({"only": 100})
+        assert expected_overlap(p, 1) == 100.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(0, 20),
+            st.integers(1, 100),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(1, 10**6),
+    )
+    def test_bounds_hold(self, counts, n):
+        p = make_profile(counts)
+        value = expected_overlap(p, n)
+        assert 0.0 <= value <= 100.0
+
+    def test_matches_simulation(self):
+        """Monte-Carlo check of the approximation (fixed seed)."""
+        import random
+
+        rng = random.Random(42)
+        truth = make_profile({"a": 60, "b": 30, "c": 10})
+        shares = truth.normalized()
+        keys = list(shares)
+        weights = [shares[k] for k in keys]
+        n = 200
+        overlaps = []
+        for _trial in range(200):
+            sample = Profile()
+            for _ in range(n):
+                sample.record(rng.choices(keys, weights)[0])
+            overlaps.append(overlap_percentage(truth, sample))
+        mean = sum(overlaps) / len(overlaps)
+        assert expected_overlap(truth, n) == pytest.approx(mean, abs=1.5)
+
+
+class TestPlanning:
+    def test_required_samples_inverts_expected_overlap(self):
+        p = make_profile({k: 10 for k in "abcdef"})
+        n = required_samples(p, 95.0)
+        assert expected_overlap(p, n) >= 95.0
+        assert expected_overlap(p, max(1, n // 4)) < 95.0
+
+    def test_required_samples_validation(self):
+        p = make_profile({"a": 1})
+        with pytest.raises(ValueError):
+            required_samples(p, 100.0)
+        with pytest.raises(ValueError):
+            required_samples(p, 0.0)
+
+    def test_recommended_interval(self):
+        p = make_profile({"a": 5, "b": 5})
+        interval = recommended_interval(p, checks_per_run=100_000,
+                                        target_overlap=95.0)
+        assert interval >= 1
+        # more checks -> can afford a larger interval
+        assert recommended_interval(p, 1_000_000, 95.0) >= interval
+
+    def test_planning_against_real_run(self):
+        """Plan an interval for 85% overlap, run it, and check the
+        achieved accuracy is in the right neighbourhood."""
+        source = """
+        func work(x) {
+            var acc = 0;
+            for (var i = 0; i < 40; i = i + 1) {
+                if (i % 3 == 0) { acc = acc + x; }
+                else { acc = acc + i; }
+            }
+            return acc;
+        }
+        func main() {
+            var total = 0;
+            for (var r = 0; r < 60; r = r + 1) {
+                total = (total + work(r)) % 100003;
+            }
+            return total;
+        }
+        """
+        baseline = compile_baseline(source)
+        perfect = BlockCountInstrumentation()
+        fd = SamplingFramework(Strategy.FULL_DUPLICATION)
+        prog = fd.transform(baseline, perfect)
+        perfect_run = run_program(prog, trigger=CounterTrigger(1))
+        checks = perfect_run.stats.checks_executed
+
+        interval = recommended_interval(
+            perfect.profile, checks, target_overlap=85.0
+        )
+        sampled = BlockCountInstrumentation()
+        prog2 = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            baseline, sampled
+        )
+        run_program(prog2, trigger=CounterTrigger(max(2, interval)))
+        achieved = overlap_percentage(perfect.profile, sampled.profile)
+        low, _high = overlap_confidence_band(
+            perfect.profile, checks // max(2, interval), z=3.0
+        )
+        assert achieved >= min(70.0, low)
+
+
+class TestChiSquare:
+    def test_identical_profiles_score_zero(self):
+        p = make_profile({"a": 50, "b": 50})
+        statistic, dof = chi_square_statistic(p, p)
+        assert statistic == pytest.approx(0.0)
+        assert dof == 1
+
+    def test_consistent_sample_accepted(self):
+        truth = make_profile({"a": 700, "b": 300})
+        sample = make_profile({"a": 72, "b": 28})
+        assert profiles_consistent(truth, sample)
+
+    def test_wildly_inconsistent_sample_rejected(self):
+        truth = make_profile({"a": 500, "b": 500})
+        skewed = make_profile({"a": 500})
+        assert not profiles_consistent(truth, skewed)
+
+    def test_tiny_samples_never_rejected(self):
+        truth = make_profile({"a": 50, "b": 50})
+        tiny = make_profile({"a": 3})
+        assert profiles_consistent(truth, tiny)
+
+    def test_unexpected_keys_penalized(self):
+        truth = make_profile({"a": 100})
+        observed = make_profile({"a": 50, "ghost": 50})
+        statistic, dof = chi_square_statistic(truth, observed)
+        assert statistic > 100
+        assert dof >= 1
+
+    def test_framework_samples_are_consistent_with_perfect(self):
+        """Counter-based samples from a real run pass the goodness-of-
+        fit test against the perfect profile (the §2.1 'statistically
+        meaningful' requirement, tested formally)."""
+        baseline = compile_baseline(
+            """
+            func main() {
+                var acc = 0;
+                for (var i = 0; i < 2500; i = i + 1) {
+                    if (i % 5 < 2) { acc = acc + i; }
+                    else { acc = acc - 1; }
+                }
+                return acc;
+            }
+            """
+        )
+        perfect = BlockCountInstrumentation()
+        prog = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            baseline, perfect
+        )
+        run_program(prog, trigger=CounterTrigger(1))
+
+        sampled = BlockCountInstrumentation()
+        prog2 = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            baseline, sampled
+        )
+        run_program(prog2, trigger=CounterTrigger(7))
+        assert profiles_consistent(perfect.profile, sampled.profile)

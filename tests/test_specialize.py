@@ -1,0 +1,183 @@
+"""Tests for sampled-profile-driven value specialization."""
+
+import pytest
+
+from repro.adaptive.specialize import (
+    SpecializationCandidate,
+    specialization_candidates,
+    specialize_from_profile,
+    specialize_function,
+)
+from repro.errors import TransformError
+from repro.frontend import compile_baseline
+from repro.instrument import ParameterValueInstrumentation
+from repro.profiles import Profile
+from repro.sampling import CounterTrigger, SamplingFramework, Strategy
+from repro.vm import run_program
+
+SOURCE = """
+// `mode` is almost always 8 — the LAST arm of the dispatch chain, so
+// every hot call pays seven dead tests; pinning the parameter folds
+// the whole chain away.
+func kernel(mode, x) {
+    if (mode == 1) { return x + 1; }
+    if (mode == 2) { return x + 3; }
+    if (mode == 3) { return x ^ 21; }
+    if (mode == 4) { return x - 9; }
+    if (mode == 5) { return x & 255; }
+    if (mode == 6) { return x | 129; }
+    if (mode == 7) { return x * 2; }
+    if (mode == 8) { return (x * 3 + 7) % 1000; }
+    return x;
+}
+
+func main() {
+    var total = 0;
+    for (var i = 0; i < 300; i = i + 1) {
+        var mode = 8;
+        if (i % 50 == 0) { mode = 2; }
+        total = (total + kernel(mode, i)) % 100003;
+    }
+    print(total);
+    return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return compile_baseline(SOURCE)
+
+
+def fake_param_profile(entries):
+    profile = Profile("param-value")
+    for key, count in entries.items():
+        profile.record(key, count)
+    return profile
+
+
+class TestCandidateSelection:
+    def test_dominant_value_found(self):
+        profile = fake_param_profile(
+            {("kernel", 0, 8): 90, ("kernel", 0, 2): 10}
+        )
+        cands = specialization_candidates(profile, min_share=0.8)
+        assert len(cands) == 1
+        cand = cands[0]
+        assert (cand.function, cand.param_index, cand.value) == (
+            "kernel", 0, 8,
+        )
+        assert cand.share == pytest.approx(0.9)
+
+    def test_below_share_rejected(self):
+        profile = fake_param_profile(
+            {("kernel", 0, 8): 60, ("kernel", 0, 2): 40}
+        )
+        assert specialization_candidates(profile, min_share=0.8) == []
+
+    def test_too_few_samples_rejected(self):
+        profile = fake_param_profile({("kernel", 0, 8): 5})
+        assert specialization_candidates(profile, min_samples=10) == []
+
+    def test_clamped_buckets_skipped(self):
+        from repro.instrument.value_profile import VALUE_CLAMP
+
+        profile = fake_param_profile(
+            {("kernel", 0, VALUE_CLAMP + 1): 100}
+        )
+        assert specialization_candidates(profile) == []
+
+
+class TestSpecializeFunction:
+    def test_semantics_preserved(self, baseline):
+        base = run_program(baseline)
+        cand = SpecializationCandidate("kernel", 0, 8, 0.9, 100)
+        specialized, name = specialize_function(baseline, cand)
+        result = run_program(specialized)
+        assert result.value == base.value
+        assert result.output == base.output
+        assert name in specialized.functions
+        assert "kernel__orig" in specialized.functions
+
+    def test_specialized_version_is_smaller(self, baseline):
+        cand = SpecializationCandidate("kernel", 0, 8, 0.9, 100)
+        specialized, name = specialize_function(baseline, cand)
+        assert (
+            specialized.functions[name].instruction_count()
+            < specialized.functions["kernel__orig"].instruction_count()
+        )
+
+    def test_speedup_on_skewed_input(self, baseline):
+        base = run_program(baseline)
+        cand = SpecializationCandidate("kernel", 0, 8, 0.9, 100)
+        specialized, _ = specialize_function(baseline, cand)
+        result = run_program(specialized)
+        assert result.stats.cycles < base.stats.cycles
+
+    def test_reassigned_param_rejected(self):
+        source = """
+        func mut(a) {
+            a = a + 1;
+            return a;
+        }
+        func main() { return mut(4); }
+        """
+        program = compile_baseline(source)
+        cand = SpecializationCandidate("mut", 0, 4, 0.9, 100)
+        with pytest.raises(TransformError, match="reassigned"):
+            specialize_function(program, cand)
+
+    def test_unknown_function_rejected(self, baseline):
+        cand = SpecializationCandidate("ghost", 0, 1, 0.9, 100)
+        with pytest.raises(TransformError, match="no function"):
+            specialize_function(baseline, cand)
+
+    def test_double_specialization_rejected(self, baseline):
+        cand = SpecializationCandidate("kernel", 0, 8, 0.9, 100)
+        once, _ = specialize_function(baseline, cand)
+        with pytest.raises(TransformError, match="already"):
+            specialize_function(once, cand)
+
+    def test_bad_param_index(self, baseline):
+        cand = SpecializationCandidate("kernel", 7, 1, 0.9, 100)
+        with pytest.raises(TransformError, match="parameter"):
+            specialize_function(baseline, cand)
+
+
+class TestEndToEnd:
+    def test_sampled_profile_drives_specialization(self, baseline):
+        """The full §4.3 story: sample parameter values cheaply, find
+        the dominant mode, specialize, run faster — all online."""
+        base = run_program(baseline)
+
+        instr = ParameterValueInstrumentation(max_params=1)
+        framework = SamplingFramework(Strategy.FULL_DUPLICATION)
+        profiled = framework.transform(baseline, instr)
+        profile_run = run_program(profiled, trigger=CounterTrigger(23))
+        assert profile_run.value == base.value
+
+        specialized, applied = specialize_from_profile(
+            baseline, instr.profile, min_share=0.7, min_samples=5
+        )
+        assert any(c.function == "kernel" for c in applied)
+        result = run_program(specialized)
+        assert result.value == base.value
+        assert result.stats.cycles < base.stats.cycles
+
+    def test_specialize_from_profile_skips_unsound(self):
+        source = """
+        func mut(a) {
+            a = a + 1;
+            return a % 100;
+        }
+        func main() {
+            var t = 0;
+            for (var i = 0; i < 50; i = i + 1) { t = t + mut(3); }
+            return t;
+        }
+        """
+        program = compile_baseline(source)
+        profile = fake_param_profile({("mut", 0, 3): 50})
+        specialized, applied = specialize_from_profile(program, profile)
+        assert applied == []
+        assert run_program(specialized).value == run_program(program).value

@@ -1,0 +1,61 @@
+"""Matrix integration test: every strategy × every workload.
+
+The single most important end-to-end guarantee: no combination of
+sampling strategy, instrumentation, and workload changes program
+behaviour, and Property 1 holds wherever it is claimed.
+"""
+
+import pytest
+
+from repro.harness import ExperimentRunner, RunSpec
+from repro.sampling import Strategy
+from repro.workloads import workload_names
+
+STRATEGIES = [
+    Strategy.EXHAUSTIVE,
+    Strategy.FULL_DUPLICATION,
+    Strategy.PARTIAL_DUPLICATION,
+    Strategy.NO_DUPLICATION,
+]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    # Semantic and Property-1 tripwires are ON: a run that diverges or
+    # violates the bound raises HarnessError and fails the test.
+    return ExperimentRunner()
+
+
+@pytest.mark.parametrize("workload", workload_names())
+@pytest.mark.parametrize(
+    "strategy", STRATEGIES, ids=[s.value for s in STRATEGIES]
+)
+def test_strategy_workload_matrix(runner, workload, strategy):
+    spec = RunSpec(
+        workload,
+        strategy,
+        ("call-edge", "field-access"),
+        trigger="never" if strategy is Strategy.EXHAUSTIVE else "counter",
+        interval=None if strategy is Strategy.EXHAUSTIVE else 37,
+    )
+    result = runner.run(spec)
+    assert result.cycles > 0
+    if strategy is not Strategy.EXHAUSTIVE:
+        assert result.stats.samples_taken > 0
+        # sampled profiles contain a subset of event kinds, never junk
+        for profile in result.profiles.values():
+            assert all(isinstance(k, tuple) for k in profile.counts)
+
+
+@pytest.mark.parametrize("workload", ["compress", "javac", "volano"])
+def test_yieldpoint_opt_matrix(runner, workload):
+    spec = RunSpec(
+        workload,
+        Strategy.FULL_DUPLICATION,
+        ("call-edge",),
+        trigger="counter",
+        interval=53,
+        yieldpoint_opt=True,
+    )
+    result = runner.run(spec)
+    assert result.stats.samples_taken > 0

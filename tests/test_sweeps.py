@@ -1,0 +1,88 @@
+"""Tests for the interval sweep / Pareto analysis utilities."""
+
+import pytest
+
+from repro.harness import ExperimentRunner
+from repro.harness.sweeps import (
+    SweepPoint,
+    interval_sweep,
+    operating_range,
+    pareto_frontier,
+    sweep_table,
+)
+
+
+def pt(interval, overhead, accuracy, samples=10):
+    return SweepPoint(interval, overhead, accuracy, samples)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert pt(1, 5.0, 90.0).dominates(pt(2, 6.0, 80.0))
+
+    def test_tradeoff_points_do_not_dominate(self):
+        cheap = pt(1, 2.0, 70.0)
+        accurate = pt(2, 9.0, 95.0)
+        assert not cheap.dominates(accurate)
+        assert not accurate.dominates(cheap)
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = pt(1, 5.0, 90.0), pt(2, 5.0, 90.0)
+        assert not a.dominates(b)
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            pt(1, 100.0, 100.0),
+            pt(10, 10.0, 90.0),
+            pt(20, 12.0, 85.0),   # dominated by the 10 point
+            pt(100, 5.0, 60.0),
+        ]
+        frontier = pareto_frontier(points)
+        intervals = [p.interval for p in frontier]
+        assert 20 not in intervals
+        assert set(intervals) == {1, 10, 100}
+
+    def test_sorted_by_overhead(self):
+        points = [pt(1, 50.0, 99.0), pt(100, 2.0, 60.0), pt(10, 9.0, 90.0)]
+        frontier = pareto_frontier(points)
+        overheads = [p.overhead_pct for p in frontier]
+        assert overheads == sorted(overheads)
+
+
+class TestOperatingRange:
+    def test_filters_on_both_axes(self):
+        points = [
+            pt(1, 100.0, 100.0),   # too expensive
+            pt(10, 10.0, 90.0),    # usable
+            pt(100, 5.0, 85.0),    # usable
+            pt(1000, 4.0, 40.0),   # too inaccurate
+        ]
+        assert operating_range(points, 80.0, 15.0) == [10, 100]
+
+    def test_empty_when_unreachable(self):
+        assert operating_range([pt(1, 99.0, 10.0)], 80.0, 15.0) == []
+
+
+class TestSweepTable:
+    def test_flags_rendered(self):
+        points = [pt(10, 10.0, 90.0), pt(20, 12.0, 85.0)]
+        table = sweep_table("demo", points, 80.0, 15.0)
+        text = table.render()
+        assert "pareto" in text and "usable" in text
+        assert "demo" in table.title
+
+
+class TestRealSweep:
+    def test_sweep_shape_on_workload(self):
+        runner = ExperimentRunner()
+        points = interval_sweep(
+            runner, "db", intervals=(1, 10, 100), scale=1
+        )
+        assert [p.interval for p in points] == [1, 10, 100]
+        # overhead decreases, samples decrease
+        assert points[0].overhead_pct > points[-1].overhead_pct
+        assert points[0].samples > points[-1].samples
+        # interval 1 is the perfect configuration
+        assert points[0].accuracy_pct == pytest.approx(100.0)

@@ -1,0 +1,216 @@
+"""Tests for the trigger mechanisms."""
+
+import pytest
+
+from repro.sampling import (
+    CounterTrigger,
+    NeverTrigger,
+    RandomizedCounterTrigger,
+    TimerTrigger,
+    make_trigger,
+)
+
+
+class TestCounterTrigger:
+    def test_fires_every_interval(self):
+        trig = CounterTrigger(5)
+        fires = [trig.poll() for _ in range(20)]
+        assert fires == [False] * 4 + [True] + [False] * 4 + [True] + [
+            False
+        ] * 4 + [True] + [False] * 4 + [True]
+        assert trig.samples_triggered == 4
+        assert trig.checks_polled == 20
+
+    def test_interval_one_always_fires(self):
+        trig = CounterTrigger(1)
+        assert all(trig.poll() for _ in range(10))
+
+    def test_phase_shifts_first_sample(self):
+        trig = CounterTrigger(10, phase=7)
+        fires = [trig.poll() for _ in range(10)]
+        assert fires.index(True) == 2  # counter started at 3
+        # subsequent period is the full interval
+        assert fires[3:] == [False] * 7
+
+    def test_set_interval_at_runtime(self):
+        trig = CounterTrigger(100)
+        trig.set_interval(2)
+        fires = [trig.poll() for _ in range(6)]
+        assert fires == [False, True, False, True, False, True]
+
+    def test_disable_stops_sampling(self):
+        trig = CounterTrigger(1)
+        trig.disable()
+        assert not any(trig.poll() for _ in range(5))
+        trig.enable()
+        assert trig.poll()
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            CounterTrigger(0)
+        with pytest.raises(ValueError):
+            CounterTrigger(5).set_interval(-1)
+        with pytest.raises(ValueError):
+            CounterTrigger(5, phase=-1)
+
+
+class TestNeverTrigger:
+    def test_never_fires(self):
+        trig = NeverTrigger()
+        assert not any(trig.poll() for _ in range(100))
+        assert trig.checks_polled == 100
+        assert trig.samples_triggered == 0
+
+
+class TestTimerTrigger:
+    def test_fires_only_after_tick(self):
+        trig = TimerTrigger()
+        assert not trig.poll()
+        trig.notify_timer_tick()
+        assert trig.poll()        # consumes the bit
+        assert not trig.poll()    # bit cleared
+
+    def test_multiple_ticks_collapse(self):
+        trig = TimerTrigger()
+        for _ in range(5):
+            trig.notify_timer_tick()
+        assert trig.poll()
+        assert not trig.poll()
+        assert trig.ticks == 5
+        assert trig.samples_triggered == 1
+
+    def test_disable_ignores_ticks(self):
+        trig = TimerTrigger()
+        trig.disable()
+        trig.notify_timer_tick()
+        assert not trig.poll()
+
+
+class TestRandomizedTrigger:
+    def test_deterministic_for_fixed_seed(self):
+        a = RandomizedCounterTrigger(50, jitter=10, seed=7)
+        b = RandomizedCounterTrigger(50, jitter=10, seed=7)
+        fa = [a.poll() for _ in range(500)]
+        fb = [b.poll() for _ in range(500)]
+        assert fa == fb
+
+    def test_different_seeds_differ(self):
+        a = RandomizedCounterTrigger(50, jitter=10, seed=1)
+        b = RandomizedCounterTrigger(50, jitter=10, seed=2)
+        assert [a.poll() for _ in range(500)] != [
+            b.poll() for _ in range(500)
+        ]
+
+    def test_intervals_stay_within_jitter(self):
+        trig = RandomizedCounterTrigger(50, jitter=10, seed=3)
+        gaps = []
+        last = 0
+        for i in range(1, 5000):
+            if trig.poll():
+                gaps.append(i - last)
+                last = i
+        assert gaps
+        assert all(40 <= gap <= 60 for gap in gaps)
+
+    def test_mean_rate_close_to_interval(self):
+        trig = RandomizedCounterTrigger(100, jitter=20, seed=9)
+        fired = sum(trig.poll() for _ in range(100_000))
+        assert 900 <= fired <= 1100
+
+    def test_jitter_must_be_smaller_than_interval(self):
+        with pytest.raises(ValueError):
+            RandomizedCounterTrigger(10, jitter=10)
+
+    def test_default_jitter(self):
+        trig = RandomizedCounterTrigger(100)
+        assert trig.jitter == 10
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_trigger("never"), NeverTrigger)
+        assert isinstance(make_trigger("counter", 5), CounterTrigger)
+        assert isinstance(make_trigger("timer"), TimerTrigger)
+        assert isinstance(
+            make_trigger("randomized", 50), RandomizedCounterTrigger
+        )
+
+    def test_counter_requires_interval(self):
+        with pytest.raises(ValueError):
+            make_trigger("counter")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_trigger("dice")
+
+
+class TestBurstTrigger:
+    def test_burst_shape(self):
+        from repro.sampling import BurstTrigger
+
+        trig = BurstTrigger(5, burst_length=3)
+        fires = [trig.poll() for _ in range(16)]
+        # countdown of 5, then 3 consecutive trues, then countdown again
+        assert fires == [
+            False, False, False, False, True, True, True,
+            False, False, False, False, True, True, True,
+            False, False,
+        ]
+        assert trig.samples_triggered == 2
+
+    def test_burst_length_one_equals_counter(self):
+        from repro.sampling import BurstTrigger, CounterTrigger
+
+        burst = BurstTrigger(7, burst_length=1)
+        counter = CounterTrigger(7)
+        assert [burst.poll() for _ in range(50)] == [
+            counter.poll() for _ in range(50)
+        ]
+
+    def test_validation(self):
+        from repro.sampling import BurstTrigger
+
+        with pytest.raises(ValueError):
+            BurstTrigger(0)
+        with pytest.raises(ValueError):
+            BurstTrigger(5, burst_length=0)
+
+    def test_factory(self):
+        from repro.sampling import BurstTrigger
+        from repro.sampling.triggers import make_trigger
+
+        trig = make_trigger("burst", 10, burst_length=5)
+        assert isinstance(trig, BurstTrigger)
+        assert trig.burst_length == 5
+
+    def test_burst_observes_consecutive_windows(self):
+        """Under Full-Duplication a burst records several consecutive
+        loop iterations, like counted backedges do."""
+        from repro.frontend import compile_baseline
+        from repro.instrument import BlockCountInstrumentation
+        from repro.sampling import BurstTrigger, SamplingFramework, Strategy
+        from repro.vm import run_program
+
+        source = """
+        func main() {
+            var acc = 0;
+            for (var i = 0; i < 500; i = i + 1) {
+                acc = (acc + i) % 65536;
+            }
+            return acc;
+        }
+        """
+        baseline = compile_baseline(source)
+        base = run_program(baseline)
+
+        def ops_per_trigger(burst_length):
+            instr = BlockCountInstrumentation()
+            prog = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+                baseline, instr
+            )
+            trig = BurstTrigger(29, burst_length=burst_length)
+            result = run_program(prog, trigger=trig)
+            assert result.value == base.value
+            return instr.profile.total() / max(1, trig.samples_triggered)
+
+        assert ops_per_trigger(6) > 3 * ops_per_trigger(1)

@@ -1,0 +1,136 @@
+"""Tests for the bytecode verifier."""
+
+import pytest
+
+from repro.bytecode import (
+    BytecodeBuilder,
+    Function,
+    Instruction,
+    Op,
+    Program,
+    verify_function,
+    verify_program,
+)
+from repro.errors import VerificationError
+
+
+def fn_from(instructions, name="f", params=0, locals_=None):
+    return Function(
+        name, params, locals_ if locals_ is not None else params,
+        [Instruction(op, arg) for op, arg in instructions],
+    )
+
+
+class TestVerifyFunction:
+    def test_valid_straight_line(self):
+        fn = fn_from([(Op.PUSH, 1), (Op.PUSH, 2), (Op.ADD, None), (Op.RETURN, None)])
+        depths = verify_function(fn)
+        assert depths[0] == 0
+        assert depths[2] == 2
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(VerificationError, match="empty"):
+            verify_function(Function("f", 0, 0, []))
+
+    def test_stack_underflow(self):
+        fn = fn_from([(Op.ADD, None), (Op.RETURN, None)])
+        with pytest.raises(VerificationError, match="underflow"):
+            verify_function(fn)
+
+    def test_return_requires_value(self):
+        fn = fn_from([(Op.RETURN, None)])
+        with pytest.raises(VerificationError, match="underflow"):
+            verify_function(fn)
+
+    def test_fall_off_end(self):
+        fn = fn_from([(Op.PUSH, 1), (Op.POP, None)])
+        with pytest.raises(VerificationError, match="falls off"):
+            verify_function(fn)
+
+    def test_bad_branch_target(self):
+        fn = fn_from([(Op.JUMP, 99)])
+        with pytest.raises(VerificationError, match="branch target"):
+            verify_function(fn)
+
+    def test_bad_local_slot(self):
+        fn = fn_from([(Op.LOAD, 5), (Op.RETURN, None)], locals_=2)
+        with pytest.raises(VerificationError, match="out of range"):
+            verify_function(fn)
+
+    def test_inconsistent_depth_at_join(self):
+        # One path pushes an extra value before the join.
+        fn = fn_from(
+            [
+                (Op.PUSH, 1),      # 0
+                (Op.JZ, 4),        # 1 -> join at 4 with depth 0
+                (Op.PUSH, 7),      # 2
+                (Op.JUMP, 4),      # 3 -> join at 4 with depth 1
+                (Op.PUSH, 0),      # 4 join
+                (Op.RETURN, None), # 5
+            ]
+        )
+        with pytest.raises(VerificationError, match="inconsistent"):
+            verify_function(fn)
+
+    def test_consistent_loop(self):
+        fn = fn_from(
+            [
+                (Op.PUSH, 3),       # 0
+                (Op.DUP, None),     # 1
+                (Op.JZ, 6),         # 2
+                (Op.PUSH, 1),       # 3
+                (Op.SUB, None),     # 4
+                (Op.JUMP, 1),       # 5
+                (Op.RETURN, None),  # 6
+            ]
+        )
+        verify_function(fn)
+
+    def test_unreachable_code_is_ignored(self):
+        fn = fn_from(
+            [
+                (Op.PUSH, 0),
+                (Op.RETURN, None),
+                (Op.ADD, None),  # would underflow, but unreachable
+            ]
+        )
+        verify_function(fn)
+
+    def test_call_arity_with_program(self):
+        callee = BytecodeBuilder("g", num_params=2).push(0).ret().build()
+        caller = fn_from(
+            [(Op.PUSH, 1), (Op.CALL, "g"), (Op.RETURN, None)], name="main"
+        )
+        prog = Program([caller, callee])
+        with pytest.raises(VerificationError, match="underflow"):
+            verify_function(caller, prog)
+
+    def test_call_to_unknown_function(self):
+        caller = fn_from([(Op.CALL, "ghost"), (Op.RETURN, None)], name="main")
+        prog = Program([caller])
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_function(caller, prog)
+
+
+class TestVerifyProgram:
+    def test_entry_must_take_no_params(self):
+        main = BytecodeBuilder("main", num_params=1).push(0).ret().build()
+        prog = Program([main])
+        with pytest.raises(VerificationError, match="0 parameters"):
+            verify_program(prog)
+
+    def test_whole_program_ok(self, loop_call_program):
+        verify_program(loop_call_program)
+
+    def test_check_instruction_verifies(self):
+        # CHECK behaves like a conditional branch with no stack effect.
+        fn = fn_from(
+            [
+                (Op.CHECK, 2),
+                (Op.NOP, None),
+                (Op.PUSH, 0),
+                (Op.RETURN, None),
+            ],
+            name="main",
+        )
+        verify_program(Program([fn]))

@@ -1,0 +1,283 @@
+"""Tests for the VM: values, cost model, interpreter, stats."""
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Klass, Op, Program
+from repro.errors import (
+    FuelExhaustedError,
+    StackOverflowError,
+    VMTrap,
+)
+from repro.vm import (
+    VM,
+    CostModel,
+    RArray,
+    RObject,
+    is_reference,
+    powerpc_ctr_model,
+    run_program,
+    truthy,
+)
+
+
+class TestValues:
+    def test_object_slots_default_zero(self):
+        obj = RObject(Klass("P", ["a", "b"]))
+        assert obj.slots == [0, 0]
+        obj.set(1, 9)
+        assert obj.get(1) == 9
+
+    def test_array(self):
+        arr = RArray(3)
+        assert len(arr) == 3
+        assert arr.slots == [0, 0, 0]
+
+    def test_is_reference(self):
+        assert is_reference(RArray(1))
+        assert is_reference(RObject(Klass("P", [])))
+        assert not is_reference(7)
+
+    def test_truthy(self):
+        assert truthy(1) and truthy(-1)
+        assert not truthy(0)
+        assert truthy(RArray(0))
+
+
+class TestCostModel:
+    def test_cost_table_covers_all_opcodes(self):
+        table = CostModel().cost_table()
+        for op in Op:
+            assert table[int(op)] >= 0
+
+    def test_check_and_yieldpoint_costs_land_in_table(self):
+        model = CostModel(check_cost=9, yieldpoint_cost=7)
+        table = model.cost_table()
+        assert table[int(Op.CHECK)] == 9
+        assert table[int(Op.GUARDED_INSTR)] == 9
+        assert table[int(Op.YIELDPOINT)] == 7
+
+    def test_with_overrides(self):
+        model = CostModel().with_overrides(check_cost=1)
+        assert model.check_cost == 1
+        assert CostModel().check_cost == 5  # original untouched
+
+    def test_with_overrides_rejects_unknown(self):
+        with pytest.raises(AttributeError):
+            CostModel().with_overrides(warp_drive=9)
+
+    def test_powerpc_model(self):
+        assert powerpc_ctr_model().check_cost == 1
+
+    def test_op_cost_override(self):
+        model = CostModel(op_costs={Op.MUL: 99})
+        assert model.cost_table()[int(Op.MUL)] == 99
+
+
+def run_code(build, **vm_kwargs):
+    """Build main via callback, run, return VMResult."""
+    b = BytecodeBuilder("main")
+    build(b)
+    return run_program(Program([b.build()]), **vm_kwargs)
+
+
+class TestInterpreterBasics:
+    def test_cycles_accumulate_deterministically(self, countdown_program):
+        r1 = run_program(countdown_program)
+        r2 = run_program(countdown_program)
+        assert r1.stats.cycles == r2.stats.cycles > 0
+        assert r1.stats.instructions == r2.stats.instructions
+
+    def test_backward_jump_counting(self, countdown_program):
+        result = run_program(countdown_program)
+        assert result.stats.backward_jumps == 10
+
+    def test_cheaper_model_fewer_cycles(self, countdown_program):
+        default = run_program(countdown_program)
+        cheap = run_program(
+            countdown_program, cost_model=CostModel(op_costs={Op.LOAD: 0})
+        )
+        assert cheap.stats.cycles < default.stats.cycles
+
+    def test_fuel_exhaustion(self):
+        def build(b):
+            head = b.new_label()
+            b.label(head)
+            b.jump(head)
+
+        with pytest.raises(FuelExhaustedError):
+            run_code(build, fuel=1000)
+
+    def test_stack_overflow(self):
+        rec = BytecodeBuilder("rec").call("rec").ret().build()
+        main = BytecodeBuilder("main").call("rec").ret().build()
+        with pytest.raises(StackOverflowError):
+            run_program(Program([main, rec]), max_stack_depth=50)
+
+    def test_halt_stops_thread(self):
+        def build(b):
+            b.push(5).emit(Op.PRINT).emit(Op.HALT)
+
+        result = run_code(build)
+        assert result.output == [5]
+        assert result.value == 0
+
+    def test_getfield_on_int_traps(self):
+        b = BytecodeBuilder("main")
+        b.push(3).getfield("C", "x").ret()
+        prog = Program([b.build()], classes=[Klass("C", ["x"])])
+        with pytest.raises(VMTrap, match="non-object"):
+            run_program(prog)
+
+    def test_aload_on_int_traps(self):
+        def build(b):
+            b.push(3).push(0).emit(Op.ALOAD).ret()
+
+        with pytest.raises(VMTrap, match="non-array"):
+            run_code(build)
+
+    def test_bad_array_length_traps(self):
+        def build(b):
+            b.push(-1).emit(Op.NEWARRAY).emit(Op.POP).ret_const(0)
+
+        with pytest.raises(VMTrap, match="length"):
+            run_code(build)
+
+    def test_opcode_counts_recorded(self, countdown_program):
+        result = VM(countdown_program, record_opcode_counts=True).run()
+        assert result.stats.opcode_count(Op.JUMP) == 10
+        assert result.stats.opcode_count(Op.RETURN) == 1
+
+    def test_opcode_counts_disabled_by_default(self, countdown_program):
+        result = run_program(countdown_program)
+        with pytest.raises(ValueError):
+            result.stats.opcode_count(Op.JUMP)
+
+
+class TestTimerAndGC:
+    def test_timer_ticks_counted(self, countdown_program):
+        result = run_program(countdown_program, timer_period=20)
+        assert result.stats.timer_ticks > 0
+
+    def test_gc_pauses_every_nth_allocation(self):
+        def build(b):
+            loop, done = b.new_label(), b.new_label()
+            slot = b.new_local()
+            b.push(200).store(slot)
+            b.label(loop)
+            b.load(slot).jz(done)
+            b.push(1).emit(Op.NEWARRAY).emit(Op.POP)
+            b.load(slot).push(1).emit(Op.SUB).store(slot)
+            b.jump(loop)
+            b.label(done)
+            b.push(0).ret()
+
+        result = run_code(
+            build, cost_model=CostModel(gc_every_allocs=50, gc_pause_cycles=100)
+        )
+        assert result.stats.gc_pauses == 4
+
+    def test_gc_pause_costs_cycles(self):
+        def build(b):
+            for _ in range(64):
+                b.push(1).emit(Op.NEWARRAY).emit(Op.POP)
+            b.push(0).ret()
+
+        quiet = run_code(
+            build, cost_model=CostModel(gc_every_allocs=1000)
+        )
+        noisy = run_code(
+            build,
+            cost_model=CostModel(gc_every_allocs=64, gc_pause_cycles=5000),
+        )
+        assert noisy.stats.cycles == quiet.stats.cycles + 5000
+
+
+class TestThreads:
+    def make_threaded_program(self):
+        worker = BytecodeBuilder("worker", num_params=1)
+        loop, done = worker.new_label(), worker.new_label()
+        worker.label(loop)
+        worker.load(0).jz(done)
+        worker.emit(Op.YIELDPOINT)
+        worker.load(0).push(1).emit(Op.SUB).store(0)
+        worker.jump(loop)
+        worker.label(done)
+        worker.push(0).ret()
+
+        main = BytecodeBuilder("main")
+        main.push(30).emit(Op.SPAWN, "worker").emit(Op.POP)
+        main.push(30).emit(Op.SPAWN, "worker").emit(Op.POP)
+        loop2, done2 = main.new_label(), main.new_label()
+        slot = main.new_local()
+        main.push(30).store(slot)
+        main.label(loop2)
+        main.load(slot).jz(done2)
+        main.emit(Op.YIELDPOINT)
+        main.load(slot).push(1).emit(Op.SUB).store(slot)
+        main.jump(loop2)
+        main.label(done2)
+        main.push(99).ret()
+        return Program([main.build(), worker.build()])
+
+    def test_all_threads_complete(self):
+        result = run_program(self.make_threaded_program(), timer_period=50)
+        assert result.value == 99
+        assert result.stats.threads_spawned == 3
+        # all three loops ran to completion
+        assert result.stats.backward_jumps == 90
+
+    def test_switching_happens_at_yieldpoints(self):
+        result = run_program(self.make_threaded_program(), timer_period=50)
+        assert result.stats.thread_switches > 0
+        assert result.stats.yieldpoints_executed > 0
+
+    def test_no_yieldpoints_means_sequential(self):
+        prog = self._program_without_yieldpoints()
+        result = run_program(prog, timer_period=50)
+        assert result.value == 99
+        assert result.stats.thread_switches == 0
+
+    def _program_without_yieldpoints(self):
+        worker = BytecodeBuilder("worker", num_params=1)
+        loop, done = worker.new_label(), worker.new_label()
+        worker.label(loop)
+        worker.load(0).jz(done)
+        worker.load(0).push(1).emit(Op.SUB).store(0)
+        worker.jump(loop)
+        worker.label(done)
+        worker.push(0).ret()
+
+        main = BytecodeBuilder("main")
+        main.push(30).emit(Op.SPAWN, "worker").emit(Op.POP)
+        main.push(99).ret()
+        return Program([main.build(), worker.build()])
+
+    def test_spawn_pushes_thread_id(self):
+        worker = BytecodeBuilder("w").push(0).ret().build()
+        main = BytecodeBuilder("main").emit(Op.SPAWN, "w").ret().build()
+        result = run_program(Program([main, worker]))
+        assert result.value == 1  # main is tid 0
+
+    def test_io_values_are_per_thread_deterministic(self):
+        worker = BytecodeBuilder("w").emit(Op.IO, 1).emit(Op.PRINT).ret_const(0).build()
+        main = (
+            BytecodeBuilder("main")
+            .emit(Op.SPAWN, "w").emit(Op.POP)
+            .emit(Op.IO, 1).ret()
+        ).build()
+        r1 = run_program(Program([main.copy(), worker.copy()]))
+        r2 = run_program(Program([main.copy(), worker.copy()]))
+        assert r1.value == r2.value
+        assert r1.output == r2.output
+
+
+class TestStats:
+    def test_property1_trivially_holds_without_checks(self, countdown_program):
+        stats = run_program(countdown_program).stats
+        assert stats.checks_executed == 0
+        assert stats.property1_holds()
+
+    def test_as_dict_complete(self, countdown_program):
+        d = run_program(countdown_program).stats.as_dict()
+        assert d["backward_jumps"] == 10
+        assert "gc_pauses" in d and "cycles" in d

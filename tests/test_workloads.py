@@ -1,0 +1,120 @@
+"""Tests for the benchmark workload suite."""
+
+import pytest
+
+from repro.bytecode import Op, verify_program
+from repro.errors import HarnessError
+from repro.sampling import CounterTrigger, SamplingFramework, Strategy
+from repro.instrument import CallEdgeInstrumentation, FieldAccessInstrumentation
+from repro.vm import run_program
+from repro.workloads import all_workloads, get_workload, workload_names
+
+EXPECTED_NAMES = [
+    "compress", "jess", "db", "javac", "mpegaudio",
+    "mtrt", "jack", "optcompiler", "pbob", "volano",
+]
+
+
+class TestSuiteRegistry:
+    def test_all_ten_registered(self):
+        assert workload_names() == EXPECTED_NAMES
+
+    def test_unknown_workload(self):
+        with pytest.raises(HarnessError, match="unknown workload"):
+            get_workload("quake")
+
+    def test_metadata(self):
+        for workload in all_workloads():
+            assert workload.paper_name
+            assert workload.description
+            assert "__SCALE__" in workload.source
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(HarnessError, match="scale"):
+            get_workload("db").render_source(0)
+
+    def test_compile_returns_fresh_copies(self):
+        a = get_workload("db").compile()
+        b = get_workload("db").compile()
+        assert a is not b
+        a.function("main").code[0].arg = 12345
+        assert b.function("main").code[0].arg != 12345
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+class TestEachWorkload:
+    def test_compiles_and_verifies(self, name):
+        verify_program(get_workload(name).compile())
+
+    def test_runs_deterministically(self, name):
+        workload = get_workload(name)
+        r1 = run_program(workload.compile(), fuel=30_000_000)
+        r2 = run_program(workload.compile(), fuel=30_000_000)
+        assert r1.value == r2.value
+        assert r1.output == r2.output
+        assert r1.stats.cycles == r2.stats.cycles
+
+    def test_nonzero_result_and_output(self, name):
+        result = run_program(get_workload(name).compile(), fuel=30_000_000)
+        assert result.value != 0
+        assert result.output  # every workload prints its checksum
+
+    def test_has_vm_conventions(self, name):
+        program = get_workload(name).compile()
+        assert any(
+            fn.count_op(Op.YIELDPOINT) > 0 for fn in program.functions.values()
+        )
+        stamped = [
+            ins.meta
+            for fn in program.functions.values()
+            for ins in fn.code
+            if ins.op in (Op.CALL, Op.SPAWN)
+        ]
+        assert stamped and all(meta is not None for meta in stamped)
+
+    def test_sampling_preserves_semantics(self, name):
+        workload = get_workload(name)
+        program = workload.compile()
+        base = run_program(program, fuel=30_000_000)
+        fw = SamplingFramework(Strategy.FULL_DUPLICATION)
+        sampled = fw.transform(
+            program,
+            [CallEdgeInstrumentation(), FieldAccessInstrumentation()],
+        )
+        result = run_program(
+            sampled, trigger=CounterTrigger(53), fuel=60_000_000
+        )
+        assert result.value == base.value
+        assert result.output == base.output
+
+
+class TestWorkloadCharacters:
+    """Pin the structural traits each analog was designed around."""
+
+    def test_compress_is_backedge_heavy(self):
+        stats = run_program(get_workload("compress").compile()).stats
+        assert stats.backward_jumps > 5 * stats.calls
+
+    def test_jess_and_optcompiler_are_call_dense(self):
+        for name in ("jess", "optcompiler"):
+            stats = run_program(get_workload(name).compile()).stats
+            assert stats.calls * 60 > stats.cycles / 10, name
+
+    def test_db_and_volano_do_io(self):
+        for name in ("db", "volano"):
+            stats = run_program(get_workload(name).compile()).stats
+            assert stats.io_ops > 0, name
+
+    def test_threaded_workloads_spawn(self):
+        for name in ("mtrt", "pbob", "volano"):
+            stats = run_program(get_workload(name).compile()).stats
+            assert stats.threads_spawned == 3, name
+
+    def test_javac_allocates(self):
+        stats = run_program(get_workload("javac").compile()).stats
+        assert stats.gc_pauses > 0
+
+    def test_scale_increases_work(self):
+        small = run_program(get_workload("jack").compile(scale=1)).stats
+        large = run_program(get_workload("jack").compile(scale=3)).stats
+        assert large.instructions > 2 * small.instructions
