@@ -14,11 +14,29 @@ from repro.sampling import Strategy
 from repro.vm import CostModel, powerpc_ctr_model
 
 
+NAMES = ("compress", "jess", "optcompiler", "volano")
+
+
 def sweep(save):
     rows = []
     default_runner = ExperimentRunner(cost_model=CostModel())
     fused_runner = ExperimentRunner(cost_model=powerpc_ctr_model())
-    for name in ("compress", "jess", "optcompiler", "volano"):
+    # Batch each runner's matrix through the pool ($REPRO_JOBS workers).
+    default_runner.prefetch(
+        [
+            RunSpec(name, strategy, instr)
+            for name in NAMES
+            for strategy, instr in (
+                (Strategy.CHECKS_ONLY_ENTRY, ()),
+                (Strategy.CHECKS_ONLY_BACKEDGE, ()),
+                (Strategy.FULL_DUPLICATION, ("none",)),
+            )
+        ]
+    )
+    fused_runner.prefetch(
+        [RunSpec(name, Strategy.FULL_DUPLICATION, ("none",)) for name in NAMES]
+    )
+    for name in NAMES:
         entry = default_runner.overhead_pct(
             RunSpec(name, Strategy.CHECKS_ONLY_ENTRY, ())
         )

@@ -20,6 +20,15 @@ STRATEGIES = (
 
 
 def sweep(runner, save):
+    # One batch for the whole matrix: fans out over $REPRO_JOBS workers.
+    runner.prefetch(
+        [
+            RunSpec(name, strategy, (kind,))
+            for name in ("jess", "jack")
+            for kind in ("call-edge", "field-access")
+            for strategy in STRATEGIES
+        ]
+    )
     rows = []
     for name in ("jess", "jack"):
         for kind in ("call-edge", "field-access"):

@@ -8,15 +8,14 @@ the paper's 98-99 band and interval 1000 becomes usable.
 """
 
 from benchmarks.conftest import once
-from repro.harness import ExperimentRunner, render_table
+from repro.harness import render_table
 from repro.harness.sweeps import interval_sweep
 
 SCALE = 6
 WORKLOADS = ("javac", "jack", "jess")
 
 
-def sweep(save):
-    runner = ExperimentRunner()
+def sweep(runner, save):
     rows = []
     for name in WORKLOADS:
         points = interval_sweep(
@@ -37,8 +36,8 @@ def sweep(save):
     return {row[0]: row for row in rows}
 
 
-def test_accuracy_tracks_sample_count(benchmark, save):
-    rows = once(benchmark, lambda: sweep(save))
+def test_accuracy_tracks_sample_count(benchmark, runner, save):
+    rows = once(benchmark, lambda: sweep(runner, save))
     for name in WORKLOADS:
         at_100 = rows[f"{name}@100"]
         at_1000 = rows[f"{name}@1000"]

@@ -3,10 +3,25 @@
 Each benchmark regenerates one of the paper's tables/figures. Rendered
 tables are printed (visible with ``pytest -s``) and written to
 ``benchmarks/results/`` so EXPERIMENTS.md can reference a captured run.
+
+The session runner honours the parallel-harness knobs:
+
+* ``REPRO_JOBS=N`` fans each table's experiment matrix over N worker
+  processes (cells are deterministic, so results are identical at any
+  N — only wall time changes);
+* ``REPRO_CACHE_DIR=PATH`` relocates the persistent baseline cache,
+  which otherwise lives at ``benchmarks/results/.baseline-cache`` — a
+  repeated benchmark run skips every baseline execution. Delete the
+  directory (or ``python -m repro cache clear --cache-dir ...``) to
+  force cold-start numbers.
+
+A timing/cache-hit report for the whole session is written to
+``benchmarks/results/harness_report.txt`` at teardown.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -19,8 +34,18 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def runner():
     """One ExperimentRunner for the whole benchmark session, so every
-    table reuses the same cached baselines."""
-    return ExperimentRunner()
+    table reuses the same cached baselines and memoized cells. The
+    worker count comes from $REPRO_JOBS; baselines persist on disk
+    across sessions."""
+    cache_dir = os.environ.get(
+        "REPRO_CACHE_DIR", str(RESULTS_DIR / ".baseline-cache")
+    )
+    runner = ExperimentRunner(cache=cache_dir)
+    yield runner
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = runner.timing_report(top=20)
+    (RESULTS_DIR / "harness_report.txt").write_text(report + "\n")
+    print(f"\n{report}")
 
 
 @pytest.fixture(scope="session")

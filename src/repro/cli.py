@@ -8,7 +8,10 @@ Commands:
   overhead against the uninstrumented baseline.
 * ``adaptive FILE``  — run the sampled-profile-driven optimizer lifecycle.
 * ``workloads``      — list the benchmark suite, or run one member.
-* ``tables``         — regenerate the paper's tables and figures.
+* ``tables``         — regenerate the paper's tables and figures
+  (``--jobs N`` fans cells over worker processes; baselines persist
+  in a disk cache across invocations).
+* ``cache``          — inspect or clear the persistent baseline cache.
 
 All commands operate on deterministic simulated execution; see DESIGN.md.
 """
@@ -16,6 +19,7 @@ All commands operate on deterministic simulated execution; see DESIGN.md.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -25,6 +29,7 @@ from repro.bytecode import disassemble_program
 from repro.errors import ReproError
 from repro.frontend import CompileOptions, compile_baseline, compile_source
 from repro.harness import (
+    BaselineCache,
     ExperimentRunner,
     figure7,
     figure8a,
@@ -175,7 +180,8 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner()
+    cache = False if args.no_cache else (args.cache_dir or True)
+    runner = ExperimentRunner(jobs=args.jobs, cache=cache)
     names = list(_TABLES) + ["figure7"] if args.which == "all" else [args.which]
     for name in names:
         if name == "figure7":
@@ -184,6 +190,26 @@ def cmd_tables(args: argparse.Namespace) -> int:
         else:
             print(_TABLES[name](runner, args.scale).render())
         print()
+    if args.report:
+        print(runner.timing_report())
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = BaselineCache(args.cache_dir) if args.cache_dir else BaselineCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached baseline(s) from {cache.directory}")
+        return 0
+    entries = cache.entries()
+    print(f"cache directory: {cache.directory}")
+    print(f"entries: {len(entries)} ({cache.size_bytes()} bytes)")
+    for path in entries:
+        try:
+            label = json.loads(path.read_text())["label"] or "?"
+        except (OSError, ValueError, KeyError):
+            label = "(unreadable)"
+        print(f"  {path.stem[:16]}…  {label}")
     return 0
 
 
@@ -257,7 +283,32 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(_TABLES) + ["figure7", "all"],
     )
     p.add_argument("--scale", type=int, default=None)
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the experiment matrix "
+        "(default $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent baseline cache directory "
+        "(default $REPRO_CACHE_DIR or ~/.cache/repro-baselines)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent baseline cache",
+    )
+    p.add_argument(
+        "--report", action="store_true",
+        help="print per-cell timing and cache-hit accounting",
+    )
     p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the persistent baseline cache"
+    )
+    p.add_argument("action", choices=["info", "clear"])
+    p.add_argument("--cache-dir", default=None)
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

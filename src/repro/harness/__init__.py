@@ -1,11 +1,26 @@
-"""Experiment harness: runner, table/figure generators, formatting."""
+"""Experiment harness: runner, table/figure generators, formatting,
+parallel sweep execution, and the persistent baseline cache."""
 
+from repro.harness.baseline_cache import (
+    BaselineCache,
+    baseline_key,
+    cost_model_fingerprint,
+    default_cache_dir,
+    program_fingerprint,
+)
 from repro.harness.experiment import (
+    CellRecord,
     ExperimentRunner,
     RunResult,
     RunSpec,
     make_instrumentations,
     overhead_percent,
+)
+from repro.harness.parallel import (
+    RunnerConfig,
+    cell_seed,
+    effective_jobs,
+    run_specs,
 )
 from repro.harness.formatting import mean, render_table
 from repro.harness.sweeps import (
@@ -31,6 +46,16 @@ __all__ = [
     "ExperimentRunner",
     "RunSpec",
     "RunResult",
+    "CellRecord",
+    "BaselineCache",
+    "baseline_key",
+    "program_fingerprint",
+    "cost_model_fingerprint",
+    "default_cache_dir",
+    "RunnerConfig",
+    "cell_seed",
+    "effective_jobs",
+    "run_specs",
     "make_instrumentations",
     "overhead_percent",
     "render_table",

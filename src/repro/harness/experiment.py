@@ -9,12 +9,25 @@ Property-1 verification.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bytecode.program import Program
 from repro.errors import HarnessError
+from repro.harness.baseline_cache import (
+    CACHE_DIR_ENV,
+    BaselineCache,
+    baseline_key,
+)
+from repro.harness.formatting import render_table
+from repro.harness.parallel import (
+    RunnerConfig,
+    cell_seed,
+    effective_jobs,
+    run_specs,
+)
 from repro.instrument import (
     BranchBiasInstrumentation,
     CallEdgeInstrumentation,
@@ -79,6 +92,9 @@ class RunSpec:
     #: counter-trigger phase (first sample arrives ``interval - phase``
     #: checks in); used to average out deterministic aliasing
     phase: int = 0
+    #: randomized-trigger seed; None derives a deterministic per-cell
+    #: seed from the spec content (see :func:`repro.harness.parallel.cell_seed`)
+    seed: Optional[int] = None
 
     def describe(self) -> str:
         parts = [self.workload, self.strategy.value]
@@ -107,8 +123,23 @@ class RunResult:
     code_bytes: int = 0
 
 
+@dataclass
+class CellRecord:
+    """One computed experiment cell in the runner's timing log."""
+
+    label: str
+    seconds: float
+    source: str  # "serial" | "pool:<pid>" | "baseline" | "baseline-cache"
+    baseline_cache_hit: bool = False
+
+
 class ExperimentRunner:
     """Caches per-workload baselines and runs configured experiments.
+
+    Results are memoized per :class:`RunSpec` (cells are deterministic,
+    so a repeat is always identical), baselines are additionally cached
+    on disk when a persistent cache is configured, and batches of cells
+    can be fanned out over worker processes via :meth:`run_many`.
 
     Args:
         cost_model: shared cycle model (one per runner so baselines and
@@ -118,6 +149,13 @@ class ExperimentRunner:
             baseline's value and output (cheap, catches transform bugs).
         check_property1: verify Property 1 for duplication strategies
             against the baseline run.
+        cache: persistent baseline cache — a :class:`BaselineCache`, a
+            directory path, True for the default directory, False to
+            disable. The default (None) enables the cache only when
+            ``$REPRO_CACHE_DIR`` is set, so ad-hoc runners stay free of
+            disk side effects.
+        jobs: default worker count for :meth:`run_many`; None defers to
+            ``$REPRO_JOBS`` (else 1), <=0 means all cores.
     """
 
     def __init__(
@@ -126,29 +164,65 @@ class ExperimentRunner:
         fuel: int = DEFAULT_FUEL,
         check_semantics: bool = True,
         check_property1: bool = True,
+        cache: Union[BaselineCache, str, bool, None] = None,
+        jobs: Optional[int] = None,
     ):
         self.cost_model = cost_model or CostModel()
         self.fuel = fuel
         self.check_semantics = check_semantics
         self.check_property1 = check_property1
+        self.baseline_cache = _resolve_cache(cache)
+        self.jobs = jobs
         self._baselines: Dict[Tuple[str, Optional[int]], Tuple[Program, VMResult]] = {}
+        self._run_memo: Dict[RunSpec, RunResult] = {}
+        self.cell_log: List[CellRecord] = []
+        self.memo_hits = 0
 
     # -- baselines -----------------------------------------------------------
 
     def baseline(
         self, workload_name: str, scale: Optional[int] = None
     ) -> Tuple[Program, VMResult]:
-        """The workload's baseline program and its (cached) run."""
+        """The workload's baseline program and its (cached) run.
+
+        Lookup order: this runner's in-memory dict, then the persistent
+        disk cache (keyed by program content + cost model + run
+        config, so any config change is an automatic miss), then a
+        fresh execution whose result is published to both.
+        """
         key = (workload_name, scale)
         cached = self._baselines.get(key)
         if cached is not None:
             return cached
         workload: Workload = get_workload(workload_name)
         program = workload.compile(scale)
-        result = VM(
-            program, cost_model=self.cost_model, fuel=self.fuel,
-            timer_period=100_000,
-        ).run()
+        started = time.perf_counter()
+        result: Optional[VMResult] = None
+        disk_key: Optional[str] = None
+        if self.baseline_cache is not None:
+            disk_key = baseline_key(
+                program, self.cost_model, self.fuel, 100_000
+            )
+            result = self.baseline_cache.get(disk_key)
+        from_disk = result is not None
+        if result is None:
+            result = VM(
+                program, cost_model=self.cost_model, fuel=self.fuel,
+                timer_period=100_000,
+            ).run()
+            if self.baseline_cache is not None and disk_key is not None:
+                self.baseline_cache.put(
+                    disk_key, result, label=f"{workload_name}/scale={scale}"
+                )
+        self.cell_log.append(
+            CellRecord(
+                label=f"baseline:{workload_name}"
+                + (f"@{scale}" if scale is not None else ""),
+                seconds=time.perf_counter() - started,
+                source="baseline-cache" if from_disk else "baseline",
+                baseline_cache_hit=from_disk,
+            )
+        )
         self._baselines[key] = (program, result)
         return program, result
 
@@ -158,7 +232,16 @@ class ExperimentRunner:
     # -- configured runs ----------------------------------------------------------
 
     def run(self, spec: RunSpec) -> RunResult:
-        """Transform per *spec*, execute, verify, and measure."""
+        """Transform per *spec*, execute, verify, and measure.
+
+        Results are memoized: cells are deterministic, so a repeated
+        spec returns the first computation's result unchanged.
+        """
+        memoized = self._run_memo.get(spec)
+        if memoized is not None:
+            self.memo_hits += 1
+            return memoized
+        cell_started = time.perf_counter()
         program, base_result = self.baseline(spec.workload, spec.scale)
         instrumentations = make_instrumentations(spec.instrumentation)
 
@@ -177,6 +260,13 @@ class ExperimentRunner:
 
         if spec.trigger == "counter" and spec.phase:
             trigger = make_trigger(spec.trigger, spec.interval, phase=spec.phase)
+        elif spec.trigger == "randomized":
+            # Deterministic per-cell seeding: the jitter stream is a
+            # pure function of the spec (or an explicit seed), so the
+            # cell's result is independent of process, order, and pool
+            # size.
+            seed = spec.seed if spec.seed is not None else cell_seed(spec)
+            trigger = make_trigger(spec.trigger, spec.interval, seed=seed)
         else:
             trigger = make_trigger(spec.trigger, spec.interval)
         result = VM(
@@ -209,7 +299,7 @@ class ExperimentRunner:
         profiles = {
             instr.profile.name: instr.profile for instr in instrumentations
         }
-        return RunResult(
+        run_result = RunResult(
             spec=spec,
             value=result.value,
             cycles=result.stats.cycles,
@@ -219,6 +309,110 @@ class ExperimentRunner:
             transform_seconds=transform_seconds,
             code_bytes=transformed.total_code_size_bytes(),
         )
+        self._run_memo[spec] = run_result
+        self.cell_log.append(
+            CellRecord(
+                label=spec.describe(),
+                seconds=time.perf_counter() - cell_started,
+                source="serial",
+            )
+        )
+        return run_result
+
+    # -- batched / parallel execution ---------------------------------------------
+
+    def run_many(
+        self, specs: Sequence[RunSpec], jobs: Optional[int] = None
+    ) -> List[RunResult]:
+        """Run every spec, fanning uncomputed cells over worker
+        processes when more than one job is configured.
+
+        The returned list matches *specs* positionally. Cells are
+        deterministic, so the outcome is bit-identical to a serial
+        loop regardless of the worker count; only wall time changes.
+        """
+        specs = list(specs)
+        jobs = effective_jobs(jobs if jobs is not None else self.jobs)
+        pending: List[RunSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec not in self._run_memo and spec not in seen:
+                seen.add(spec)
+                pending.append(spec)
+        if pending and jobs > 1 and len(pending) > 1:
+            outcomes = run_specs(
+                pending, RunnerConfig.from_runner(self), jobs
+            )
+            for spec, outcome in zip(pending, outcomes):
+                self._run_memo[spec] = outcome.result
+                self.cell_log.append(
+                    CellRecord(
+                        label=spec.describe(),
+                        seconds=outcome.seconds,
+                        source=f"pool:{outcome.worker_pid}",
+                        baseline_cache_hit=outcome.baseline_cache_hit,
+                    )
+                )
+        return [self.run(spec) for spec in specs]
+
+    def prefetch(
+        self, specs: Sequence[RunSpec], jobs: Optional[int] = None
+    ) -> None:
+        """Populate the memo for *specs* (parallel when configured).
+
+        Table generators call this with their full experiment matrix
+        before assembling rows, so row construction itself stays a
+        sequence of memo hits and the serial code path is untouched.
+        """
+        self.run_many(specs, jobs=jobs)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def timing_report(self, top: int = 15) -> str:
+        """Human-readable per-cell timing / cache-hit accounting."""
+        computed = [rec for rec in self.cell_log]
+        rows = [
+            [
+                rec.label,
+                rec.seconds * 1000.0,
+                rec.source,
+                "hit" if rec.baseline_cache_hit else "-",
+            ]
+            for rec in sorted(
+                computed, key=lambda rec: -rec.seconds
+            )[:top]
+        ]
+        text = render_table(
+            ["cell", "ms", "source", "baseline-cache"],
+            rows,
+            title=f"Harness timing: {top} slowest of "
+            f"{len(computed)} computed cells",
+            decimals=1,
+        )
+        pool_cells = sum(
+            1 for rec in computed if rec.source.startswith("pool:")
+        )
+        workers = len(
+            {rec.source for rec in computed if rec.source.startswith("pool:")}
+        )
+        lines = [
+            text,
+            f"  cells computed: {len(computed)} "
+            f"({pool_cells} in pool across {workers} worker(s)), "
+            f"memo hits: {self.memo_hits}",
+            f"  compute seconds: "
+            f"{sum(rec.seconds for rec in computed):.2f}",
+        ]
+        if self.baseline_cache is not None:
+            stats = self.baseline_cache.stats
+            lines.append(
+                f"  baseline cache [{self.baseline_cache.directory}]: "
+                f"{stats.hits} hit(s), {stats.misses} miss(es), "
+                f"{stats.stores} store(s)"
+            )
+        else:
+            lines.append("  baseline cache: disabled")
+        return "\n".join(lines)
 
     # -- derived measures ---------------------------------------------------------
 
@@ -269,6 +463,22 @@ class ExperimentRunner:
             )
         )
         return result.profiles
+
+
+def _resolve_cache(
+    cache: Union[BaselineCache, str, bool, None]
+) -> Optional[BaselineCache]:
+    """Interpret the runner's ``cache`` argument (see its docstring)."""
+    if cache is None:
+        env = os.environ.get(CACHE_DIR_ENV)
+        return BaselineCache(env) if env else None
+    if cache is False:
+        return None
+    if cache is True:
+        return BaselineCache()
+    if isinstance(cache, BaselineCache):
+        return cache
+    return BaselineCache(cache)
 
 
 def overhead_percent(baseline_cycles: int, cycles: int) -> float:

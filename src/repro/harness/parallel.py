@@ -1,0 +1,199 @@
+"""Parallel sweep execution: fan experiment cells over worker processes.
+
+The experiment matrix behind every table and figure is embarrassingly
+parallel — each (workload x strategy x trigger x interval) cell is an
+independent, deterministic simulation. This module provides the pool
+that :meth:`repro.harness.ExperimentRunner.run_many` fans cells out
+over:
+
+* each worker process builds its own :class:`ExperimentRunner` from a
+  picklable :class:`RunnerConfig` (cost model, fuel, tripwire flags,
+  cache directory) in its initializer, so per-workload compilation and
+  baseline execution happen at most once per worker — or once *ever*
+  when a persistent baseline cache directory is shared;
+* cells are dispatched with ``chunksize=1`` and results are collected
+  in submission order, so the caller sees the exact list it would get
+  from a serial loop;
+* every cell is seeded deterministically from its spec content
+  (:func:`cell_seed`), never from worker identity, scheduling order, or
+  wall clock — the same spec produces bit-identical results at any
+  ``--jobs`` value. ``tests/test_parallel_harness.py`` holds the
+  tripwire asserting jobs=1 and jobs=4 agree cell-for-cell.
+
+Workers prefer the ``fork`` start method (cheap on Linux, inherits the
+parent's compiled-workload caches) and fall back to ``spawn`` where
+fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.vm.cost_model import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.experiment import RunResult, RunSpec
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def effective_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a ``--jobs`` value: explicit arg, else ``$REPRO_JOBS``,
+    else 1. Zero or negative means "all cores"."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs <= 0:
+        return max(1, multiprocessing.cpu_count())
+    return jobs
+
+
+def cell_seed(spec: "RunSpec") -> int:
+    """A deterministic 32-bit seed derived from the cell's content.
+
+    Used for the randomized-counter trigger so each cell perturbs its
+    intervals differently, yet identically across processes, runs, and
+    pool sizes. Intentionally *not* Python's ``hash`` (randomized per
+    interpreter) and not derived from worker state.
+    """
+    payload = "|".join(
+        [
+            spec.workload,
+            spec.strategy.value,
+            ",".join(spec.instrumentation),
+            spec.trigger,
+            str(spec.interval),
+            str(spec.scale),
+            str(spec.timer_period),
+            str(spec.phase),
+            str(spec.yieldpoint_opt),
+        ]
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+# ---------------------------------------------------------------------------
+# worker plumbing
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Everything a worker needs to rebuild the parent's runner."""
+
+    cost_model: CostModel
+    fuel: int
+    check_semantics: bool
+    check_property1: bool
+    cache_dir: Optional[str] = None
+
+    @classmethod
+    def from_runner(cls, runner) -> "RunnerConfig":
+        cache = runner.baseline_cache
+        return cls(
+            cost_model=runner.cost_model,
+            fuel=runner.fuel,
+            check_semantics=runner.check_semantics,
+            check_property1=runner.check_property1,
+            cache_dir=str(cache.directory) if cache is not None else None,
+        )
+
+    def build_runner(self):
+        from repro.harness.experiment import ExperimentRunner
+
+        return ExperimentRunner(
+            cost_model=self.cost_model,
+            fuel=self.fuel,
+            check_semantics=self.check_semantics,
+            check_property1=self.check_property1,
+            cache=self.cache_dir if self.cache_dir is not None else False,
+            jobs=1,
+        )
+
+
+@dataclass
+class CellOutcome:
+    """One executed cell plus its provenance and timing."""
+
+    result: "RunResult"
+    seconds: float
+    worker_pid: int
+    baseline_cache_hit: bool
+
+
+_WORKER_RUNNER = None
+
+
+def _init_worker(config: RunnerConfig) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = config.build_runner()
+
+
+def _run_cell(spec: "RunSpec") -> CellOutcome:
+    runner = _WORKER_RUNNER
+    if runner is None:  # pragma: no cover - initializer always runs
+        raise RuntimeError("worker pool used without initialization")
+    cache = runner.baseline_cache
+    hits_before = cache.stats.hits if cache is not None else 0
+    started = time.perf_counter()
+    result = runner.run(spec)
+    seconds = time.perf_counter() - started
+    hit = cache is not None and cache.stats.hits > hits_before
+    return CellOutcome(
+        result=result,
+        seconds=seconds,
+        worker_pid=os.getpid(),
+        baseline_cache_hit=hit,
+    )
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_specs(
+    specs: Sequence["RunSpec"],
+    config: RunnerConfig,
+    jobs: int,
+) -> List[CellOutcome]:
+    """Execute *specs* over *jobs* worker processes, in order.
+
+    Falls back to an in-process loop for jobs<=1 or tiny batches, so
+    callers can route everything through one entry point.
+    """
+    specs = list(specs)
+    jobs = max(1, jobs)
+    if jobs == 1 or len(specs) <= 1:
+        _init_worker(config)
+        try:
+            return [_run_cell(spec) for spec in specs]
+        finally:
+            _reset_worker()
+    ctx = _pool_context()
+    with ctx.Pool(
+        processes=min(jobs, len(specs)),
+        initializer=_init_worker,
+        initargs=(config,),
+    ) as pool:
+        return pool.map(_run_cell, specs, chunksize=1)
+
+
+def _reset_worker() -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = None

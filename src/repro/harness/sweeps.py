@@ -53,6 +53,21 @@ def interval_sweep(
     Accuracy is the mean overlap across the instrumentation kinds,
     against the strategy's interval-1 perfect profiles.
     """
+    # One batch for the whole sweep (perfect profile = interval 1):
+    # fans out over the worker pool when the runner has jobs > 1.
+    runner.prefetch(
+        [
+            RunSpec(
+                workload,
+                strategy,
+                instrumentation,
+                trigger="counter",
+                interval=interval,
+                scale=scale,
+            )
+            for interval in sorted(set(intervals) | {1})
+        ]
+    )
     base_cycles = runner.baseline_cycles(workload, scale)
     perfect = runner.perfect_profiles(
         workload, instrumentation, scale, strategy=strategy

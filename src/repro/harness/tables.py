@@ -5,6 +5,13 @@ Each function runs the required experiment matrix through an
 place our measured values next to the paper's published ones. The
 ``benchmarks/`` directory has one pytest-benchmark harness per
 generator; EXPERIMENTS.md records a captured run.
+
+Every generator first *enumerates* its full experiment matrix and
+hands it to :meth:`ExperimentRunner.prefetch`, which fans uncomputed
+cells over the worker pool when the runner is configured with
+``jobs > 1`` (``--jobs`` / ``$REPRO_JOBS``). Row assembly then runs
+the same serial code it always did, hitting the runner's memo — so a
+parallel run is cell-for-cell identical to a serial one.
 """
 
 from __future__ import annotations
@@ -59,10 +66,18 @@ def table1(
 ) -> TableResult:
     """Exhaustive call-edge / field-access overhead (no framework)."""
     runner = runner or ExperimentRunner()
+    suite = _suite(workloads)
+    runner.prefetch(
+        [
+            RunSpec(name, Strategy.EXHAUSTIVE, (kind,), scale=scale)
+            for name in suite
+            for kind in ("call-edge", "field-access")
+        ]
+    )
     rows: List[List] = []
     measured_call: List[float] = []
     measured_field: List[float] = []
-    for name in _suite(workloads):
+    for name in suite:
         call = runner.overhead_pct(
             RunSpec(name, Strategy.EXHAUSTIVE, ("call-edge",), scale=scale)
         )
@@ -108,13 +123,25 @@ def table2(
     with the backedge/entry checks-only breakdown, space increase, and
     transform-time accounting."""
     runner = runner or ExperimentRunner()
+    suite = _suite(workloads)
+    runner.prefetch(
+        [
+            spec
+            for name in suite
+            for spec in (
+                RunSpec(name, Strategy.FULL_DUPLICATION, ("none",), scale=scale),
+                RunSpec(name, Strategy.CHECKS_ONLY_BACKEDGE, (), scale=scale),
+                RunSpec(name, Strategy.CHECKS_ONLY_ENTRY, (), scale=scale),
+            )
+        ]
+    )
     rows: List[List] = []
     totals: List[float] = []
     backs: List[float] = []
     entries: List[float] = []
     spaces: List[float] = []
     times: List[float] = []
-    for name in _suite(workloads):
+    for name in suite:
         program, _ = runner.baseline(name, scale)
         base_cycles = runner.baseline_cycles(name, scale)
         base_bytes = program.total_code_size_bytes()
@@ -201,10 +228,18 @@ def table3(
 ) -> TableResult:
     """No-Duplication checking overhead (no samples taken)."""
     runner = runner or ExperimentRunner()
+    suite = _suite(workloads)
+    runner.prefetch(
+        [
+            RunSpec(name, Strategy.NO_DUPLICATION, (kind,), scale=scale)
+            for name in suite
+            for kind in ("call-edge", "field-access")
+        ]
+    )
     rows: List[List] = []
     calls: List[float] = []
     fields: List[float] = []
-    for name in _suite(workloads):
+    for name in suite:
         call = runner.overhead_pct(
             RunSpec(name, Strategy.NO_DUPLICATION, ("call-edge",), scale=scale)
         )
@@ -282,6 +317,28 @@ def table4(
     runner = runner or ExperimentRunner()
     intervals = list(intervals or paper_data.PAPER_INTERVALS)
     suite = _suite(workloads)
+    strategies = (Strategy.FULL_DUPLICATION, Strategy.NO_DUPLICATION)
+    kinds = ("call-edge", "field-access")
+    prefetch: List[RunSpec] = []
+    for name in suite:
+        for strategy in strategies:
+            prefetch.append(
+                RunSpec(
+                    name, strategy, kinds,
+                    trigger="counter", interval=1, scale=scale,
+                )
+            )
+            prefetch.append(
+                RunSpec(name, strategy, kinds, trigger="never", scale=scale)
+            )
+            prefetch.extend(
+                RunSpec(
+                    name, strategy, kinds,
+                    trigger="counter", interval=interval, scale=scale,
+                )
+                for interval in intervals
+            )
+    runner.prefetch(prefetch)
 
     # Per-strategy perfect profiles (the paper's interval-1 definition).
     perfects = {
@@ -383,6 +440,42 @@ def table4(
 # Table 5 — trigger mechanisms
 
 
+def _table5_timer_spec(
+    name: str, timer_period: int, scale: Optional[int]
+) -> RunSpec:
+    return RunSpec(
+        name,
+        Strategy.FULL_DUPLICATION,
+        ("field-access",),
+        trigger="timer",
+        timer_period=timer_period,
+        scale=scale,
+    )
+
+
+def _table5_counter_specs(
+    name: str, interval: int, scale: Optional[int]
+) -> List[RunSpec]:
+    """The counter grid matched to one timer run: three nearby
+    intervals x three phases, in measurement order."""
+    candidates = sorted(
+        {interval, max(1, (interval * 9) // 10), (interval * 11) // 10}
+    )
+    return [
+        RunSpec(
+            name,
+            Strategy.FULL_DUPLICATION,
+            ("field-access",),
+            trigger="counter",
+            interval=candidate,
+            scale=scale,
+            phase=phase,
+        )
+        for candidate in candidates
+        for phase in (0, candidate // 3, (2 * candidate) // 3)
+    ]
+
+
 def table5(
     runner: Optional[ExperimentRunner] = None,
     workloads: Optional[Sequence[str]] = None,
@@ -394,22 +487,53 @@ def table5(
     interval is chosen per benchmark so both triggers take roughly the
     same number of samples."""
     runner = runner or ExperimentRunner()
-    rows: List[List] = []
-    timer_accs: List[float] = []
-    counter_accs: List[float] = []
-    for name in _suite(workloads):
-        perfect = runner.perfect_profiles(name, ("field-access",), scale)
-        base_cycles = runner.baseline_cycles(name, scale)
-        timer_period = max(400, base_cycles // target_samples)
-        timer_run = runner.run(
+    suite = _suite(workloads)
+
+    # Phase 1: perfect profiles + timer runs (periods derive from the
+    # baselines, which run serially but hit the persistent cache).
+    timer_periods = {
+        name: max(400, runner.baseline_cycles(name, scale) // target_samples)
+        for name in suite
+    }
+    runner.prefetch(
+        [
             RunSpec(
                 name,
                 Strategy.FULL_DUPLICATION,
                 ("field-access",),
-                trigger="timer",
-                timer_period=timer_period,
+                trigger="counter",
+                interval=1,
                 scale=scale,
             )
+            for name in suite
+        ]
+        + [
+            _table5_timer_spec(name, timer_periods[name], scale)
+            for name in suite
+        ]
+    )
+    # Phase 2: each workload's counter grid is matched to its timer
+    # run's sample count, so it can only be enumerated now.
+    grid: List[RunSpec] = []
+    for name in suite:
+        timer_run = runner.run(
+            _table5_timer_spec(name, timer_periods[name], scale)
+        )
+        interval = max(
+            1,
+            timer_run.stats.checks_executed
+            // max(1, timer_run.stats.samples_taken),
+        )
+        grid.extend(_table5_counter_specs(name, interval, scale))
+    runner.prefetch(grid)
+
+    rows: List[List] = []
+    timer_accs: List[float] = []
+    counter_accs: List[float] = []
+    for name in suite:
+        perfect = runner.perfect_profiles(name, ("field-access",), scale)
+        timer_run = runner.run(
+            _table5_timer_spec(name, timer_periods[name], scale)
         )
         timer_samples = max(1, timer_run.stats.samples_taken)
         timer_acc = overlap_percentage(
@@ -426,28 +550,14 @@ def table5(
         # nearby intervals x three phases).
         counter_accs_here = []
         counter_run = None
-        candidates = sorted(
-            {interval, max(1, (interval * 9) // 10), (interval * 11) // 10}
-        )
-        for candidate in candidates:
-            for phase in (0, candidate // 3, (2 * candidate) // 3):
-                counter_run = runner.run(
-                    RunSpec(
-                        name,
-                        Strategy.FULL_DUPLICATION,
-                        ("field-access",),
-                        trigger="counter",
-                        interval=candidate,
-                        scale=scale,
-                        phase=phase,
-                    )
+        for counter_spec in _table5_counter_specs(name, interval, scale):
+            counter_run = runner.run(counter_spec)
+            counter_accs_here.append(
+                overlap_percentage(
+                    perfect["field-access"],
+                    counter_run.profiles["field-access"],
                 )
-                counter_accs_here.append(
-                    overlap_percentage(
-                        perfect["field-access"],
-                        counter_run.profiles["field-access"],
-                    )
-                )
+            )
         counter_accs_here.sort()
         counter_acc = counter_accs_here[len(counter_accs_here) // 2]
         timer_accs.append(timer_acc)
@@ -510,6 +620,19 @@ def figure7(
     our smaller run uses a proportionally smaller interval.
     """
     runner = runner or ExperimentRunner()
+    runner.prefetch(
+        [
+            RunSpec(
+                "javac",
+                Strategy.FULL_DUPLICATION,
+                ("call-edge",),
+                trigger="counter",
+                interval=i,
+                scale=scale,
+            )
+            for i in (1, interval)
+        ]
+    )
     perfect = runner.perfect_profiles("javac", ("call-edge",), scale)[
         "call-edge"
     ]
@@ -557,9 +680,22 @@ def figure8a(
 ) -> TableResult:
     """Framework-only overhead with the yieldpoint optimization."""
     runner = runner or ExperimentRunner()
+    suite = _suite(workloads)
+    runner.prefetch(
+        [
+            RunSpec(
+                name,
+                Strategy.FULL_DUPLICATION,
+                ("none",),
+                yieldpoint_opt=True,
+                scale=scale,
+            )
+            for name in suite
+        ]
+    )
     rows: List[List] = []
     overheads: List[float] = []
-    for name in _suite(workloads):
+    for name in suite:
         pct = runner.overhead_pct(
             RunSpec(
                 name,
@@ -595,6 +731,21 @@ def figure8b(
     runner = runner or ExperimentRunner()
     intervals = list(intervals or paper_data.PAPER_INTERVALS)
     suite = _suite(workloads)
+    runner.prefetch(
+        [
+            RunSpec(
+                name,
+                Strategy.FULL_DUPLICATION,
+                ("call-edge", "field-access"),
+                trigger="counter",
+                interval=interval,
+                yieldpoint_opt=True,
+                scale=scale,
+            )
+            for interval in intervals
+            for name in suite
+        ]
+    )
     rows: List[List] = []
     for interval in intervals:
         totals: List[float] = []

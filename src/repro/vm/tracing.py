@@ -118,6 +118,20 @@ class ExecStats:
             "timer_ticks": self.timer_ticks,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "ExecStats":
+        """Rebuild stats from :meth:`as_dict` output (used by the
+        persistent baseline cache and the parallel harness)."""
+        stats = cls()
+        for name in cls.__slots__:
+            if name == "opcode_counts":
+                continue
+            value = payload[name]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeError(f"stat {name!r} must be an int")
+            setattr(stats, name, value)
+        return stats
+
     def __repr__(self) -> str:
         return (
             f"<ExecStats instrs={self.instructions} cycles={self.cycles} "

@@ -19,6 +19,7 @@ from typing import List
 from hypothesis import strategies as st
 
 from repro.bytecode import BytecodeBuilder, Function, Op, Program
+from repro.instrument.call_edge import assign_call_site_ids
 
 #: Binary operators safe on arbitrary ints (no traps).
 _SAFE_BINOPS = [
@@ -80,23 +81,45 @@ class _Emitter:
             b.load(self.acc).call(node[1])
             b.push(0xFFFF).emit(Op.AND)
             b.store(self.acc)
+        elif kind == "ret":
+            # Conditional early return: if acc > threshold, return acc.
+            # Exercises functions whose exit is not the last block —
+            # the shape the duplication transforms must get right when
+            # redirecting checking/duplicated exits.
+            b = self.b
+            skip = b.new_label()
+            b.load(self.acc).push(node[1]).emit(Op.GT)
+            b.jz(skip)
+            b.load(self.acc).ret()
+            b.label(skip)
         else:  # pragma: no cover
             raise AssertionError(f"unknown node {kind!r}")
 
 
-def _structure(depth: int):
-    """Hypothesis strategy for a structure tree of bounded depth."""
-    leaf = st.one_of(
+def _structure(depth: int, early_returns: bool = False):
+    """Hypothesis strategy for a structure tree of bounded depth.
+
+    ``early_returns`` adds conditional-return leaves, so drawn programs
+    can exit ``main`` from the middle of (possibly nested) loops.
+    """
+    leaves = [
         st.tuples(
             st.just("op"),
             st.integers(min_value=0, max_value=255),
             st.sampled_from(_SAFE_BINOPS),
         ),
         st.tuples(st.just("call"), st.sampled_from(["h0", "h1"])),
-    )
+    ]
+    if early_returns:
+        leaves.append(
+            st.tuples(
+                st.just("ret"), st.integers(min_value=0, max_value=0xFFFF)
+            )
+        )
+    leaf = st.one_of(*leaves)
     if depth <= 0:
         return st.tuples(st.just("seq"), st.lists(leaf, min_size=1, max_size=3))
-    sub = _structure(depth - 1)
+    sub = _structure(depth - 1, early_returns)
     node = st.one_of(
         leaf,
         st.tuples(
@@ -127,9 +150,9 @@ def _leaf_helper(name: str, multiplier: int) -> Function:
 
 
 @st.composite
-def programs(draw, max_depth: int = 3):
+def programs(draw, max_depth: int = 3, early_returns: bool = False):
     """A random, terminating, verifiable Program with entry ``main``."""
-    tree = draw(_structure(max_depth))
+    tree = draw(_structure(max_depth, early_returns))
     seed = draw(st.integers(min_value=0, max_value=0xFFFF))
 
     b = BytecodeBuilder("main", num_params=0)
@@ -140,7 +163,69 @@ def programs(draw, max_depth: int = 3):
     _Emitter(b, acc, scratch).emit_block(tree)
     b.load(acc).ret()
 
-    return Program(
+    program = Program(
         [b.build(), _leaf_helper("h0", 3), _leaf_helper("h1", 5)],
         entry="main",
     )
+    # Stamp transform-stable call-site ids, like the compiler does,
+    # so call-edge profile keys match across duplicated copies.
+    assign_call_site_ids(program)
+    return program
+
+
+def control_flow_programs(max_depth: int = 4):
+    """Programs biased toward interesting control flow: deep enough to
+    nest counted loops, with conditional early returns enabled. Used by
+    the differential-profile and Property-1 fuzz tests."""
+    return programs(max_depth=max_depth, early_returns=True)
+
+
+def nested_loop_program(trip_outer: int = 6, trip_inner: int = 5) -> Program:
+    """A deterministic program with nested counted loops, a helper call
+    in the inner body, and a conditional early return out of both loops
+    — the hand-pinned counterpart of :func:`control_flow_programs`.
+    """
+    b = BytecodeBuilder("main", num_params=0)
+    acc = b.new_local()
+    outer = b.new_local()
+    inner = b.new_local()
+    b.push(11).store(acc)
+
+    outer_head = b.new_label()
+    outer_done = b.new_label()
+    b.push(trip_outer).store(outer)
+    b.label(outer_head)
+    b.load(outer).jz(outer_done)
+
+    inner_head = b.new_label()
+    inner_done = b.new_label()
+    b.push(trip_inner).store(inner)
+    b.label(inner_head)
+    b.load(inner).jz(inner_done)
+    # acc = h0(acc) + 3, masked
+    b.load(acc).call("h0")
+    b.push(3).emit(Op.ADD)
+    b.push(0xFFFF).emit(Op.AND)
+    b.store(acc)
+    b.load(inner).push(1).emit(Op.SUB).store(inner)
+    b.jump(inner_head)
+    b.label(inner_done)
+
+    # early return from inside the outer loop once acc crosses a line
+    cont = b.new_label()
+    b.load(acc).push(0xF000).emit(Op.GT)
+    b.jz(cont)
+    b.load(acc).ret()
+    b.label(cont)
+
+    b.load(outer).push(1).emit(Op.SUB).store(outer)
+    b.jump(outer_head)
+    b.label(outer_done)
+    b.load(acc).ret()
+
+    program = Program(
+        [b.build(), _leaf_helper("h0", 3), _leaf_helper("h1", 5)],
+        entry="main",
+    )
+    assign_call_site_ids(program)
+    return program
