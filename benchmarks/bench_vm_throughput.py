@@ -1,0 +1,183 @@
+"""VM throughput: fast engine vs reference interpreter.
+
+docs/VM_PERF.md: the fast engine pre-compiles every function into a
+direct-threaded handler list whose straight-line segments are fused
+into generated Python superinstructions. Both engines are bit-identical
+in stats/output/profiles (tests/test_engine_differential.py), so the
+only interesting axis left is wall clock. This bench times each
+workload at its default scale on both engines (best-of-N to absorb the
+one-time segment-compilation cost) and records instructions/second per
+engine plus the per-workload and geometric-mean speedup.
+
+Results land in ``BENCH_vm.json`` at the repo root so the numbers have
+a tracked trajectory; CI runs the standalone entry point on one
+workload as a regression tripwire::
+
+    python benchmarks/bench_vm_throughput.py --workload compress \
+        --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.vm.interpreter import VM
+from repro.workloads import all_workloads, get_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_vm.json"
+
+#: Best-of-N repeats. Three is enough to absorb the fast engine's
+#: cold-start segment compilation (a few ms, cached process-wide after
+#: the first VM for a given program shape) and OS jitter.
+REPEATS = 3
+
+
+def _time_engine(program, engine: str, repeats: int):
+    """Best-of-*repeats* wall time for one engine; returns (result, s)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        vm = VM(program, engine=engine)
+        started = time.perf_counter()
+        result = vm.run()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def measure(
+    names: Optional[Sequence[str]] = None, repeats: int = REPEATS
+) -> Dict:
+    """Time every requested workload on both engines.
+
+    Also asserts bit-identity of value/output/stats between the two
+    engines — a throughput number for a diverging engine would be
+    meaningless.
+    """
+    workloads = (
+        [get_workload(name) for name in names]
+        if names
+        else list(all_workloads())
+    )
+    rows: Dict[str, Dict] = {}
+    speedups: List[float] = []
+    for wl in workloads:
+        program = wl.compile(None)
+        ref_result, ref_s = _time_engine(program, "reference", repeats)
+        fast_result, fast_s = _time_engine(program, "fast", repeats)
+        if (
+            fast_result.value != ref_result.value
+            or fast_result.output != ref_result.output
+            or fast_result.stats.as_dict() != ref_result.stats.as_dict()
+        ):
+            raise AssertionError(
+                f"engines diverged on {wl.name}: cannot report throughput"
+            )
+        instructions = ref_result.stats.instructions
+        speedup = ref_s / fast_s
+        speedups.append(speedup)
+        rows[wl.name] = {
+            "scale": wl.default_scale,
+            "instructions": instructions,
+            "reference": {
+                "seconds": round(ref_s, 6),
+                "instr_per_sec": round(instructions / ref_s, 1),
+            },
+            "fast": {
+                "seconds": round(fast_s, 6),
+                "instr_per_sec": round(instructions / fast_s, 1),
+            },
+            "speedup": round(speedup, 3),
+        }
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return {
+        "repeats": repeats,
+        "workloads": rows,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def render(report: Dict) -> str:
+    lines = [
+        f"{'workload':12s} {'scale':>5s} {'ref Mi/s':>9s} "
+        f"{'fast Mi/s':>9s} {'speedup':>7s}"
+    ]
+    for name, row in report["workloads"].items():
+        lines.append(
+            f"{name:12s} {row['scale']:5d} "
+            f"{row['reference']['instr_per_sec'] / 1e6:9.2f} "
+            f"{row['fast']['instr_per_sec'] / 1e6:9.2f} "
+            f"{row['speedup']:6.2f}x"
+        )
+    lines.append(f"geomean speedup: {report['geomean_speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+def sweep(save, names: Optional[Sequence[str]] = None) -> Dict:
+    report = measure(names)
+    save("vm_throughput", render(report))
+    DEFAULT_OUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_vm_throughput(benchmark, save):
+    from benchmarks.conftest import once
+
+    report = once(benchmark, lambda: sweep(save))
+    # Every workload must run at least as fast on the fast engine; the
+    # hard multiplier lives in the CI smoke job (--min-speedup), where
+    # the machine is known.
+    assert report["geomean_speedup"] > 1.0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark fast-engine vs reference-interpreter "
+        "throughput and write BENCH_vm.json"
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        help="restrict to this workload (repeatable; default: all)",
+    )
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero if the geomean speedup falls below this",
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT), help="where to write BENCH_vm.json"
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(args.workload, repeats=args.repeats)
+    print(render(report))
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[wrote {out}]")
+    if (
+        args.min_speedup is not None
+        and report["geomean_speedup"] < args.min_speedup
+    ):
+        print(
+            f"error: geomean speedup {report['geomean_speedup']:.2f}x "
+            f"below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,14 +107,14 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     program = compile_baseline(_read_source(args.file))
-    result = run_program(program, fuel=args.fuel)
+    result = run_program(program, fuel=args.fuel, engine=args.engine)
     print("\n".join(_stats_lines(result)))
     return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
     program = compile_baseline(_read_source(args.file))
-    base = run_program(program, fuel=args.fuel)
+    base = run_program(program, fuel=args.fuel, engine=args.engine)
 
     kinds = tuple(k.strip() for k in args.instrument.split(",") if k.strip())
     instrumentations = make_instrumentations(kinds)
@@ -135,6 +135,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         trigger=trigger,
         timer_period=args.timer_period,
         fuel=args.fuel,
+        engine=args.engine,
     )
     if result.value != base.value:
         print("error: transformed program diverged", file=sys.stderr)
@@ -171,7 +172,7 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     workload = get_workload(args.name)
     program = workload.compile(args.scale)
     started = time.perf_counter()
-    result = run_program(program, fuel=args.fuel)
+    result = run_program(program, fuel=args.fuel, engine=args.engine)
     elapsed = time.perf_counter() - started
     print(f"{workload.name} (scale {args.scale or workload.default_scale}), "
           f"{elapsed:.2f}s wall")
@@ -181,7 +182,7 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 def cmd_tables(args: argparse.Namespace) -> int:
     cache = False if args.no_cache else (args.cache_dir or True)
-    runner = ExperimentRunner(jobs=args.jobs, cache=cache)
+    runner = ExperimentRunner(jobs=args.jobs, cache=cache, engine=args.engine)
     names = list(_TABLES) + ["figure7"] if args.which == "all" else [args.which]
     for name in names:
         if name == "figure7":
@@ -217,6 +218,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
 # parser
 
 
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine",
+        default=None,
+        choices=["fast", "reference"],
+        help="VM execution engine (default $REPRO_ENGINE or fast); both "
+        "produce bit-identical results",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -236,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="compile and execute")
     p.add_argument("file")
     p.add_argument("--fuel", type=int, default=100_000_000)
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("profile", help="instrument, sample, and report")
@@ -262,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--yieldpoint-opt", action="store_true")
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--fuel", type=int, default=100_000_000)
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("adaptive", help="profile-directed optimization demo")
@@ -273,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", nargs="?", default=None)
     p.add_argument("--scale", type=int, default=None)
     p.add_argument("--fuel", type=int, default=200_000_000)
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_workloads)
 
     p = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -301,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print per-cell timing and cache-hit accounting",
     )
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_tables)
 
     p = sub.add_parser(

@@ -45,6 +45,7 @@ from repro.sampling.framework import SamplingFramework, Strategy, TransformRepor
 from repro.sampling.properties import property1_vs_baseline
 from repro.sampling.triggers import make_trigger
 from repro.vm.cost_model import CostModel
+from repro.vm.engine import resolve_engine
 from repro.vm.interpreter import VM, VMResult
 from repro.vm.tracing import ExecStats
 from repro.workloads.suite import Workload, get_workload
@@ -156,6 +157,10 @@ class ExperimentRunner:
             disk side effects.
         jobs: default worker count for :meth:`run_many`; None defers to
             ``$REPRO_JOBS`` (else 1), <=0 means all cores.
+        engine: VM execution engine for every cell ("fast" or
+            "reference"); None defers to ``$REPRO_ENGINE``, else the
+            process default ("fast"). Both engines produce bit-identical
+            results, so the choice never appears in cache keys.
     """
 
     def __init__(
@@ -166,6 +171,7 @@ class ExperimentRunner:
         check_property1: bool = True,
         cache: Union[BaselineCache, str, bool, None] = None,
         jobs: Optional[int] = None,
+        engine: Optional[str] = None,
     ):
         self.cost_model = cost_model or CostModel()
         self.fuel = fuel
@@ -173,6 +179,7 @@ class ExperimentRunner:
         self.check_property1 = check_property1
         self.baseline_cache = _resolve_cache(cache)
         self.jobs = jobs
+        self.engine = resolve_engine(engine)
         self._baselines: Dict[Tuple[str, Optional[int]], Tuple[Program, VMResult]] = {}
         self._run_memo: Dict[RunSpec, RunResult] = {}
         self.cell_log: List[CellRecord] = []
@@ -208,7 +215,7 @@ class ExperimentRunner:
         if result is None:
             result = VM(
                 program, cost_model=self.cost_model, fuel=self.fuel,
-                timer_period=100_000,
+                timer_period=100_000, engine=self.engine,
             ).run()
             if self.baseline_cache is not None and disk_key is not None:
                 self.baseline_cache.put(
@@ -275,6 +282,7 @@ class ExperimentRunner:
             trigger=trigger,
             timer_period=spec.timer_period,
             fuel=self.fuel,
+            engine=self.engine,
         ).run()
 
         if self.check_semantics:

@@ -99,6 +99,7 @@ class RunnerConfig:
     check_semantics: bool
     check_property1: bool
     cache_dir: Optional[str] = None
+    engine: str = "fast"
 
     @classmethod
     def from_runner(cls, runner) -> "RunnerConfig":
@@ -109,6 +110,7 @@ class RunnerConfig:
             check_semantics=runner.check_semantics,
             check_property1=runner.check_property1,
             cache_dir=str(cache.directory) if cache is not None else None,
+            engine=runner.engine,
         )
 
     def build_runner(self):
@@ -121,6 +123,7 @@ class RunnerConfig:
             check_property1=self.check_property1,
             cache=self.cache_dir if self.cache_dir is not None else False,
             jobs=1,
+            engine=self.engine,
         )
 
 

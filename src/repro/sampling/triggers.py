@@ -21,6 +21,28 @@ triggers are provided:
 Triggers are plain objects polled by the VM at every CHECK /
 GUARDED_INSTR; they hold no reference to the VM, so this module stays a
 leaf import shared by :mod:`repro.vm` and :mod:`repro.sampling`.
+
+Polling contract (what both execution engines must honour)
+----------------------------------------------------------
+
+A trigger's observable behaviour is a deterministic function of the
+*sequence* of calls it receives, never of wall clock, host state, or
+which engine drives it:
+
+* ``poll()`` is invoked exactly once per executed CHECK /
+  GUARDED_INSTR, in program execution order;
+* ``notify_timer_tick()`` is invoked when accumulated cycle cost
+  crosses a multiple of the timer period, *before* the next ``poll()``;
+* ``notify_thread(tid)`` is invoked at every thread switch, before any
+  ``poll()`` from the incoming thread.
+
+The fast engine (:mod:`repro.vm.engine`) keeps every CHECK and
+GUARDED_INSTR in its own segment precisely so this call sequence —
+including its interleaving with tick and thread notifications — is
+bit-identical to the reference interpreter's. Fused superinstructions
+never skip, reorder, or batch trigger polls. Any new trigger must keep
+``poll()`` free of engine-visible side effects beyond its own counters,
+or the two engines could diverge.
 """
 
 from __future__ import annotations

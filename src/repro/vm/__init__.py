@@ -1,6 +1,7 @@
-"""The virtual machine: interpreter, cost model, values, threads, stats."""
+"""The virtual machine: engines, cost model, values, threads, stats."""
 
 from repro.vm.cost_model import CostModel, powerpc_ctr_model
+from repro.vm.engine import ENGINE_ENV, ENGINES, FastEngine, resolve_engine
 from repro.vm.frame import Frame, GreenThread
 from repro.vm.interpreter import VM, VMResult, run_program
 from repro.vm.tracing import ExecStats
@@ -10,6 +11,10 @@ __all__ = [
     "VM",
     "VMResult",
     "run_program",
+    "FastEngine",
+    "resolve_engine",
+    "ENGINE_ENV",
+    "ENGINES",
     "CostModel",
     "powerpc_ctr_model",
     "ExecStats",

@@ -1,0 +1,1265 @@
+"""Closure-threaded fast execution engine.
+
+A second VM engine that pre-compiles each verified :class:`Function`
+into a direct-threaded list of Python callables — one per *segment* of
+instructions — and dispatches with ``i = handlers[i](stack, locals_)``
+instead of the reference interpreter's per-step opcode ladder.  Three
+load-time optimizations carry the speedup:
+
+1. **Whole-segment superinstructions.**  Every segment made of plain
+   straight-line ops is compiled into ONE generated Python function
+   (:func:`_gen_segment_src`): the operand stack is simulated at
+   compile time, so ``LOAD x; LOAD y; ADD; STORE z`` becomes
+   ``locals_[z] = locals_[x] + locals_[y]`` — intermediate values never
+   touch the stack list, comparisons feed branches directly, and CALL
+   builds the callee's argument list from expressions.  Segments the
+   generator cannot express (the singleton observer ops below) fall
+   back to one hand-written closure per instruction.
+
+2. **Segment-level cycle accounting.**  Static instruction/cycle costs
+   are charged once at *segment* entry instead of per instruction.  A
+   segment is a run of instructions guaranteed to execute atomically
+   with no externally observable cycle boundary inside it; every op
+   whose behaviour *observes* the cycle counter — CHECK and
+   GUARDED_INSTR (trigger polls), YIELDPOINT (threadswitch bit), IO
+   (latency charge), NEW/NEWARRAY (GC-pause attribution), INSTR and
+   SPAWN — sits alone in its own segment, and calls/returns/branches
+   end segments.  Cumulative cycles at every observation point are
+   therefore *identical* to the reference interpreter's, which keeps
+   virtual-timer tick placement, trigger firings, thread switches and
+   GC pauses bit-exact (ticks are a monotone function of cumulative
+   cycles, and only observer ops can see them).
+
+3. **Monomorphic inline caches.**  GETFIELD/PUTFIELD closures cache the
+   last receiver class and resolved slot index in cells, skipping the
+   ``Klass.slot_of`` dict lookup on the (overwhelmingly common)
+   monomorphic hit path.
+
+The engine produces bit-identical ``ExecStats``, cycles, output and
+profiles to :mod:`repro.vm.interpreter` on every run that completes.
+The two documented divergences are *abnormal* exits only: on a VMTrap
+or fuel exhaustion the fast engine's ``stats.cycles``/``instructions``
+may overshoot by up to one segment (costs were pre-charged at segment
+entry), and the fuel check fires at segment granularity (every loop
+passes a segment head, so runaway programs still trip it).  Trap
+messages, functions and pcs are identical.
+
+Engine selection: ``VM(engine="fast"|"reference")``, the CLI
+``--engine`` flag, or the ``REPRO_ENGINE`` environment variable; the
+process-wide default is "fast".  See docs/VM_PERF.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.bytecode.function import Function
+from repro.bytecode.opcodes import Op
+from repro.errors import (
+    FuelExhaustedError,
+    ReproError,
+    StackOverflowError,
+    VMTrap,
+)
+from repro.vm.frame import Frame
+from repro.vm.values import RArray, RObject
+
+#: Environment variable consulted when no engine is passed explicitly.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Valid engine names.
+ENGINES = ("fast", "reference")
+
+#: Process-wide default when neither argument nor environment chooses.
+DEFAULT_ENGINE = "fast"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine name: explicit argument > $REPRO_ENGINE > default."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ReproError(
+            f"unknown engine {engine!r}: expected one of {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+# --------------------------------------------------------------------------
+# opcode ints (module-local copies; the enum lookups stay out of hot paths)
+
+_PUSH = int(Op.PUSH)
+_POP = int(Op.POP)
+_DUP = int(Op.DUP)
+_SWAP = int(Op.SWAP)
+_LOAD = int(Op.LOAD)
+_STORE = int(Op.STORE)
+_ADD = int(Op.ADD)
+_SUB = int(Op.SUB)
+_MUL = int(Op.MUL)
+_DIV = int(Op.DIV)
+_MOD = int(Op.MOD)
+_AND = int(Op.AND)
+_OR = int(Op.OR)
+_XOR = int(Op.XOR)
+_SHL = int(Op.SHL)
+_SHR = int(Op.SHR)
+_NEG = int(Op.NEG)
+_NOT = int(Op.NOT)
+_LT = int(Op.LT)
+_LE = int(Op.LE)
+_GT = int(Op.GT)
+_GE = int(Op.GE)
+_EQ = int(Op.EQ)
+_NE = int(Op.NE)
+_JUMP = int(Op.JUMP)
+_JZ = int(Op.JZ)
+_JNZ = int(Op.JNZ)
+_CALL = int(Op.CALL)
+_RETURN = int(Op.RETURN)
+_HALT = int(Op.HALT)
+_NEW = int(Op.NEW)
+_GETFIELD = int(Op.GETFIELD)
+_PUTFIELD = int(Op.PUTFIELD)
+_NEWARRAY = int(Op.NEWARRAY)
+_ALOAD = int(Op.ALOAD)
+_ASTORE = int(Op.ASTORE)
+_ALEN = int(Op.ALEN)
+_PRINT = int(Op.PRINT)
+_IO = int(Op.IO)
+_SPAWN = int(Op.SPAWN)
+_NOP = int(Op.NOP)
+_YIELDPOINT = int(Op.YIELDPOINT)
+_CHECK = int(Op.CHECK)
+_INSTR = int(Op.INSTR)
+_GUARDED_INSTR = int(Op.GUARDED_INSTR)
+
+#: Ops that must sit alone in their own segment because they observe or
+#: perturb the cycle counter / scheduler / heap clock mid-stream.
+_BREAKERS = frozenset(
+    {
+        _CHECK,
+        _GUARDED_INSTR,
+        _INSTR,
+        _YIELDPOINT,
+        _IO,
+        _NEW,
+        _NEWARRAY,
+        _SPAWN,
+    }
+)
+
+#: Ops that end a segment (control leaves the straight line after them).
+_TERMINATORS = frozenset({_JUMP, _JZ, _JNZ, _CALL, _RETURN, _HALT})
+
+#: Ops whose ``arg`` is a branch-target pc after linearization.
+_BRANCHES = frozenset({_JUMP, _JZ, _JNZ, _CHECK})
+
+#: Non-trapping binary ops a single shared handler shape can execute
+#: (DIV/MOD trap on zero and get their own singleton bodies).
+_FUSABLE_BINOPS = frozenset(
+    {_ADD, _SUB, _MUL, _AND, _OR, _XOR, _SHL, _SHR,
+     _LT, _LE, _GT, _GE, _EQ, _NE}
+)
+
+#: Value-producing semantics for those binops (comparisons push 1/0,
+#: exactly like the reference ladder).
+_BINFN: Dict[int, Callable] = {
+    _ADD: lambda a, b: a + b,
+    _SUB: lambda a, b: a - b,
+    _MUL: lambda a, b: a * b,
+    _AND: lambda a, b: a & b,
+    _OR: lambda a, b: a | b,
+    _XOR: lambda a, b: a ^ b,
+    _SHL: lambda a, b: a << (b & 63),
+    _SHR: lambda a, b: a >> (b & 63),
+    _LT: lambda a, b: 1 if a < b else 0,
+    _LE: lambda a, b: 1 if a <= b else 0,
+    _GT: lambda a, b: 1 if a > b else 0,
+    _GE: lambda a, b: 1 if a >= b else 0,
+    _EQ: lambda a, b: 1 if a == b else 0,
+    _NE: lambda a, b: 1 if a != b else 0,
+}
+
+# Dispatch sentinels returned by handlers instead of a handler index.
+_REBIND = -2   # frame stack changed (call/return): rebind and continue
+_DONE = -3     # thread finished
+_YIELD = -5    # thread yielded to the scheduler
+
+
+# --------------------------------------------------------------------------
+# whole-segment source compilation
+#
+# Hand-fused closures cap out near two instructions per dispatch.  For
+# segments made entirely of plain straight-line ops we go further: emit
+# the whole segment as ONE generated Python function, simulating the
+# operand stack at compile time so intermediate values become Python
+# expressions/locals instead of list pushes and pops.  The generated
+# function charges the segment's static cost in its prologue (identical
+# to the closure path) and ends in the terminator's control transfer,
+# so the accounting model — and therefore every observable stat — is
+# unchanged.  Compiled code objects are cached process-wide by source
+# text: re-running a workload recompiles nothing.
+
+#: Ops a generated segment function can express.  Everything here is
+#: straight-line (breakers never appear inside a segment) and has a
+#: direct Python spelling with reference-identical trap behaviour.
+_GEN_OPS = frozenset(
+    {
+        _PUSH, _POP, _DUP, _SWAP, _LOAD, _STORE,
+        _ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR, _SHL, _SHR,
+        _NEG, _NOT, _LT, _LE, _GT, _GE, _EQ, _NE,
+        _GETFIELD, _PUTFIELD, _ALOAD, _ASTORE, _ALEN, _PRINT, _NOP,
+        _JUMP, _JZ, _JNZ, _CALL, _RETURN, _HALT,
+    }
+)
+
+_CMP_SYM = {_LT: "<", _LE: "<=", _GT: ">", _GE: ">=", _EQ: "==", _NE: "!="}
+_CMP_NSYM = {_LT: ">=", _LE: ">", _GT: "<=", _GE: "<", _EQ: "!=", _NE: "=="}
+_ARITH_SYM = {_ADD: "+", _SUB: "-", _MUL: "*", _AND: "&", _OR: "|",
+              _XOR: "^"}
+
+#: source text -> compiled code object (process-wide; sources embed only
+#: per-program literals, so repeated VM construction hits this cache).
+_CODE_CACHE: Dict[str, object] = {}
+
+
+class _VEntry:
+    """One compile-time operand-stack entry: a pure Python expression,
+    the locals slots it reads (for STORE invalidation), whether it is
+    atomic (re-usable without a temp), and — when it is a comparison —
+    the operands, so a following JZ/JNZ can branch on the comparison
+    directly instead of materializing 1/0."""
+
+    __slots__ = ("expr", "slots", "atom", "cmp")
+
+    def __init__(self, expr, slots=frozenset(), atom=False, cmp=None):
+        self.expr = expr
+        self.slots = slots
+        self.atom = atom
+        self.cmp = cmp
+
+
+def _gen_segment_src(code, ops, s, e, head_index, nxt, fn_name, functions):
+    """Emit source for segment ``[s, e)`` as one handler function.
+
+    Returns ``(src, extras)`` where ``extras`` maps global names the
+    source expects (inline-cache cells, callee Function objects) to
+    fresh per-instance values.  The caller formats the accounting
+    prologue; this emits only the body statements and the final control
+    transfer.  Assumes every op in the segment is in :data:`_GEN_OPS`.
+    """
+    lines: List[str] = []
+    extras: Dict[str, object] = {}
+    vstack: List[_VEntry] = []
+    ntmp = 0
+
+    def emit(line):
+        lines.append("    " + line)
+
+    def newtmp():
+        nonlocal ntmp
+        t = f"t{ntmp}"
+        ntmp += 1
+        return t
+
+    def vpop():
+        if vstack:
+            return vstack.pop()
+        t = newtmp()
+        emit(f"{t} = stack.pop()")
+        return _VEntry(t, atom=True)
+
+    def atomize(ent):
+        """Return an entry safe to mention more than once."""
+        if ent.atom:
+            return ent
+        t = newtmp()
+        emit(f"{t} = {ent.expr}")
+        return _VEntry(t, atom=True)
+
+    def invalidate(slot):
+        """Materialize pending exprs that read locals_[slot] before a
+        STORE to it changes their value."""
+        for i, ent in enumerate(vstack):
+            if slot in ent.slots:
+                t = newtmp()
+                emit(f"{t} = {ent.expr}")
+                vstack[i] = _VEntry(t, atom=True)
+
+    def flush():
+        for ent in vstack:
+            emit(f"stack.append({ent.expr})")
+        vstack.clear()
+
+    def bump_if_backward(target, branch_pc, indent):
+        if target < branch_pc + 1:
+            lines.append(indent + "_stats.backward_jumps += 1")
+
+    terminated = False
+    for p in range(s, e):
+        ins = code[p]
+        op = ops[p]
+        arg = ins.arg
+        if op == _LOAD:
+            vstack.append(
+                _VEntry(f"locals_[{arg}]", frozenset((arg,)), atom=True)
+            )
+        elif op == _PUSH:
+            # Parenthesized so attribute access parses: ``(1).__class__``.
+            vstack.append(_VEntry(f"({arg!r})", atom=True))
+        elif op == _STORE:
+            ent = vpop()
+            invalidate(arg)
+            emit(f"locals_[{arg}] = {ent.expr}")
+        elif op in _ARITH_SYM:
+            b = vpop()
+            a = vpop()
+            vstack.append(
+                _VEntry(
+                    f"({a.expr} {_ARITH_SYM[op]} {b.expr})",
+                    a.slots | b.slots,
+                )
+            )
+        elif op in _CMP_SYM:
+            b = vpop()
+            a = vpop()
+            vstack.append(
+                _VEntry(
+                    f"(1 if {a.expr} {_CMP_SYM[op]} {b.expr} else 0)",
+                    a.slots | b.slots,
+                    cmp=(op, a.expr, b.expr),
+                )
+            )
+        elif op == _SHL or op == _SHR:
+            b = vpop()
+            a = vpop()
+            sym = "<<" if op == _SHL else ">>"
+            vstack.append(
+                _VEntry(
+                    f"({a.expr} {sym} ({b.expr} & 63))",
+                    a.slots | b.slots,
+                )
+            )
+        elif op == _DIV or op == _MOD:
+            b = atomize(vpop())
+            msg = "division by zero" if op == _DIV else "modulo by zero"
+            emit(f"if {b.expr} == 0:")
+            emit(f"    raise _VMTrap({msg!r}, {fn_name!r}, {p})")
+            a = vpop()
+            sym = "//" if op == _DIV else "%"
+            vstack.append(
+                _VEntry(f"({a.expr} {sym} {b.expr})", a.slots | b.slots)
+            )
+        elif op == _NEG:
+            a = vpop()
+            vstack.append(_VEntry(f"(-{a.expr})", a.slots))
+        elif op == _NOT:
+            a = vpop()
+            vstack.append(
+                _VEntry(f"(1 if {a.expr} == 0 else 0)", a.slots)
+            )
+        elif op == _DUP:
+            ent = atomize(vpop())
+            vstack.append(ent)
+            vstack.append(_VEntry(ent.expr, ent.slots, atom=True))
+        elif op == _POP:
+            vpop()
+        elif op == _SWAP:
+            x1 = vpop()
+            x2 = vpop()
+            vstack.append(x1)
+            vstack.append(x2)
+        elif op == _GETFIELD:
+            cell = f"_c{p}"
+            extras[cell] = [None, 0]
+            r = atomize(vpop())
+            t = newtmp()
+            emit(f"if {r.expr}.__class__ is _RObject:")
+            emit(f"    _k = {r.expr}.klass")
+            emit(f"    if _k is {cell}[0]:")
+            emit(f"        {t} = {r.expr}.slots[{cell}[1]]")
+            emit("    else:")
+            emit(f"        _sl = _k.slot_of({arg[1]!r})")
+            emit(f"        {cell}[0] = _k")
+            emit(f"        {cell}[1] = _sl")
+            emit(f"        {t} = {r.expr}.slots[_sl]")
+            emit("else:")
+            emit(
+                f"    raise _VMTrap('GETFIELD on non-object %r'"
+                f" % ({r.expr},), {fn_name!r}, {p})"
+            )
+            vstack.append(_VEntry(t, atom=True))
+        elif op == _PUTFIELD:
+            cell = f"_c{p}"
+            extras[cell] = [None, 0]
+            v = vpop()
+            r = atomize(vpop())
+            emit(f"if {r.expr}.__class__ is _RObject:")
+            emit(f"    _k = {r.expr}.klass")
+            emit(f"    if _k is {cell}[0]:")
+            emit(f"        {r.expr}.slots[{cell}[1]] = {v.expr}")
+            emit("    else:")
+            emit(f"        _sl = _k.slot_of({arg[1]!r})")
+            emit(f"        {cell}[0] = _k")
+            emit(f"        {cell}[1] = _sl")
+            emit(f"        {r.expr}.slots[_sl] = {v.expr}")
+            emit("else:")
+            emit(
+                f"    raise _VMTrap('PUTFIELD on non-object %r'"
+                f" % ({r.expr},), {fn_name!r}, {p})"
+            )
+        elif op == _ALOAD:
+            i = atomize(vpop())
+            r = atomize(vpop())
+            t = newtmp()
+            emit(f"if {r.expr}.__class__ is not _RArray:")
+            emit(
+                f"    raise _VMTrap('ALOAD on non-array %r'"
+                f" % ({r.expr},), {fn_name!r}, {p})"
+            )
+            emit("try:")
+            emit(f"    {t} = {r.expr}.slots[{i.expr}]")
+            emit("except IndexError:")
+            emit(
+                f"    raise _VMTrap('array index %s out of range"
+                f" [0, %s)' % ({i.expr}, len({r.expr})),"
+                f" {fn_name!r}, {p}) from None"
+            )
+            vstack.append(_VEntry(t, atom=True))
+        elif op == _ASTORE:
+            v = vpop()
+            i = atomize(vpop())
+            r = atomize(vpop())
+            emit(f"if {r.expr}.__class__ is not _RArray:")
+            emit(
+                f"    raise _VMTrap('ASTORE on non-array %r'"
+                f" % ({r.expr},), {fn_name!r}, {p})"
+            )
+            emit("try:")
+            emit(f"    {r.expr}.slots[{i.expr}] = {v.expr}")
+            emit("except IndexError:")
+            emit(
+                f"    raise _VMTrap('array index %s out of range"
+                f" [0, %s)' % ({i.expr}, len({r.expr})),"
+                f" {fn_name!r}, {p}) from None"
+            )
+        elif op == _ALEN:
+            r = atomize(vpop())
+            emit(f"if {r.expr}.__class__ is not _RArray:")
+            emit(
+                f"    raise _VMTrap('ALEN on non-array %r'"
+                f" % ({r.expr},), {fn_name!r}, {p})"
+            )
+            vstack.append(_VEntry(f"len({r.expr})", r.slots))
+        elif op == _PRINT:
+            ent = vpop()
+            emit(f"_out.append({ent.expr})")
+        elif op == _NOP:
+            pass
+        elif op == _JUMP:
+            flush()
+            bump_if_backward(arg, p, "    ")
+            emit(f"return {head_index[arg]}")
+            terminated = True
+        elif op == _JZ or op == _JNZ:
+            ent = vpop()
+            flush()
+            if ent.cmp is not None:
+                cop, a, b = ent.cmp
+                sym = _CMP_SYM[cop] if op == _JNZ else _CMP_NSYM[cop]
+                emit(f"if {a} {sym} {b}:")
+            else:
+                sym = "!=" if op == _JNZ else "=="
+                emit(f"if {ent.expr} {sym} 0:")
+            bump_if_backward(arg, p, "        ")
+            emit(f"    return {head_index[arg]}")
+            emit(f"return {nxt}")
+            terminated = True
+        elif op == _CALL:
+            callee = functions[arg]
+            nargs = callee.num_params
+            fname = f"_fn{p}"
+            extras[fname] = callee
+            if len(vstack) >= nargs:
+                if nargs:
+                    args_ent = vstack[-nargs:]
+                    del vstack[-nargs:]
+                else:
+                    args_ent = []
+                flush()
+                arglist = "[" + ", ".join(a.expr for a in args_ent) + "]"
+            else:
+                flush()
+                arglist = None
+            emit("_stats.calls += 1")
+            emit("_fs = _eng.frames")
+            emit("if len(_fs) >= _md:")
+            emit(
+                f"    raise _SO('call depth %d in %s'"
+                f" % (len(_fs), {callee.name!r}))"
+            )
+            if arglist is None:
+                if nargs:
+                    emit(f"_args = stack[-{nargs}:]")
+                    emit(f"del stack[-{nargs}:]")
+                else:
+                    emit("_args = []")
+                arglist = "_args"
+            emit("_fr = _fs[-1]")
+            emit(f"_fr.pc = {p + 1}")
+            emit(f"_fr.fast_pc = {nxt}")
+            emit(f"_fs.append(_Frame({fname}, {arglist}))")
+            emit(f"return {_REBIND}")
+            terminated = True
+        elif op == _RETURN:
+            r = atomize(vpop())
+            emit("_stats.returns += 1")
+            emit("_fs = _eng.frames")
+            emit("_fs.pop()")
+            emit("if not _fs:")
+            emit("    _th = _eng.thread")
+            emit("    _th.done = True")
+            emit(f"    _th.result = {r.expr}")
+            emit(f"    return {_DONE}")
+            emit(f"_fs[-1].stack.append({r.expr})")
+            emit(f"return {_REBIND}")
+            terminated = True
+        elif op == _HALT:
+            emit("_th = _eng.thread")
+            emit("_th.done = True")
+            emit("_th.result = 0")
+            emit(f"return {_DONE}")
+            terminated = True
+        else:  # pragma: no cover - guarded by _GEN_OPS membership
+            raise AssertionError(f"op {op} not generatable")
+    if not terminated:
+        flush()
+        emit(f"return {nxt}")
+    return "\n".join(lines), extras
+
+
+class FastEngine:
+    """Compiled execution state for one VM run.
+
+    Built lazily by :meth:`repro.vm.interpreter.VM.run`; compiles every
+    function of the program once, then runs threads over the compiled
+    handler lists.  All mutable run state (stats, trigger, threads,
+    heap clock) lives on the owning VM — the engine only adds the
+    compiled code and the virtual-timer horizon.
+    """
+
+    def __init__(self, vm):
+        self.vm = vm
+        self.thread = None
+        self.frames = None
+        self.next_tick = 0
+        self._codes: Dict[Function, List[Callable]] = {}
+        for fn in vm.program.functions.values():
+            self._codes[fn] = self._compile(fn)
+
+    # -- thread execution ---------------------------------------------------
+
+    def run_thread(self, thread) -> bool:
+        """Run *thread* until it finishes or yields; mirrors
+        ``VM._run_thread`` (True = yielded, False = finished)."""
+        vm = self.vm
+        vm.current_thread = thread
+        vm.trigger.notify_thread(thread.tid)
+        stats = vm.stats
+        timer_period = vm.timer_period
+        self.next_tick = (
+            stats.cycles // timer_period + 1
+        ) * timer_period
+        self.thread = thread
+        frames = thread.frames
+        self.frames = frames
+        codes = self._codes
+
+        frame = frames[-1]
+        handlers = codes[frame.function]
+        i = frame.fast_pc
+        stack = frame.stack
+        locals_ = frame.locals
+        while True:
+            while i >= 0:
+                i = handlers[i](stack, locals_)
+            if i == _REBIND:
+                frame = frames[-1]
+                handlers = codes[frame.function]
+                i = frame.fast_pc
+                stack = frame.stack
+                locals_ = frame.locals
+                continue
+            return i == _YIELD
+
+    # -- slow-path helpers (rare; kept out of the closures) -----------------
+
+    def _ticks(self) -> None:
+        """Process virtual-timer ticks after cycles crossed the horizon."""
+        vm = self.vm
+        stats = vm.stats
+        cycles = stats.cycles
+        next_tick = self.next_tick
+        timer_period = vm.timer_period
+        notify = vm.trigger.notify_timer_tick
+        while cycles >= next_tick:
+            next_tick += timer_period
+            stats.timer_ticks += 1
+            notify()
+        self.next_tick = next_tick
+        vm._threadswitch_bit = True
+
+    def _fuel_trap(self, pc: int) -> None:
+        frame = self.frames[-1]
+        raise FuelExhaustedError(
+            f"instruction budget of {self.vm.fuel} exhausted in "
+            f"{frame.function.name}@{pc}"
+        )
+
+    # -- compilation --------------------------------------------------------
+
+    def _segments(self, code, ops):
+        """Split a function into accounting segments.
+
+        A segment is ``(start, end)`` over original pcs such that
+        control entering at ``start`` executes every instruction up to
+        the segment's exit with no observable cycle boundary inside:
+        breakers get singleton segments, terminators end a segment
+        inclusively, and every branch/CHECK target starts one.
+        """
+        n = len(code)
+        leaders = {0}
+        for ins, op in zip(code, ops):
+            if op in _BRANCHES:
+                leaders.add(ins.arg)
+        segments = []
+        i = 0
+        while i < n:
+            if ops[i] in _BREAKERS:
+                segments.append((i, i + 1))
+                i += 1
+                continue
+            j = i
+            while True:
+                op = ops[j]
+                j += 1
+                if op in _TERMINATORS or j >= n:
+                    break
+                if j in leaders or ops[j] in _BREAKERS:
+                    break
+            segments.append((i, j))
+            i = j
+        return segments
+
+    def _compile(self, fn: Function) -> List[Callable]:
+        """Compile *fn* into its direct-threaded handler list."""
+        vm = self.vm
+        eng = self
+        stats = vm.stats
+        fuel = vm.fuel
+        trigger = vm.trigger
+        poll = trigger.poll
+        output = vm.output
+        functions = vm.program.functions
+        classes = vm.program.classes
+        cost = vm.cost_model.cost_table()
+        penalty = vm.cost_model.sample_transfer_penalty
+        gc_every = vm.cost_model.gc_every_allocs
+        gc_pause = vm.cost_model.gc_pause_cycles
+        io_base = vm.cost_model.io_base_cost
+        max_depth = vm.max_stack_depth
+        fn_name = fn.name
+
+        code = fn.code
+        ops = [int(ins.op) for ins in code]
+        segments = self._segments(code, ops)
+
+        # Pass 1: plan each segment and assign handler indices so branch
+        # targets (always segment starts) resolve to handler slots.
+        # Segments made entirely of plain straight-line ops compile to a
+        # single generated function (one slot); everything else — the
+        # singleton breaker/terminator segments, plus any segment with
+        # an op the generator cannot express — falls back to one closure
+        # per instruction.
+        seg_plans: List[Optional[list]] = []
+        head_index: Dict[int, int] = {}
+        idx = 0
+        for (s, e) in segments:
+            head_index[s] = idx
+            if e - s >= 2 and all(ops[p] in _GEN_OPS for p in range(s, e)):
+                seg_plans.append(None)
+                idx += 1
+            else:
+                seg_plans.append(list(range(s, e)))
+                idx += e - s
+
+        def wrap_head(body, SL, SC, PC):
+            """Prepend segment accounting to a cold closure body."""
+            def h(stack, locals_):
+                ni = stats.instructions
+                if ni >= fuel:
+                    eng._fuel_trap(PC)
+                stats.instructions = ni + SL
+                c = stats.cycles + SC
+                stats.cycles = c
+                if c >= eng.next_tick:
+                    eng._ticks()
+                return body(stack, locals_)
+            return h
+
+        def build_singleton(pc_, NXT, HEAD, SL, SC, PC):
+            """Build the closure for one unfused instruction.
+
+            Hot ops inline the head-accounting block (guarded by the
+            compile-time HEAD flag); cold ops build a headless body and
+            get wrapped by ``wrap_head`` when they lead a segment.
+            """
+            ins = code[pc_]
+            op = ops[pc_]
+            arg = ins.arg
+
+            # --- hot singletons: head accounting inlined -----------------
+            if op == _LOAD:
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    stack.append(locals_[arg])
+                    return NXT
+                return h
+            if op == _PUSH:
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    stack.append(arg)
+                    return NXT
+                return h
+            if op == _STORE:
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    locals_[arg] = stack.pop()
+                    return NXT
+                return h
+            if op == _JUMP:
+                T = head_index[arg]
+                TB = arg < pc_ + 1
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    if TB:
+                        stats.backward_jumps += 1
+                    return T
+                return h
+            if op in (_JZ, _JNZ):
+                T = head_index[arg]
+                TB = arg < pc_ + 1
+                want_zero = op == _JZ
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    if (stack.pop() == 0) == want_zero:
+                        if TB:
+                            stats.backward_jumps += 1
+                        return T
+                    return NXT
+                return h
+            if op in _FUSABLE_BINOPS:
+                f = _BINFN[op]
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    b = stack.pop()
+                    stack[-1] = f(stack[-1], b)
+                    return NXT
+                return h
+            if op == _DUP:
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    stack.append(stack[-1])
+                    return NXT
+                return h
+            if op == _POP:
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    stack.pop()
+                    return NXT
+                return h
+            if op == _CALL:
+                callee = functions[arg]
+                callee_name = callee.name
+                nargs = callee.num_params
+                PCP1 = pc_ + 1
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    stats.calls += 1
+                    frames = eng.frames
+                    if len(frames) >= max_depth:
+                        raise StackOverflowError(
+                            f"call depth {len(frames)} in {callee_name}"
+                        )
+                    if nargs:
+                        args = stack[-nargs:]
+                        del stack[-nargs:]
+                    else:
+                        args = []
+                    fr = frames[-1]
+                    fr.pc = PCP1
+                    fr.fast_pc = NXT
+                    frames.append(Frame(callee, args))
+                    return _REBIND
+                return h
+            if op == _RETURN:
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    stats.returns += 1
+                    result = stack.pop()
+                    frames = eng.frames
+                    frames.pop()
+                    if not frames:
+                        th = eng.thread
+                        th.done = True
+                        th.result = result
+                        return _DONE
+                    frames[-1].stack.append(result)
+                    return _REBIND
+                return h
+            if op == _GETFIELD:
+                field = arg[1]
+                cache_k = None
+                cache_s = 0
+                def h(stack, locals_):
+                    nonlocal cache_k, cache_s
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    ref = stack[-1]
+                    if ref.__class__ is RObject:
+                        k = ref.klass
+                        if k is cache_k:
+                            stack[-1] = ref.slots[cache_s]
+                        else:
+                            s = k.slot_of(field)
+                            cache_k = k
+                            cache_s = s
+                            stack[-1] = ref.slots[s]
+                        return NXT
+                    raise VMTrap(
+                        f"GETFIELD on non-object {ref!r}", fn_name, pc_
+                    )
+                return h
+            if op == _PUTFIELD:
+                field = arg[1]
+                cache_k = None
+                cache_s = 0
+                def h(stack, locals_):
+                    nonlocal cache_k, cache_s
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    value = stack.pop()
+                    ref = stack.pop()
+                    if ref.__class__ is RObject:
+                        k = ref.klass
+                        if k is cache_k:
+                            ref.slots[cache_s] = value
+                        else:
+                            s = k.slot_of(field)
+                            cache_k = k
+                            cache_s = s
+                            ref.slots[s] = value
+                        return NXT
+                    raise VMTrap(
+                        f"PUTFIELD on non-object {ref!r}", fn_name, pc_
+                    )
+                return h
+            if op == _ALOAD:
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    idx = stack.pop()
+                    ref = stack[-1]
+                    if ref.__class__ is not RArray:
+                        raise VMTrap(
+                            f"ALOAD on non-array {ref!r}", fn_name, pc_
+                        )
+                    try:
+                        stack[-1] = ref.slots[idx]
+                    except IndexError:
+                        raise VMTrap(
+                            f"array index {idx} out of range "
+                            f"[0, {len(ref)})",
+                            fn_name,
+                            pc_,
+                        ) from None
+                    return NXT
+                return h
+            if op == _ASTORE:
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    value = stack.pop()
+                    idx = stack.pop()
+                    ref = stack.pop()
+                    if ref.__class__ is not RArray:
+                        raise VMTrap(
+                            f"ASTORE on non-array {ref!r}", fn_name, pc_
+                        )
+                    try:
+                        ref.slots[idx] = value
+                    except IndexError:
+                        raise VMTrap(
+                            f"array index {idx} out of range "
+                            f"[0, {len(ref)})",
+                            fn_name,
+                            pc_,
+                        ) from None
+                    return NXT
+                return h
+            if op == _YIELDPOINT:
+                PCP1 = pc_ + 1
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    stats.yieldpoints_executed += 1
+                    if vm._threadswitch_bit:
+                        vm._threadswitch_bit = False
+                        th = eng.thread
+                        for t in vm.threads:
+                            if t is not th and not t.done:
+                                fr = eng.frames[-1]
+                                fr.pc = PCP1
+                                fr.fast_pc = NXT
+                                return _YIELD
+                    return NXT
+                return h
+            if op == _CHECK:
+                T = head_index[arg]
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    stats.checks_executed += 1
+                    if poll():
+                        stats.checks_taken += 1
+                        stats.cycles += penalty
+                        return T
+                    return NXT
+                return h
+
+            # --- cold singletons: headless body + optional wrapper --------
+            if op == _GUARDED_INSTR:
+                action = arg
+                PCP1 = pc_ + 1
+                def body(stack, locals_):
+                    stats.guarded_checks_executed += 1
+                    if poll():
+                        stats.guarded_checks_taken += 1
+                        stats.cycles += action.cost
+                        stats.instr_ops_executed += 1
+                        fr = eng.frames[-1]
+                        fr.pc = PCP1
+                        action.execute(vm, fr)
+                    return NXT
+            elif op == _INSTR:
+                action = arg
+                PCP1 = pc_ + 1
+                def body(stack, locals_):
+                    stats.cycles += action.cost
+                    stats.instr_ops_executed += 1
+                    fr = eng.frames[-1]
+                    fr.pc = PCP1
+                    action.execute(vm, fr)
+                    return NXT
+            elif op == _NEW:
+                klass = classes[arg]
+                def body(stack, locals_):
+                    vm._alloc_count += 1
+                    if vm._alloc_count % gc_every == 0:
+                        stats.cycles += gc_pause
+                        stats.gc_pauses += 1
+                    stack.append(RObject(klass))
+                    return NXT
+            elif op == _NEWARRAY:
+                def body(stack, locals_):
+                    length = stack.pop()
+                    if not isinstance(length, int) or length < 0:
+                        raise VMTrap(
+                            f"bad array length {length!r}", fn_name, pc_
+                        )
+                    vm._alloc_count += 1
+                    if vm._alloc_count % gc_every == 0:
+                        stats.cycles += gc_pause
+                        stats.gc_pauses += 1
+                    stack.append(RArray(length))
+                    return NXT
+            elif op == _IO:
+                charge = io_base * arg
+                def body(stack, locals_):
+                    stats.cycles += charge
+                    stats.io_ops += 1
+                    stack.append(vm._io_value(eng.thread))
+                    return NXT
+            elif op == _SPAWN:
+                callee = functions[arg]
+                nargs = callee.num_params
+                def body(stack, locals_):
+                    if nargs:
+                        args = stack[-nargs:]
+                        del stack[-nargs:]
+                    else:
+                        args = []
+                    child = vm._spawn_thread(callee, args)
+                    stack.append(child.tid)
+                    return NXT
+            elif op == _DIV or op == _MOD:
+                is_div = op == _DIV
+                def body(stack, locals_):
+                    b = stack.pop()
+                    if b == 0:
+                        raise VMTrap(
+                            "division by zero" if is_div
+                            else "modulo by zero",
+                            fn_name,
+                            pc_,
+                        )
+                    if is_div:
+                        stack[-1] = stack[-1] // b
+                    else:
+                        stack[-1] = stack[-1] % b
+                    return NXT
+            elif op == _NEG:
+                def body(stack, locals_):
+                    stack[-1] = -stack[-1]
+                    return NXT
+            elif op == _NOT:
+                def body(stack, locals_):
+                    stack[-1] = 1 if stack[-1] == 0 else 0
+                    return NXT
+            elif op == _SWAP:
+                def body(stack, locals_):
+                    stack[-1], stack[-2] = stack[-2], stack[-1]
+                    return NXT
+            elif op == _ALEN:
+                def body(stack, locals_):
+                    ref = stack[-1]
+                    if ref.__class__ is not RArray:
+                        raise VMTrap(
+                            f"ALEN on non-array {ref!r}", fn_name, pc_
+                        )
+                    stack[-1] = len(ref)
+                    return NXT
+            elif op == _PRINT:
+                def body(stack, locals_):
+                    output.append(stack.pop())
+                    return NXT
+            elif op == _NOP:
+                def body(stack, locals_):
+                    return NXT
+            elif op == _HALT:
+                def body(stack, locals_):
+                    th = eng.thread
+                    th.done = True
+                    th.result = 0
+                    return _DONE
+            else:
+                name = code[pc_].op.name
+                def body(stack, locals_):
+                    raise VMTrap(
+                        f"unimplemented opcode {name}", fn_name, pc_
+                    )
+            if HEAD:
+                return wrap_head(body, SL, SC, PC)
+            return body
+
+        # Pass 2: build handlers.  Fallthrough out of a handler is
+        # simply the next slot; segments are laid out in code order, so
+        # falling off a segment's last handler lands on the next
+        # segment's head.  (Verified code always ends segments in
+        # terminators or breakers, so the only way to leave a segment is
+        # an explicit branch sentinel or that fallthrough.)
+        handlers: List[Callable] = []
+        gen_globals = {
+            "_stats": stats,
+            "_eng": eng,
+            "_fuel": fuel,
+            "_out": output,
+            "_Frame": Frame,
+            "_VMTrap": VMTrap,
+            "_RObject": RObject,
+            "_RArray": RArray,
+            "_SO": StackOverflowError,
+            "_md": max_depth,
+        }
+        for (s, e), plan in zip(segments, seg_plans):
+            seg_len = e - s
+            seg_cost = 0
+            for p in range(s, e):
+                seg_cost += cost[ops[p]]
+            if plan is None:
+                nxt = len(handlers) + 1
+                body, extras = _gen_segment_src(
+                    code, ops, s, e, head_index, nxt, fn_name, functions
+                )
+                src = (
+                    "def _h(stack, locals_):\n"
+                    "    ni = _stats.instructions\n"
+                    "    if ni >= _fuel:\n"
+                    f"        _eng._fuel_trap({s})\n"
+                    f"    _stats.instructions = ni + {seg_len}\n"
+                    f"    _cy = _stats.cycles + {seg_cost}\n"
+                    "    _stats.cycles = _cy\n"
+                    "    if _cy >= _eng.next_tick:\n"
+                    "        _eng._ticks()\n" + body + "\n"
+                )
+                co = _CODE_CACHE.get(src)
+                if co is None:
+                    co = compile(src, "<segment>", "exec")
+                    _CODE_CACHE[src] = co
+                ns = dict(gen_globals)
+                ns.update(extras)
+                exec(co, ns)
+                handlers.append(ns["_h"])
+                continue
+            for gi, p in enumerate(plan):
+                nxt = len(handlers) + 1
+                handlers.append(
+                    build_singleton(p, nxt, gi == 0, seg_len, seg_cost, s)
+                )
+
+        # Opcode counting (calibration tooling): bump each segment's
+        # constituent-opcode multiset once at the segment head, so fused
+        # superinstructions still report exact per-opcode counts.
+        oc = stats.opcode_counts
+        if oc is not None:
+            def wrap_counts(inner, items):
+                def h(stack, locals_):
+                    for o, k in items:
+                        oc[o] = oc.get(o, 0) + k
+                    return inner(stack, locals_)
+                return h
+
+            for (s, e) in segments:
+                counts: Dict[int, int] = {}
+                for p in range(s, e):
+                    counts[ops[p]] = counts.get(ops[p], 0) + 1
+                head = head_index[s]
+                handlers[head] = wrap_counts(
+                    handlers[head], tuple(counts.items())
+                )
+
+        return handlers

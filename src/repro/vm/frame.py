@@ -9,13 +9,22 @@ from repro.vm.values import Value
 
 
 class Frame:
-    """One activation: function, pc, locals, operand stack."""
+    """One activation: function, pc, locals, operand stack.
 
-    __slots__ = ("function", "pc", "locals", "stack")
+    ``pc`` is always an *original* program counter (the index into
+    ``function.code``) — instrumentation actions and tracebacks read it
+    on every engine.  ``fast_pc`` is the fast engine's resume slot: the
+    index into the function's compiled handler list at which execution
+    continues after a call returns or a yielded thread is rescheduled.
+    The reference interpreter ignores it.
+    """
+
+    __slots__ = ("function", "pc", "locals", "stack", "fast_pc")
 
     def __init__(self, function: Function, args: List[Value]):
         self.function = function
         self.pc = 0
+        self.fast_pc = 0
         self.locals: List[Value] = list(args) + [0] * (
             function.num_locals - len(args)
         )

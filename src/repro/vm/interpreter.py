@@ -15,7 +15,11 @@ sampling framework's pseudo-ops are first-class here:
   the threadswitch bit every ``timer_period`` cycles.
 
 Dispatch is a plain if/elif ladder over opcode ints ordered by dynamic
-frequency — the pragmatic fast path for a pure-Python interpreter.
+frequency.  This module is the *reference* engine: the behavioural
+contract every other engine must match bit-for-bit.  Production runs
+default to the closure-threaded fast engine (:mod:`repro.vm.engine`),
+selected via ``VM(engine=...)`` or ``$REPRO_ENGINE``; the scheduler,
+threads, stats and heap model here are shared by both engines.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from repro.bytecode.opcodes import Op
 from repro.bytecode.program import Program
 from repro.errors import FuelExhaustedError, StackOverflowError, VMTrap
 from repro.sampling.triggers import NeverTrigger, Trigger
+from repro.vm.engine import FastEngine, resolve_engine
 from repro.vm.cost_model import CostModel
 from repro.vm.frame import Frame, GreenThread
 from repro.vm.tracing import ExecStats
@@ -114,6 +119,11 @@ class VM:
         max_stack_depth: frame-stack limit per thread.
         record_opcode_counts: collect per-opcode execution counts
             (slower; used by calibration tooling).
+        engine: ``"fast"`` (closure-threaded, the default) or
+            ``"reference"`` (this module's opcode ladder).  ``None``
+            consults ``$REPRO_ENGINE`` and falls back to "fast".  Both
+            engines produce bit-identical stats/cycles/output/profiles;
+            see :mod:`repro.vm.engine` and docs/VM_PERF.md.
     """
 
     def __init__(
@@ -125,8 +135,10 @@ class VM:
         fuel: int = 500_000_000,
         max_stack_depth: int = 4000,
         record_opcode_counts: bool = False,
+        engine: Optional[str] = None,
     ):
         self.program = program
+        self.engine = resolve_engine(engine)
         self.cost_model = cost_model or CostModel()
         self.trigger = trigger or NeverTrigger()
         self.timer_period = timer_period
@@ -139,6 +151,7 @@ class VM:
         self._next_tid = 0
         self._threadswitch_bit = False
         self._alloc_count = 0
+        self._op_tables: dict = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -153,6 +166,10 @@ class VM:
         # The entry thread counts as one method entry (threads_spawned
         # feeds the Property-1 opportunity count).
         main_thread = self._spawn_thread(entry, [])
+        if self.engine == "fast":
+            run_one = FastEngine(self).run_thread
+        else:
+            run_one = self._run_thread
         index = 0
         while True:
             runnable = [t for t in self.threads if not t.done]
@@ -160,7 +177,7 @@ class VM:
                 break
             index %= len(runnable)
             thread = runnable[index]
-            switched = self._run_thread(thread)
+            switched = run_one(thread)
             if thread.done or not switched:
                 # Thread finished (or ran dry): move on without charging
                 # a switch.
@@ -189,6 +206,19 @@ class VM:
         thread.io_state = (thread.io_state * _LCG_A + _LCG_C) & _LCG_MASK
         return (thread.io_state >> 33) & 0xFFFF
 
+    def _op_table(self, fn) -> List[int]:
+        """Per-function opcode-int table, computed once per VM.
+
+        Hoists the per-instruction ``int(ins.op)`` enum conversion out
+        of the dispatch loop — the single hottest attribute lookup in
+        the reference engine.
+        """
+        table = self._op_tables.get(fn)
+        if table is None:
+            table = [int(ins.op) for ins in fn.code]
+            self._op_tables[fn] = table
+        return table
+
     def _run_thread(self, thread: GreenThread) -> bool:
         """Run *thread* until it finishes or yields to the scheduler.
 
@@ -205,16 +235,21 @@ class VM:
         gc_every = self.cost_model.gc_every_allocs
         gc_pause = self.cost_model.gc_pause_cycles
         trigger = self.trigger
+        poll = trigger.poll
+        notify_tick = trigger.notify_timer_tick
         stats = self.stats
         output = self.output
         fuel = self.fuel
+        max_depth = self.max_stack_depth
         timer_period = self.timer_period
         next_tick = (stats.cycles // timer_period + 1) * timer_period
         opcode_counts = stats.opcode_counts
+        make_frame = Frame
 
         frames = thread.frames
         frame = frames[-1]
         code = frame.function.code
+        optab = self._op_table(frame.function)
         pc = frame.pc
         stack = frame.stack
         locals_ = frame.locals
@@ -231,14 +266,14 @@ class VM:
                     f"{frame.function.name}@{pc}"
                 )
             ins = code[pc]
-            op = int(ins.op)
+            op = optab[pc]
             executed += 1
             cycles += cost[op]
             if cycles >= next_tick:
                 while cycles >= next_tick:
                     next_tick += timer_period
                     stats.timer_ticks += 1
-                    trigger.notify_timer_tick()
+                    notify_tick()
                 self._threadswitch_bit = True
             if opcode_counts is not None:
                 opcode_counts[op] = opcode_counts.get(op, 0) + 1
@@ -331,7 +366,7 @@ class VM:
                 stack[-1] = 1 if stack[-1] == 0 else 0
             elif op == _CHECK:
                 stats.checks_executed += 1
-                if trigger.poll():
+                if poll():
                     stats.checks_taken += 1
                     cycles += penalty
                     pc = ins.arg
@@ -354,7 +389,7 @@ class VM:
                 action.execute(self, frame)
             elif op == _GUARDED_INSTR:
                 stats.guarded_checks_executed += 1
-                if trigger.poll():
+                if poll():
                     stats.guarded_checks_taken += 1
                     action = ins.arg
                     cycles += action.cost
@@ -364,7 +399,7 @@ class VM:
             elif op == _CALL:
                 callee = program_functions[ins.arg]
                 stats.calls += 1
-                if len(frames) >= self.max_stack_depth:
+                if len(frames) >= max_depth:
                     stats.cycles = cycles
                     stats.instructions = executed
                     raise StackOverflowError(
@@ -377,9 +412,10 @@ class VM:
                 else:
                     args = []
                 frame.pc = pc
-                frame = Frame(callee, args)
+                frame = make_frame(callee, args)
                 frames.append(frame)
                 code = callee.code
+                optab = self._op_table(callee)
                 pc = 0
                 stack = frame.stack
                 locals_ = frame.locals
@@ -395,6 +431,7 @@ class VM:
                     return False
                 frame = frames[-1]
                 code = frame.function.code
+                optab = self._op_table(frame.function)
                 pc = frame.pc
                 stack = frame.stack
                 locals_ = frame.locals

@@ -136,5 +136,8 @@ WORKLOAD = register(
         paper_name="_209_db",
         description="record sort/search with simulated disk I/O",
         source=SOURCE,
+        # Raised 1 -> 10 once the fast engine landed: ~10x the
+        # dynamic checks per cell at roughly the old wall cost.
+        default_scale=10,
     )
 )

@@ -226,5 +226,8 @@ WORKLOAD = register(
         paper_name="_213_javac",
         description="mini compiler: many small methods, skewed call edges",
         source=SOURCE,
+        # Raised 1 -> 10 once the fast engine landed: ~10x the
+        # dynamic checks per cell at roughly the old wall cost.
+        default_scale=10,
     )
 )

@@ -112,5 +112,8 @@ WORKLOAD = register(
         paper_name="pBOB",
         description="TPC-C-style teller threads on disjoint warehouses",
         source=SOURCE,
+        # Raised 1 -> 10 once the fast engine landed: ~10x the
+        # dynamic checks per cell at roughly the old wall cost.
+        default_scale=10,
     )
 )

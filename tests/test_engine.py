@@ -1,0 +1,262 @@
+"""Unit tests for the fast execution engine and engine selection.
+
+The differential fuzz suite (tests/test_engine_differential.py) sweeps
+whole programs; this file pins the engine-specific mechanics that a
+statistical sweep could silently miss:
+
+* engine selection precedence (explicit arg > $REPRO_ENGINE > default)
+  and rejection of unknown names,
+* opcode counting over fused superinstructions — a generated segment
+  must report its *constituent* opcodes, indistinguishable from the
+  reference interpreter's per-instruction dispatch,
+* trap parity: identical message, function, and pc for every trap
+  kind, even when the fault happens mid-superinstruction,
+* inline-cache correctness on polymorphic GETFIELD/PUTFIELD sites
+  (the monomorphic cache must miss-and-recover, never read a stale
+  slot),
+* thread scheduling and timer-tick parity,
+* interval-1 sampling equals exhaustive instrumentation under the
+  fast engine specifically (the paper's anchor identity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bytecode import BytecodeBuilder, Klass, Op, Program
+from repro.errors import FuelExhaustedError, ReproError, VMTrap
+from repro.instrument import BlockCountInstrumentation
+from repro.sampling import CounterTrigger, SamplingFramework, Strategy
+from repro.vm import ENGINE_ENV, VM, resolve_engine, run_program
+from tests.generators import nested_loop_program
+
+
+def run_main(build, classes=(), functions=(), **kwargs):
+    b = BytecodeBuilder("main")
+    build(b)
+    prog = Program([b.build(), *functions], classes=list(classes))
+    return run_program(prog, **kwargs)
+
+
+class TestEngineSelection:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        assert resolve_engine(None) == "fast"
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        assert resolve_engine(None) == "reference"
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        assert resolve_engine("fast") == "fast"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        with pytest.raises(ReproError, match="unknown engine"):
+            resolve_engine("turbo")
+        monkeypatch.setenv(ENGINE_ENV, "warp")
+        with pytest.raises(ReproError, match="unknown engine"):
+            resolve_engine(None)
+
+    def test_vm_records_resolved_engine(self):
+        prog = nested_loop_program()
+        assert VM(prog, engine="reference").engine == "reference"
+        assert VM(prog, engine="fast").engine == "fast"
+
+
+class TestOpcodeCounts:
+    def test_fused_segment_reports_constituent_opcodes(self):
+        """One straight-line segment fuses into a single generated
+        handler on the fast engine, yet the opcode multiset must match
+        the reference interpreter's per-instruction count exactly."""
+
+        def build(b):
+            slot = b.new_local()
+            b.push(2).push(3).emit(Op.ADD).store(slot)
+            b.load(slot).push(4).emit(Op.MUL).ret()
+
+        expected = {
+            int(Op.PUSH): 3,
+            int(Op.ADD): 1,
+            int(Op.STORE): 1,
+            int(Op.LOAD): 1,
+            int(Op.MUL): 1,
+            int(Op.RETURN): 1,
+        }
+        for engine in ("reference", "fast"):
+            result = run_main(
+                build, engine=engine, record_opcode_counts=True
+            )
+            assert result.value == 20
+            assert result.stats.opcode_counts == expected, engine
+
+    def test_counts_identical_on_control_flow(self):
+        prog = nested_loop_program()
+        ref = VM(prog, engine="reference", record_opcode_counts=True).run()
+        fast = VM(prog, engine="fast", record_opcode_counts=True).run()
+        assert fast.stats.opcode_counts == ref.stats.opcode_counts
+
+
+TRAP_CASES = [
+    ("div_zero", lambda b: b.push(1).push(0).emit(Op.DIV).ret()),
+    ("mod_zero", lambda b: b.push(1).push(0).emit(Op.MOD).ret()),
+    (
+        "getfield_non_object",
+        lambda b: b.push(5).getfield("C", "x").ret(),
+    ),
+    (
+        "putfield_non_object",
+        lambda b: b.push(5).push(1).putfield("C", "x").ret_const(0),
+    ),
+    (
+        "aload_non_array",
+        lambda b: b.push(5).push(0).emit(Op.ALOAD).ret(),
+    ),
+    (
+        "astore_non_array",
+        lambda b: b.push(5).push(0).push(1).emit(Op.ASTORE).ret_const(0),
+    ),
+    ("alen_non_array", lambda b: b.push(5).emit(Op.ALEN).ret()),
+    (
+        "index_out_of_range",
+        lambda b: b.push(2)
+        .emit(Op.NEWARRAY)
+        .push(7)
+        .emit(Op.ALOAD)
+        .ret(),
+    ),
+]
+
+
+class TestTrapParity:
+    """Both engines must fault with the same message, function, pc."""
+
+    @pytest.mark.parametrize(
+        "name,build", TRAP_CASES, ids=[c[0] for c in TRAP_CASES]
+    )
+    def test_trap_identical(self, name, build):
+        classes = [Klass("C", ["x"])]
+        faults = {}
+        for engine in ("reference", "fast"):
+            with pytest.raises(VMTrap) as excinfo:
+                run_main(build, classes=classes, engine=engine)
+            exc = excinfo.value
+            faults[engine] = (str(exc), exc.function, exc.pc)
+        assert faults["fast"] == faults["reference"]
+
+    def test_fuel_exhaustion_both_engines(self):
+        prog = nested_loop_program()
+        for engine in ("reference", "fast"):
+            with pytest.raises(FuelExhaustedError):
+                VM(prog, engine=engine, fuel=50).run()
+
+
+class TestInlineCaches:
+    def test_polymorphic_field_site_stays_correct(self):
+        """The same GETFIELD site sees receivers of two classes whose
+        shared field name lives at *different* slots; the monomorphic
+        cache must miss on the class change and re-resolve."""
+        peek = BytecodeBuilder("peek", num_params=1)
+        peek.load(0).getfield("C", "x").ret()
+
+        def build(b):
+            c_slot, d_slot = b.new_local(), b.new_local()
+            b.new("C").store(c_slot)
+            b.new("D").store(d_slot)
+            b.load(c_slot).push(7).putfield("C", "x")
+            b.load(d_slot).push(9).putfield("D", "x")
+            b.load(c_slot).call("peek")
+            b.load(d_slot).call("peek")
+            b.emit(Op.ADD).ret()
+
+        classes = [Klass("C", ["x", "y"]), Klass("D", ["y", "x"])]
+        for engine in ("reference", "fast"):
+            result = run_main(
+                build, classes=classes, functions=[peek.build()],
+                engine=engine,
+            )
+            assert result.value == 16, engine
+
+    def test_repeated_monomorphic_hits(self):
+        """A hot loop hammering one receiver class — the cache's happy
+        path — must agree with the reference on value and cycles."""
+        def build(b):
+            obj, i = b.new_local(), b.new_local()
+            loop, done = b.new_label(), b.new_label()
+            b.new("C").store(obj)
+            b.push(100).store(i)
+            b.label(loop)
+            b.load(i).jz(done)
+            b.load(obj).load(obj).getfield("C", "x").push(1).emit(
+                Op.ADD
+            ).putfield("C", "x")
+            b.load(i).push(1).emit(Op.SUB).store(i)
+            b.jump(loop)
+            b.label(done)
+            b.load(obj).getfield("C", "x").ret()
+
+        classes = [Klass("C", ["x"])]
+        ref = run_main(build, classes=classes, engine="reference")
+        fast = run_main(build, classes=classes, engine="fast")
+        assert fast.value == ref.value == 100
+        assert fast.stats.as_dict() == ref.stats.as_dict()
+
+
+class TestThreadsAndTicks:
+    def make_threaded_program(self):
+        worker = BytecodeBuilder("worker", num_params=1)
+        loop, done = worker.new_label(), worker.new_label()
+        worker.label(loop)
+        worker.load(0).jz(done)
+        worker.emit(Op.YIELDPOINT)
+        worker.load(0).push(1).emit(Op.SUB).store(0)
+        worker.jump(loop)
+        worker.label(done)
+        worker.push(0).ret()
+
+        main = BytecodeBuilder("main")
+        main.push(25).emit(Op.SPAWN, "worker").emit(Op.POP)
+        main.push(40).emit(Op.SPAWN, "worker").emit(Op.POP)
+        loop2, done2 = main.new_label(), main.new_label()
+        slot = main.new_local()
+        main.push(30).store(slot)
+        main.label(loop2)
+        main.load(slot).jz(done2)
+        main.emit(Op.YIELDPOINT)
+        main.load(slot).push(1).emit(Op.SUB).store(slot)
+        main.jump(loop2)
+        main.label(done2)
+        main.push(99).ret()
+        return Program([main.build(), worker.build()])
+
+    def test_thread_schedule_identical(self):
+        prog = self.make_threaded_program()
+        ref = VM(prog, engine="reference", timer_period=50).run()
+        fast = VM(prog, engine="fast", timer_period=50).run()
+        assert fast.value == ref.value == 99
+        assert fast.stats.as_dict() == ref.stats.as_dict()
+        assert fast.stats.thread_switches > 0
+        assert fast.stats.timer_ticks > 0
+
+
+class TestSamplingAnchor:
+    def test_interval_one_equals_exhaustive_on_fast_engine(self):
+        """Full-duplication at interval 1 must reproduce the exhaustive
+        profile exactly when executed by the fast engine."""
+        program = nested_loop_program()
+
+        exhaustive = BlockCountInstrumentation()
+        transformed = SamplingFramework(Strategy.EXHAUSTIVE).transform(
+            program, exhaustive
+        )
+        VM(transformed, engine="fast").run()
+
+        sampled = BlockCountInstrumentation()
+        transformed = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            program, sampled
+        )
+        VM(transformed, trigger=CounterTrigger(1), engine="fast").run()
+
+        assert dict(sampled.profile.counts) == dict(
+            exhaustive.profile.counts
+        )

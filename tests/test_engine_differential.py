@@ -1,0 +1,136 @@
+"""Differential tests: fast engine vs reference interpreter.
+
+The fast engine (``repro.vm.engine``) pre-compiles each function into a
+direct-threaded handler list whose straight-line segments are fused
+into generated Python superinstructions, with per-segment cycle
+accounting and monomorphic inline field caches. Its correctness
+contract is *bit-identity*: for any program, trigger, and duplication
+strategy, both engines must produce the same result value, the same
+output, the same :class:`ExecStats` counters (cycles, instructions,
+checks, samples, ticks, GC pauses — everything in ``as_dict()``), and
+the same instrumentation profiles. Not "statistically equivalent" —
+equal, cell for cell.
+
+Coverage here is three-pronged:
+
+* ~50 Hypothesis-generated structured programs (loops, branches, leaf
+  calls) executed bare with opcode counting on,
+* generated control-flow programs pushed through every duplication
+  strategy at sampling intervals 1, 1000, and infinity,
+* all ten suite workloads at scale 1 through the same strategy x
+  interval matrix, comparing profiles too.
+
+Interval 1 is the adversarial end (every check fires, maximum transfer
+into duplicated code); infinity (a never-firing trigger) pins the
+checking-only path; 1000 sits in between with realistic sampling.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from tests.generators import nested_loop_program, programs
+from repro.instrument import BlockCountInstrumentation
+from repro.sampling import (
+    CounterTrigger,
+    NeverTrigger,
+    SamplingFramework,
+    Strategy,
+)
+from repro.vm import VM
+from repro.workloads import workload_names, get_workload
+
+DUPLICATION_STRATEGIES = (
+    Strategy.FULL_DUPLICATION,
+    Strategy.PARTIAL_DUPLICATION,
+    Strategy.NO_DUPLICATION,
+)
+
+#: Sampling intervals per strategy: adversarial (every check fires),
+#: realistic, and never (checking overhead only). None means infinity.
+INTERVALS = (1, 1000, None)
+
+
+def _snapshot(result):
+    return {
+        "value": result.value,
+        "output": result.output,
+        "stats": result.stats.as_dict(),
+        "opcode_counts": result.stats.opcode_counts,
+    }
+
+
+def _run(program, engine, trigger=None, record_opcode_counts=False):
+    return VM(
+        program,
+        trigger=trigger,
+        engine=engine,
+        record_opcode_counts=record_opcode_counts,
+    ).run()
+
+
+def _assert_bare_identical(program):
+    ref = _run(program, "reference", record_opcode_counts=True)
+    fast = _run(program, "fast", record_opcode_counts=True)
+    assert _snapshot(fast) == _snapshot(ref)
+
+
+def _assert_sampled_identical(program, strategy, interval, context=""):
+    """Transform + run on both engines; compare run and profile."""
+    snapshots = {}
+    profiles = {}
+    for engine in ("reference", "fast"):
+        instrumentation = BlockCountInstrumentation()
+        transformed = SamplingFramework(strategy).transform(
+            program, instrumentation
+        )
+        trigger = (
+            NeverTrigger() if interval is None else CounterTrigger(interval)
+        )
+        snapshots[engine] = _snapshot(_run(transformed, engine, trigger))
+        profiles[engine] = dict(instrumentation.profile.counts)
+    label = f"{context}{strategy.value}@{interval}"
+    assert snapshots["fast"] == snapshots["reference"], label
+    assert profiles["fast"] == profiles["reference"], label
+
+
+class TestGeneratedPrograms:
+    """Fuzz bit-identity over structured random programs."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(program=programs(max_depth=3, early_returns=True))
+    def test_bare_execution_identical(self, program):
+        _assert_bare_identical(program)
+
+    @pytest.mark.parametrize("strategy", DUPLICATION_STRATEGIES)
+    @settings(max_examples=10, deadline=None)
+    @given(program=programs(max_depth=4, early_returns=True))
+    def test_sampled_execution_identical(self, strategy, program):
+        for interval in INTERVALS:
+            _assert_sampled_identical(program, strategy, interval)
+
+    def test_nested_loops_all_strategies(self):
+        program = nested_loop_program()
+        _assert_bare_identical(program)
+        for strategy in DUPLICATION_STRATEGIES:
+            for interval in INTERVALS:
+                _assert_sampled_identical(program, strategy, interval)
+
+
+class TestWorkloads:
+    """The full suite x strategy x interval matrix at scale 1."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_bare_workload_identical(self, name):
+        program = get_workload(name).compile(1)
+        _assert_bare_identical(program)
+
+    @pytest.mark.parametrize("name", workload_names())
+    @pytest.mark.parametrize("strategy", DUPLICATION_STRATEGIES)
+    def test_sampled_workload_identical(self, name, strategy):
+        program = get_workload(name).compile(1)
+        for interval in INTERVALS:
+            _assert_sampled_identical(
+                program, strategy, interval, context=f"{name}:"
+            )

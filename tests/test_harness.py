@@ -39,6 +39,9 @@ class TestRunner:
         assert a[0] is b[0]
 
     def test_run_full_duplication(self, runner):
+        # scale 1 pinned: at db's default scale the loop bodies dwarf
+        # the (constant) call count, so interval-31 samples can all
+        # land in call-free code and record no edges.
         result = runner.run(
             RunSpec(
                 "db",
@@ -46,6 +49,7 @@ class TestRunner:
                 ("call-edge",),
                 trigger="counter",
                 interval=31,
+                scale=1,
             )
         )
         assert result.stats.samples_taken > 0
