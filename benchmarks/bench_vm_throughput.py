@@ -27,6 +27,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.telemetry import NullRecorder
 from repro.vm.interpreter import VM
 from repro.workloads import all_workloads, get_workload
 
@@ -39,18 +40,61 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_vm.json"
 REPEATS = 3
 
 
-def _time_engine(program, engine: str, repeats: int):
+def _time_engine(program, engine: str, repeats: int, recorder=None):
     """Best-of-*repeats* wall time for one engine; returns (result, s)."""
     best = None
     result = None
     for _ in range(repeats):
-        vm = VM(program, engine=engine)
+        vm = VM(program, engine=engine, recorder=recorder)
         started = time.perf_counter()
         result = vm.run()
         elapsed = time.perf_counter() - started
         if best is None or elapsed < best:
             best = elapsed
     return result, best
+
+
+def measure_telemetry_overhead(
+    names: Optional[Sequence[str]] = None, repeats: int = REPEATS
+) -> Dict:
+    """Fast engine with telemetry hooks attached vs detached.
+
+    ``recorder=None`` is the null fast path: the engine compiles
+    hook-free superinstruction closures, so disabled telemetry must be
+    free. An attached :class:`NullRecorder` exercises the other side —
+    hook-bearing closures calling no-op methods — which bounds the cost
+    of the observer surface itself. CI gates the attached side at a few
+    percent (``--telemetry-gate``); see docs/OBSERVABILITY.md.
+    """
+    workloads = (
+        [get_workload(name) for name in names]
+        if names
+        else list(all_workloads())
+    )
+    rows: Dict[str, Dict] = {}
+    worst = 0.0
+    for wl in workloads:
+        program = wl.compile(None)
+        off_result, off_s = _time_engine(program, "fast", repeats)
+        null_result, null_s = _time_engine(
+            program, "fast", repeats, recorder=NullRecorder()
+        )
+        if off_result.stats.as_dict() != null_result.stats.as_dict():
+            raise AssertionError(
+                f"telemetry hooks perturbed execution on {wl.name}"
+            )
+        overhead = 100.0 * (null_s / off_s - 1.0)
+        worst = max(worst, overhead)
+        rows[wl.name] = {
+            "disabled_seconds": round(off_s, 6),
+            "null_recorder_seconds": round(null_s, 6),
+            "overhead_pct": round(overhead, 2),
+        }
+    return {
+        "repeats": repeats,
+        "workloads": rows,
+        "worst_overhead_pct": round(worst, 2),
+    }
 
 
 def measure(
@@ -157,12 +201,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="exit nonzero if the geomean speedup falls below this",
     )
     parser.add_argument(
+        "--telemetry-gate",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="also time the fast engine with an attached NullRecorder; "
+        "exit nonzero if any workload's overhead exceeds PCT percent",
+    )
+    parser.add_argument(
         "--out", default=str(DEFAULT_OUT), help="where to write BENCH_vm.json"
     )
     args = parser.parse_args(argv)
 
     report = measure(args.workload, repeats=args.repeats)
     print(render(report))
+    failed = False
+    if args.telemetry_gate is not None:
+        telemetry = measure_telemetry_overhead(
+            args.workload, repeats=args.repeats
+        )
+        report["telemetry"] = telemetry
+        for name, row in telemetry["workloads"].items():
+            print(
+                f"telemetry overhead {name:12s} "
+                f"{row['overhead_pct']:+6.2f}% "
+                f"(off {row['disabled_seconds']:.4f}s, "
+                f"null-recorder {row['null_recorder_seconds']:.4f}s)"
+            )
+        if telemetry["worst_overhead_pct"] > args.telemetry_gate:
+            print(
+                f"error: null-recorder overhead "
+                f"{telemetry['worst_overhead_pct']:.2f}% exceeds gate "
+                f"{args.telemetry_gate:.2f}%",
+                file=sys.stderr,
+            )
+            failed = True
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[wrote {out}]")
@@ -175,8 +248,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"below required {args.min_speedup:.2f}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from repro.adaptive.recompile import RecompileReport, profile_directed_inline
 from repro.instrument.call_edge import CallEdgeInstrumentation
 from repro.sampling.framework import SamplingFramework, Strategy
 from repro.sampling.triggers import CounterTrigger
+from repro.telemetry.recorder import recompile_decision
 from repro.vm.cost_model import CostModel
 from repro.vm.interpreter import VM
 
@@ -80,6 +81,10 @@ class AdaptiveController:
             considered hot.
         max_inline_sites: cap on inlining decisions per recompile.
         cost_model: shared cycle model.
+        recorder: telemetry recorder (see :mod:`repro.telemetry`). The
+            profiling-phase VM runs with it attached, and the
+            controller emits one ``adaptive.recompile`` event per
+            lifecycle documenting the decisions taken.
     """
 
     def __init__(
@@ -88,11 +93,13 @@ class AdaptiveController:
         site_threshold: float = 0.02,
         max_inline_sites: int = 12,
         cost_model: Optional[CostModel] = None,
+        recorder=None,
     ):
         self.interval = interval
         self.site_threshold = site_threshold
         self.max_inline_sites = max_inline_sites
         self.cost_model = cost_model or CostModel()
+        self.recorder = recorder
 
     def optimize(self, baseline: Program) -> AdaptiveOutcome:
         """Run the full adaptive lifecycle on *baseline*.
@@ -113,6 +120,7 @@ class AdaptiveController:
             profiled_program,
             cost_model=self.cost_model,
             trigger=CounterTrigger(self.interval),
+            recorder=self.recorder,
         ).run()
         outcome.profiling_cycles = profile_run.stats.cycles
         outcome.samples_taken = profile_run.stats.samples_taken
@@ -129,6 +137,15 @@ class AdaptiveController:
         )
         outcome.recompile_report = report
         outcome.optimized_program = optimized
+        if self.recorder is not None:
+            recompile_decision(
+                self.recorder,
+                cycles=profile_run.stats.cycles,
+                samples=outcome.samples_taken,
+                interval=self.interval,
+                hot_sites=len(outcome.hot_sites),
+                inlined=len(report.inlined),
+            )
 
         opt_run = VM(optimized, cost_model=self.cost_model).run()
         if opt_run.value != base_run.value:

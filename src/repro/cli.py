@@ -12,6 +12,11 @@ Commands:
   (``--jobs N`` fans cells over worker processes; baselines persist
   in a disk cache across invocations).
 * ``cache``          — inspect or clear the persistent baseline cache.
+* ``trace``          — run a workload with the telemetry recorder
+  attached and export the event stream (Chrome ``trace_event`` JSON or
+  JSONL); see docs/OBSERVABILITY.md.
+* ``metrics``        — same run, but print the metrics-registry
+  snapshot instead of the trace.
 
 All commands operate on deterministic simulated execution; see DESIGN.md.
 """
@@ -43,6 +48,13 @@ from repro.harness import (
 from repro.harness.experiment import make_instrumentations
 from repro.profiles import profile_summary
 from repro.sampling import SamplingFramework, Strategy, make_trigger
+from repro.telemetry import (
+    TelemetryRecorder,
+    events_to_chrome_trace,
+    events_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.vm import run_program
 from repro.workloads import all_workloads, get_workload
 
@@ -214,6 +226,113 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Shorthand accepted anywhere a transform strategy is named on the
+#: command line, resolved to the canonical :class:`Strategy` value.
+_STRATEGY_ALIASES = {
+    "full": Strategy.FULL_DUPLICATION,
+    "partial": Strategy.PARTIAL_DUPLICATION,
+    "none": Strategy.NO_DUPLICATION,
+    "no-dup": Strategy.NO_DUPLICATION,
+    "entry": Strategy.CHECKS_ONLY_ENTRY,
+    "backedge": Strategy.CHECKS_ONLY_BACKEDGE,
+}
+
+
+def _resolve_strategy(name: str) -> Strategy:
+    alias = _STRATEGY_ALIASES.get(name)
+    if alias is not None:
+        return alias
+    try:
+        return Strategy(name)
+    except ValueError:
+        choices = sorted(
+            {s.value for s in Strategy} | set(_STRATEGY_ALIASES)
+        )
+        raise ReproError(
+            f"unknown strategy {name!r}; choose from {', '.join(choices)}"
+        ) from None
+
+
+def _telemetry_run(args: argparse.Namespace):
+    """Shared backend for ``trace`` and ``metrics``: compile the target,
+    transform it per the requested strategy, and run it with a
+    :class:`TelemetryRecorder` attached. Returns (recorder, result,
+    label)."""
+    if args.workload is not None:
+        workload = get_workload(args.workload)
+        program = workload.compile(args.scale)
+        label = workload.name
+    elif args.file is not None:
+        program = compile_baseline(_read_source(args.file))
+        label = args.file
+    else:
+        raise ReproError("trace/metrics need a FILE or --workload NAME")
+
+    strategy = _resolve_strategy(args.strategy)
+    kinds = tuple(k.strip() for k in args.instrument.split(",") if k.strip())
+    instrumentations = make_instrumentations(kinds)
+    framework = SamplingFramework(strategy)
+    transformed = framework.transform(program, instrumentations)
+
+    if strategy is Strategy.EXHAUSTIVE:
+        trigger = make_trigger("never")
+    else:
+        trigger = make_trigger(args.trigger, args.interval)
+    recorder = TelemetryRecorder(capacity=args.capacity)
+    result = run_program(
+        transformed,
+        trigger=trigger,
+        timer_period=args.timer_period,
+        fuel=args.fuel,
+        engine=args.engine,
+        recorder=recorder,
+    )
+    return recorder, result, label
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    recorder, result, label = _telemetry_run(args)
+    events = recorder.events()
+    if args.out is not None:
+        if args.format == "jsonl":
+            write_jsonl(events, args.out)
+        else:
+            write_chrome_trace(events, args.out, label=label)
+        summary = recorder.summary()
+        print(
+            f"{label}: {summary['events']} event(s) "
+            f"({summary['dropped']} dropped), {result.stats.cycles} cycles "
+            f"-> {args.out}"
+        )
+    elif args.format == "jsonl":
+        sys.stdout.write(events_to_jsonl(events))
+    else:
+        json.dump(events_to_chrome_trace(events, label=label), sys.stdout,
+                  indent=1)
+        sys.stdout.write("\n")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    recorder, result, label = _telemetry_run(args)
+    snapshot = recorder.metrics.snapshot()
+    if args.json:
+        json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(f"{label}: {result.stats.cycles} cycles, "
+          f"{result.stats.samples_taken} samples")
+    for key, payload in snapshot.items():
+        if payload["type"] == "histogram":
+            count, total = payload["count"], payload["sum"]
+            mean = total / count if count else 0.0
+            print(f"  {key}  count={count} sum={total} mean={mean:.1f} "
+                  f"min={payload['min']} max={payload['max']}")
+        else:
+            print(f"  {key}  {payload['value']}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 
@@ -324,6 +443,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=["info", "clear"])
     p.add_argument("--cache-dir", default=None)
     p.set_defaults(func=cmd_cache)
+
+    for name, helptext, fn in (
+        ("trace", "run with telemetry and export the event trace",
+         cmd_trace),
+        ("metrics", "run with telemetry and print the metrics registry",
+         cmd_metrics),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("file", nargs="?", default=None,
+                       help="MiniJ source file, or - for stdin")
+        p.add_argument("--workload", default=None,
+                       help="run a benchmark-suite member instead of a file")
+        p.add_argument("--scale", type=int, default=None)
+        p.add_argument(
+            "--strategy",
+            default="full-duplication",
+            help="transform strategy; canonical names or shorthands "
+            "(full, partial, none, entry, backedge)",
+        )
+        p.add_argument("--instrument", default="call-edge")
+        p.add_argument("--trigger", default="counter",
+                       choices=["counter", "timer", "randomized",
+                                "per-thread-counter", "never"])
+        p.add_argument("--interval", type=int, default=1000)
+        p.add_argument("--timer-period", type=int, default=100_000)
+        p.add_argument("--capacity", type=int, default=65536,
+                       help="event-ring capacity (oldest evicted beyond)")
+        p.add_argument("--fuel", type=int, default=200_000_000)
+        _add_engine_arg(p)
+        if name == "trace":
+            p.add_argument("--format", default="chrome",
+                           choices=["chrome", "jsonl"])
+            p.add_argument("--out", default=None,
+                           help="write to a file instead of stdout")
+            p.set_defaults(func=cmd_trace)
+        else:
+            p.add_argument("--json", action="store_true",
+                           help="emit the raw snapshot as JSON")
+            p.set_defaults(func=cmd_metrics)
 
     return parser
 

@@ -44,6 +44,9 @@ from repro.profiles.profile import Profile
 from repro.sampling.framework import SamplingFramework, Strategy, TransformReport
 from repro.sampling.properties import property1_vs_baseline
 from repro.sampling.triggers import make_trigger
+from repro.telemetry.manifest import RunManifest, spec_as_dict
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import TelemetryRecorder
 from repro.vm.cost_model import CostModel
 from repro.vm.engine import resolve_engine
 from repro.vm.interpreter import VM, VMResult
@@ -122,6 +125,9 @@ class RunResult:
     transform_report: Optional[TransformReport] = None
     transform_seconds: float = 0.0
     code_bytes: int = 0
+    #: provenance document when the runner has telemetry enabled
+    #: (picklable, so pool workers ship it back with the result)
+    manifest: Optional[RunManifest] = None
 
 
 @dataclass
@@ -161,6 +167,19 @@ class ExperimentRunner:
             "reference"); None defers to ``$REPRO_ENGINE``, else the
             process default ("fast"). Both engines produce bit-identical
             results, so the choice never appears in cache keys.
+        telemetry: attach a :class:`TelemetryRecorder` to every
+            configured run and emit a :class:`RunManifest` per computed
+            cell (collected in :attr:`manifests`, including cells
+            computed by pool workers). Telemetry never changes a cell's
+            ExecStats/profiles — the differential test in
+            tests/test_telemetry.py pins this on every workload.
+        telemetry_capacity: per-run flight-recorder ring size.
+
+    The runner always keeps a :class:`MetricsRegistry` in
+    :attr:`metrics` — harness-level counters (baseline-cache traffic,
+    including deltas reported back by pool workers) are recorded there
+    even with telemetry off; VM metric snapshots are merged in per
+    manifest when telemetry is on.
     """
 
     def __init__(
@@ -172,6 +191,8 @@ class ExperimentRunner:
         cache: Union[BaselineCache, str, bool, None] = None,
         jobs: Optional[int] = None,
         engine: Optional[str] = None,
+        telemetry: bool = False,
+        telemetry_capacity: int = 65536,
     ):
         self.cost_model = cost_model or CostModel()
         self.fuel = fuel
@@ -180,6 +201,10 @@ class ExperimentRunner:
         self.baseline_cache = _resolve_cache(cache)
         self.jobs = jobs
         self.engine = resolve_engine(engine)
+        self.telemetry = bool(telemetry)
+        self.telemetry_capacity = telemetry_capacity
+        self.metrics = MetricsRegistry()
+        self.manifests: List[RunManifest] = []
         self._baselines: Dict[Tuple[str, Optional[int]], Tuple[Program, VMResult]] = {}
         self._run_memo: Dict[RunSpec, RunResult] = {}
         self.cell_log: List[CellRecord] = []
@@ -206,6 +231,7 @@ class ExperimentRunner:
         started = time.perf_counter()
         result: Optional[VMResult] = None
         disk_key: Optional[str] = None
+        cache_before = self._cache_counts()
         if self.baseline_cache is not None:
             disk_key = baseline_key(
                 program, self.cost_model, self.fuel, 100_000
@@ -221,6 +247,7 @@ class ExperimentRunner:
                 self.baseline_cache.put(
                     disk_key, result, label=f"{workload_name}/scale={scale}"
                 )
+        self._record_cache_delta(cache_before)
         self.cell_log.append(
             CellRecord(
                 label=f"baseline:{workload_name}"
@@ -235,6 +262,46 @@ class ExperimentRunner:
 
     def baseline_cycles(self, workload_name: str, scale: Optional[int] = None) -> int:
         return self.baseline(workload_name, scale)[1].stats.cycles
+
+    # -- metrics plumbing ----------------------------------------------------
+
+    _CACHE_COUNTERS = ("hits", "misses", "stores")
+
+    def _cache_counts(self) -> Tuple[int, ...]:
+        cache = self.baseline_cache
+        if cache is None:
+            return (0, 0, 0)
+        return tuple(
+            getattr(cache.stats, name) for name in self._CACHE_COUNTERS
+        )
+
+    def _record_cache_delta(self, before: Tuple[int, ...]) -> None:
+        """Fold baseline-cache activity since *before* into the registry."""
+        for name, b, a in zip(
+            self._CACHE_COUNTERS, before, self._cache_counts()
+        ):
+            if a > b:
+                self.metrics.counter(
+                    f"harness.baseline_cache.{name}"
+                ).inc(a - b)
+
+    def _record_cache_counts(
+        self, hits: int, misses: int, stores: int
+    ) -> None:
+        """Fold pool-worker-reported baseline-cache deltas into the
+        registry (the workers' cache handles are not ours, so their
+        activity is only visible through these counts)."""
+        for name, amount in zip(
+            self._CACHE_COUNTERS, (hits, misses, stores)
+        ):
+            if amount > 0:
+                self.metrics.counter(
+                    f"harness.baseline_cache.{name}"
+                ).inc(amount)
+
+    def _absorb_manifest(self, manifest: RunManifest) -> None:
+        self.manifests.append(manifest)
+        self.metrics.merge_snapshot(manifest.metrics)
 
     # -- configured runs ----------------------------------------------------------
 
@@ -265,6 +332,7 @@ class ExperimentRunner:
         )
         transform_seconds = time.perf_counter() - t0
 
+        seed_used: Optional[int] = spec.seed
         if spec.trigger == "counter" and spec.phase:
             trigger = make_trigger(spec.trigger, spec.interval, phase=spec.phase)
         elif spec.trigger == "randomized":
@@ -272,10 +340,15 @@ class ExperimentRunner:
             # pure function of the spec (or an explicit seed), so the
             # cell's result is independent of process, order, and pool
             # size.
-            seed = spec.seed if spec.seed is not None else cell_seed(spec)
-            trigger = make_trigger(spec.trigger, spec.interval, seed=seed)
+            seed_used = spec.seed if spec.seed is not None else cell_seed(spec)
+            trigger = make_trigger(spec.trigger, spec.interval, seed=seed_used)
         else:
             trigger = make_trigger(spec.trigger, spec.interval)
+        recorder = (
+            TelemetryRecorder(capacity=self.telemetry_capacity)
+            if self.telemetry
+            else None
+        )
         result = VM(
             transformed,
             cost_model=self.cost_model,
@@ -283,6 +356,7 @@ class ExperimentRunner:
             timer_period=spec.timer_period,
             fuel=self.fuel,
             engine=self.engine,
+            recorder=recorder,
         ).run()
 
         if self.check_semantics:
@@ -317,11 +391,27 @@ class ExperimentRunner:
             transform_seconds=transform_seconds,
             code_bytes=transformed.total_code_size_bytes(),
         )
+        cell_seconds = time.perf_counter() - cell_started
+        if recorder is not None:
+            run_result.manifest = RunManifest(
+                spec=spec_as_dict(spec),
+                engine=self.engine,
+                trigger=trigger.config(),
+                seed=seed_used,
+                cycles=result.stats.cycles,
+                value=result.value,
+                wall_seconds=cell_seconds,
+                stats=result.stats.as_dict(),
+                metrics=recorder.metrics.snapshot(),
+                telemetry=recorder.summary(),
+                source="serial",
+            )
+            self._absorb_manifest(run_result.manifest)
         self._run_memo[spec] = run_result
         self.cell_log.append(
             CellRecord(
                 label=spec.describe(),
-                seconds=time.perf_counter() - cell_started,
+                seconds=cell_seconds,
                 source="serial",
             )
         )
@@ -353,6 +443,15 @@ class ExperimentRunner:
             )
             for spec, outcome in zip(pending, outcomes):
                 self._run_memo[spec] = outcome.result
+                self._record_cache_counts(
+                    outcome.cache_hits,
+                    outcome.cache_misses,
+                    outcome.cache_stores,
+                )
+                manifest = outcome.result.manifest
+                if manifest is not None:
+                    manifest.source = f"pool:{outcome.worker_pid}"
+                    self._absorb_manifest(manifest)
                 self.cell_log.append(
                     CellRecord(
                         label=spec.describe(),
@@ -412,15 +511,25 @@ class ExperimentRunner:
             f"{sum(rec.seconds for rec in computed):.2f}",
         ]
         if self.baseline_cache is not None:
-            stats = self.baseline_cache.stats
+            # Sourced from the metrics registry, not the cache handle:
+            # the registry also accumulates the deltas pool workers
+            # report back, which the parent's handle never sees.
+            hits, misses, stores = (
+                self._metric_value(f"harness.baseline_cache.{name}")
+                for name in self._CACHE_COUNTERS
+            )
             lines.append(
                 f"  baseline cache [{self.baseline_cache.directory}]: "
-                f"{stats.hits} hit(s), {stats.misses} miss(es), "
-                f"{stats.stores} store(s)"
+                f"{hits} hit(s), {misses} miss(es), "
+                f"{stores} store(s)"
             )
         else:
             lines.append("  baseline cache: disabled")
         return "\n".join(lines)
+
+    def _metric_value(self, key: str) -> int:
+        instrument = self.metrics.get(key)
+        return instrument.value if instrument is not None else 0
 
     # -- derived measures ---------------------------------------------------------
 

@@ -100,6 +100,8 @@ class RunnerConfig:
     check_property1: bool
     cache_dir: Optional[str] = None
     engine: str = "fast"
+    telemetry: bool = False
+    telemetry_capacity: int = 65536
 
     @classmethod
     def from_runner(cls, runner) -> "RunnerConfig":
@@ -111,6 +113,8 @@ class RunnerConfig:
             check_property1=runner.check_property1,
             cache_dir=str(cache.directory) if cache is not None else None,
             engine=runner.engine,
+            telemetry=runner.telemetry,
+            telemetry_capacity=runner.telemetry_capacity,
         )
 
     def build_runner(self):
@@ -124,17 +128,29 @@ class RunnerConfig:
             cache=self.cache_dir if self.cache_dir is not None else False,
             jobs=1,
             engine=self.engine,
+            telemetry=self.telemetry,
+            telemetry_capacity=self.telemetry_capacity,
         )
 
 
 @dataclass
 class CellOutcome:
-    """One executed cell plus its provenance and timing."""
+    """One executed cell plus its provenance and timing.
+
+    ``cache_hits``/``cache_misses``/``cache_stores`` are per-cell
+    baseline-cache deltas observed in the worker; the parent folds them
+    into its metrics registry so the timing report's cache accounting
+    covers pool cells too (a worker's cache handle is invisible to the
+    parent's ``BaselineCache.stats``).
+    """
 
     result: "RunResult"
     seconds: float
     worker_pid: int
     baseline_cache_hit: bool
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
 
 
 _WORKER_RUNNER = None
@@ -150,16 +166,25 @@ def _run_cell(spec: "RunSpec") -> CellOutcome:
     if runner is None:  # pragma: no cover - initializer always runs
         raise RuntimeError("worker pool used without initialization")
     cache = runner.baseline_cache
-    hits_before = cache.stats.hits if cache is not None else 0
+    if cache is not None:
+        before = (cache.stats.hits, cache.stats.misses, cache.stats.stores)
+    else:
+        before = (0, 0, 0)
     started = time.perf_counter()
     result = runner.run(spec)
     seconds = time.perf_counter() - started
-    hit = cache is not None and cache.stats.hits > hits_before
+    if cache is not None:
+        after = (cache.stats.hits, cache.stats.misses, cache.stats.stores)
+    else:
+        after = before
     return CellOutcome(
         result=result,
         seconds=seconds,
         worker_pid=os.getpid(),
-        baseline_cache_hit=hit,
+        baseline_cache_hit=after[0] > before[0],
+        cache_hits=after[0] - before[0],
+        cache_misses=after[1] - before[1],
+        cache_stores=after[2] - before[2],
     )
 
 

@@ -53,10 +53,21 @@ from typing import Optional
 class Trigger:
     """Base trigger. ``poll()`` is the per-check hot path."""
 
+    #: Factory name understood by :func:`make_trigger`; also the
+    #: ``kind`` field of :meth:`config` descriptors in run manifests.
+    kind = "abstract"
+
     def __init__(self) -> None:
         self.samples_triggered = 0
         self.checks_polled = 0
         self.enabled = True
+
+    def config(self) -> dict:
+        """JSON-able description of this trigger's configuration —
+        everything needed to rebuild it via :func:`make_trigger`
+        (recorded in run manifests; see repro.telemetry.manifest).
+        Subclasses extend with their parameters."""
+        return {"kind": self.kind}
 
     def poll(self) -> bool:
         """Called at every executed check; True means take a sample."""
@@ -86,6 +97,8 @@ class NeverTrigger(Trigger):
     Figure 8(A)): checks execute and cost cycles but never fire.
     """
 
+    kind = "never"
+
     def poll(self) -> bool:
         self.checks_polled += 1
         return False
@@ -99,6 +112,8 @@ class CounterTrigger(Trigger):
     :meth:`set_interval` (the framework's tunability claim).
     """
 
+    kind = "counter"
+
     def __init__(self, interval: int, phase: int = 0):
         super().__init__()
         if interval < 1:
@@ -106,11 +121,19 @@ class CounterTrigger(Trigger):
         if phase < 0:
             raise ValueError(f"phase must be >= 0, got {phase}")
         self.interval = interval
+        self.phase = phase
         # ``phase`` advances the first sample: the counter starts at
         # interval - phase. Sampling stays strictly periodic; harnesses
         # average over a few phases to expose (or wash out) the §4.4
         # deterministic-correlation effect.
         self.counter = interval - (phase % interval)
+
+    def config(self) -> dict:
+        return {
+            "kind": self.kind,
+            "interval": self.interval,
+            "phase": self.phase,
+        }
 
     def set_interval(self, interval: int) -> None:
         if interval < 1:
@@ -140,6 +163,8 @@ class TimerTrigger(Trigger):
     low-frequency, badly-attributed behaviour the paper describes.
     """
 
+    kind = "timer"
+
     def __init__(self) -> None:
         super().__init__()
         self.sample_bit = False
@@ -168,6 +193,8 @@ class RandomizedCounterTrigger(Trigger):
     lockstep with periodic program behaviour.
     """
 
+    kind = "randomized"
+
     _LCG_A = 6364136223846793005
     _LCG_C = 1442695040888963407
     _LCG_M = 2 ** 64
@@ -180,8 +207,17 @@ class RandomizedCounterTrigger(Trigger):
         self.jitter = jitter if jitter is not None else max(1, interval // 10)
         if self.jitter >= interval:
             raise ValueError("jitter must be smaller than the interval")
+        self.seed = seed
         self._state = seed & (self._LCG_M - 1)
         self.counter = self._next_interval()
+
+    def config(self) -> dict:
+        return {
+            "kind": self.kind,
+            "interval": self.interval,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
 
     def _next_interval(self) -> int:
         self._state = (self._state * self._LCG_A + self._LCG_C) % self._LCG_M
@@ -218,6 +254,8 @@ class BurstTrigger(Trigger):
     VM's ``checks_taken`` still counts every transfer.
     """
 
+    kind = "burst"
+
     def __init__(self, interval: int, burst_length: int = 4):
         super().__init__()
         if interval < 1:
@@ -230,6 +268,13 @@ class BurstTrigger(Trigger):
         self.burst_length = burst_length
         self.counter = interval
         self._burst_remaining = 0
+
+    def config(self) -> dict:
+        return {
+            "kind": self.kind,
+            "interval": self.interval,
+            "burst_length": self.burst_length,
+        }
 
     def poll(self) -> bool:
         self.checks_polled += 1
@@ -260,6 +305,8 @@ class PerThreadCounterTrigger(Trigger):
     The VM announces scheduling via :meth:`notify_thread`.
     """
 
+    kind = "per-thread-counter"
+
     def __init__(self, interval: int):
         super().__init__()
         if interval < 1:
@@ -267,6 +314,9 @@ class PerThreadCounterTrigger(Trigger):
         self.interval = interval
         self.counters: dict = {}
         self._tid = 0
+
+    def config(self) -> dict:
+        return {"kind": self.kind, "interval": self.interval}
 
     def notify_thread(self, tid: int) -> None:
         self._tid = tid

@@ -1,0 +1,89 @@
+"""Structured telemetry: event tracing, metrics, and run manifests.
+
+The observability subsystem for the reproduction (docs/OBSERVABILITY.md):
+
+* :mod:`repro.telemetry.events` — typed event vocabulary;
+* :mod:`repro.telemetry.ring` — bounded flight-recorder buffer;
+* :mod:`repro.telemetry.recorder` — the hook surface the VM engines
+  call (:class:`TelemetryRecorder`, and :class:`NullRecorder` for
+  overhead gating);
+* :mod:`repro.telemetry.metrics` — counters / gauges / histograms;
+* :mod:`repro.telemetry.manifest` — per-run provenance JSON;
+* :mod:`repro.telemetry.exporters` — JSONL and Chrome trace_event.
+"""
+
+from repro.telemetry.events import (
+    CHECK_TAKEN,
+    DUP_ENTER,
+    DUP_EXIT,
+    EVENT_KINDS,
+    GC_PAUSE,
+    RECOMPILE,
+    SAMPLE_FIRED,
+    THREAD_SWITCH,
+    TIMER_TICK,
+    Event,
+    event_from_dict,
+)
+from repro.telemetry.exporters import (
+    events_to_chrome_trace,
+    events_to_jsonl,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.manifest import (
+    RunManifest,
+    aggregate_manifests,
+    load_manifest,
+    spec_as_dict,
+    write_aggregate,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.telemetry.recorder import (
+    NullRecorder,
+    TelemetryRecorder,
+    recompile_decision,
+)
+from repro.telemetry.ring import EventRing
+
+__all__ = [
+    "CHECK_TAKEN",
+    "DUP_ENTER",
+    "DUP_EXIT",
+    "EVENT_KINDS",
+    "GC_PAUSE",
+    "RECOMPILE",
+    "SAMPLE_FIRED",
+    "THREAD_SWITCH",
+    "TIMER_TICK",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Event",
+    "EventRing",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "RunManifest",
+    "TelemetryRecorder",
+    "aggregate_manifests",
+    "event_from_dict",
+    "events_to_chrome_trace",
+    "events_to_jsonl",
+    "load_manifest",
+    "metric_key",
+    "read_jsonl",
+    "recompile_decision",
+    "spec_as_dict",
+    "write_aggregate",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,121 @@
+"""Typed telemetry events: the vocabulary of the flight recorder.
+
+Every event the VM, harness, or adaptive controller can emit is one of
+the kinds below. An event is a flat, immutable :class:`Event` tuple so
+streams from different engines (or different processes) compare with
+``==`` — the determinism contract in docs/OBSERVABILITY.md is stated
+directly over these tuples.
+
+Event timestamps are **simulated cycles**, never wall clock: the cycle
+counter is deterministic and bit-identical across both execution
+engines at every observer boundary (see docs/VM_PERF.md), so traces are
+reproducible artifacts, not measurements of the host machine.
+
+Field conventions:
+
+* ``cycles`` — cumulative simulated cycles *after* the emitting
+  operation's full charge (including sample-transfer penalties and GC
+  pauses). For ``timer.tick`` it is the tick's scheduled boundary
+  (``k * timer_period``), not the detection point — the two engines
+  detect ticks at different instruction granularities, but the boundary
+  is engine-independent.
+* ``tid`` — green-thread id of the emitting thread; -1 for events with
+  no thread context (scheduler/harness events).
+* ``function`` / ``pc`` — original function name and program counter,
+  or None where no bytecode location applies.
+* ``data`` — a tuple of ``(key, value)`` pairs (kept as a tuple, not a
+  dict, so events stay hashable and order-stable).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple, Optional, Tuple
+
+# -- event kinds -------------------------------------------------------------
+
+#: A trigger poll returned True at a CHECK or GUARDED_INSTR
+#: (``data: mechanism=check|guarded``).
+SAMPLE_FIRED = "sample.fired"
+
+#: A fired CHECK transferred control into duplicated code
+#: (``data: target`` — the duplicated-code pc).
+CHECK_TAKEN = "check.taken"
+
+#: Execution entered duplicated code (paired 1:1 with ``check.taken``).
+DUP_ENTER = "dup.enter"
+
+#: First check boundary observed after a ``dup.enter`` — execution is
+#: back in checking code (``data: enter_cycles, residency``). Observer-
+#: boundary granularity: the exact cold-to-hot jump is not an observer
+#: op, so residency is measured sample-transfer → next-check.
+DUP_EXIT = "dup.exit"
+
+#: The allocation clock triggered a GC pause
+#: (``data: pause_cycles, alloc_count``).
+GC_PAUSE = "gc.pause"
+
+#: The scheduler switched away from a thread at a yieldpoint
+#: (``data: from_tid``; ``tid`` is the outgoing thread).
+THREAD_SWITCH = "thread.switch"
+
+#: The virtual timer crossed a period boundary (``data: tick`` — the
+#: 1-based tick index; ``cycles`` is the boundary, see module docs).
+TIMER_TICK = "timer.tick"
+
+#: The adaptive controller committed a recompilation decision
+#: (``data: hot_sites, inlined, ...`` — see adaptive/controller.py).
+RECOMPILE = "adaptive.recompile"
+
+#: Every kind above, in a stable documentation order.
+EVENT_KINDS = (
+    SAMPLE_FIRED,
+    CHECK_TAKEN,
+    DUP_ENTER,
+    DUP_EXIT,
+    GC_PAUSE,
+    THREAD_SWITCH,
+    TIMER_TICK,
+    RECOMPILE,
+)
+
+
+class Event(NamedTuple):
+    """One recorded occurrence. Plain tuple semantics by design:
+    equality, ordering, hashing, and pickling all behave."""
+
+    seq: int
+    kind: str
+    cycles: int
+    tid: int
+    function: Optional[str]
+    pc: Optional[int]
+    data: Tuple[Tuple[str, Any], ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (used by the JSONL exporter)."""
+        payload: Dict[str, Any] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "cycles": self.cycles,
+            "tid": self.tid,
+        }
+        if self.function is not None:
+            payload["function"] = self.function
+        if self.pc is not None:
+            payload["pc"] = self.pc
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+
+def event_from_dict(payload: Dict[str, Any]) -> Event:
+    """Inverse of :meth:`Event.as_dict` (used by manifest/JSONL tests)."""
+    return Event(
+        seq=payload["seq"],
+        kind=payload["kind"],
+        cycles=payload["cycles"],
+        tid=payload["tid"],
+        function=payload.get("function"),
+        pc=payload.get("pc"),
+        data=tuple(payload.get("data", {}).items()),
+    )

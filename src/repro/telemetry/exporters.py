@@ -1,0 +1,188 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` JSON.
+
+JSONL is the machine-diffable format — one :meth:`Event.as_dict` per
+line, loadable with any log tooling and round-trippable through
+:func:`~repro.telemetry.events.event_from_dict`.
+
+The Chrome format targets ``chrome://tracing`` / Perfetto: a JSON
+object with a ``traceEvents`` array. Simulated cycles map onto the
+viewer's microsecond timeline (1 cycle = 1 µs), threads map onto
+viewer threads, and duplicated-code residency renders as complete
+("X") duration slices so sample clustering is visible at a glance.
+See https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+for the format reference.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.telemetry.events import (
+    DUP_ENTER,
+    DUP_EXIT,
+    GC_PAUSE,
+    THREAD_SWITCH,
+    TIMER_TICK,
+    Event,
+    event_from_dict,
+)
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """One compact JSON object per line, in stream order."""
+    return "".join(
+        json.dumps(e.as_dict(), separators=(",", ":")) + "\n" for e in events
+    )
+
+
+def write_jsonl(
+    events: Iterable[Event], path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(events_to_jsonl(events), encoding="utf-8")
+    return path
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> List[Event]:
+    """Inverse of :func:`write_jsonl`."""
+    events = []
+    for line in pathlib.Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+#: Instant/duration phases used below: "i" instant, "X" complete slice,
+#: "C" counter, "M" metadata.
+
+
+def _instant(event: Event, name: str) -> Dict[str, object]:
+    args = dict(event.data)
+    if event.function is not None:
+        args["function"] = event.function
+    if event.pc is not None:
+        args["pc"] = event.pc
+    return {
+        "name": name,
+        "ph": "i",
+        "ts": event.cycles,
+        "pid": 1,
+        "tid": max(event.tid, 0),
+        "s": "t",  # thread-scoped instant
+        "cat": event.kind,
+        "args": args,
+    }
+
+
+def events_to_chrome_trace(
+    events: Iterable[Event], label: str = "repro"
+) -> Dict[str, object]:
+    """Render an event stream as a Chrome ``trace_event`` document.
+
+    Every event becomes a thread-scoped instant except duplicated-code
+    residency, which is folded into ``X`` (complete) slices spanning
+    dup.enter → dup.exit, and sample counts, which also feed a running
+    "samples" counter track.
+    """
+    trace: List[Dict[str, object]] = []
+    tids = set()
+    samples_by_tid: Dict[int, int] = {}
+    # tid -> pending dup.enter event, for pairing into an X slice
+    open_dup: Dict[int, Event] = {}
+
+    for event in events:
+        tid = max(event.tid, 0)
+        tids.add(tid)
+        kind = event.kind
+        if kind == DUP_ENTER:
+            open_dup[event.tid] = event
+            continue
+        if kind == DUP_EXIT:
+            enter = open_dup.pop(event.tid, None)
+            start = (
+                enter.cycles if enter is not None
+                else dict(event.data).get("enter_cycles", event.cycles)
+            )
+            trace.append(
+                {
+                    "name": "duplicated-code",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": max(event.cycles - start, 0),
+                    "pid": 1,
+                    "tid": tid,
+                    "cat": "dup",
+                    "args": dict(event.data),
+                }
+            )
+            continue
+        if kind == "sample.fired":
+            samples_by_tid[tid] = samples_by_tid.get(tid, 0) + 1
+            trace.append(
+                {
+                    "name": "samples",
+                    "ph": "C",
+                    "ts": event.cycles,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"samples": samples_by_tid[tid]},
+                }
+            )
+        name = {
+            TIMER_TICK: "timer tick",
+            THREAD_SWITCH: "thread switch",
+            GC_PAUSE: "gc pause",
+        }.get(kind, kind)
+        trace.append(_instant(event, name))
+
+    # A dup region still open at end-of-stream: render as zero-length
+    # marker rather than dropping it silently.
+    for tid, enter in open_dup.items():
+        trace.append(_instant(enter, "duplicated-code (unterminated)"))
+
+    trace.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": label},
+        }
+    )
+    for tid in sorted(tids):
+        trace.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"green-thread {tid}"},
+            }
+        )
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated cycles (1 cycle = 1us)"},
+    }
+
+
+def write_chrome_trace(
+    events: Iterable[Event],
+    path: Union[str, pathlib.Path],
+    label: str = "repro",
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(events_to_chrome_trace(events, label=label), indent=1)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -1,0 +1,206 @@
+"""Event recorders: the objects the VM's observer hooks talk to.
+
+Two implementations share one surface:
+
+* :class:`NullRecorder` — every hook is a no-op. Attaching one keeps
+  the VM's telemetry branches alive but does no work; the CI throughput
+  gate holds this within a few percent of running with no recorder at
+  all (the *null-recorder fast path* contract in docs/OBSERVABILITY.md).
+* :class:`TelemetryRecorder` — appends typed events to a bounded
+  :class:`~repro.telemetry.ring.EventRing` and maintains derived
+  metrics in a :class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+The hooks are **engine-agnostic**: both the reference interpreter and
+the fast engine call them at the same observer boundaries with the same
+arguments in the same order, so for any given program + trigger the
+recorded event stream is bit-identical across engines
+(tests/test_telemetry.py pins this).
+
+Derived state kept by the recorder (never by the engines, so the two
+engines cannot drift):
+
+* per-thread duplicated-code occupancy — set on a taken check, cleared
+  (with a ``dup.exit`` event and a residency observation) at the next
+  check boundary on that thread;
+* the last virtual-timer tick boundary — ``vm.check_to_sample_latency``
+  measures cycles from that boundary to each fired sample, which is
+  exactly the §2.1 attribution error the timer trigger suffers from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.telemetry.events import (
+    CHECK_TAKEN,
+    DUP_ENTER,
+    DUP_EXIT,
+    GC_PAUSE,
+    RECOMPILE,
+    SAMPLE_FIRED,
+    THREAD_SWITCH,
+    TIMER_TICK,
+    Event,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.ring import EventRing
+
+
+class NullRecorder:
+    """API-complete recorder that records nothing.
+
+    Also the base class of the real recorder, so the VM can hold "any
+    recorder" without isinstance checks on hot paths.
+    """
+
+    __slots__ = ()
+
+    #: True when events/metrics are actually collected. The engines
+    #: never consult this — they are compiled/dispatched on
+    #: ``recorder is None`` only — but callers use it to decide whether
+    #: exporting makes sense.
+    active = False
+
+    def check(self, cycles, tid, function, pc, fired, target=None) -> None:
+        """Every executed CHECK; ``fired`` means the transfer was taken
+        (``cycles`` then already includes the transfer penalty and
+        ``target`` is the duplicated-code pc)."""
+
+    def guarded_fired(self, cycles, tid, function, pc) -> None:
+        """A GUARDED_INSTR whose trigger poll returned True."""
+
+    def gc_pause(self, cycles, tid, function, pc, pause, allocs) -> None:
+        """The allocation clock charged a GC pause of ``pause`` cycles."""
+
+    def timer_tick(self, boundary, tick, tid) -> None:
+        """Virtual timer crossed ``boundary`` (= tick * timer_period)."""
+
+    def thread_switch(self, cycles, tid) -> None:
+        """The scheduler charged a switch away from thread ``tid``."""
+
+    def annotate(self, kind, cycles=0, tid=-1, function=None, pc=None,
+                 **data) -> None:
+        """Free-form event from outside the VM (harness, adaptive)."""
+
+    def events(self) -> Tuple[Event, ...]:
+        return ()
+
+    def summary(self) -> Dict[str, Any]:
+        return {"active": False, "events": 0, "dropped": 0, "capacity": 0}
+
+
+class TelemetryRecorder(NullRecorder):
+    """Flight recorder + metrics for one (or more) VM runs.
+
+    Args:
+        capacity: ring-buffer size; the oldest events are evicted once
+            exceeded (``ring.dropped`` counts how many).
+        metrics: registry to update; a private one by default.
+    """
+
+    __slots__ = ("ring", "metrics", "_seq", "_dup_enter", "_last_tick")
+
+    active = True
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.ring = EventRing(capacity)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._seq = 0
+        #: tid -> cycles at the last un-exited dup.enter
+        self._dup_enter: Dict[int, int] = {}
+        self._last_tick: Optional[int] = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit(self, kind, cycles, tid, function, pc, data) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        self.ring.append(Event(seq, kind, cycles, tid, function, pc, data))
+
+    def _sample(self, mechanism, cycles, tid, function, pc) -> None:
+        self._emit(
+            SAMPLE_FIRED, cycles, tid, function, pc,
+            (("mechanism", mechanism),),
+        )
+        metrics = self.metrics
+        metrics.counter("vm.samples").inc()
+        metrics.counter(
+            "vm.samples.by_function", {"function": function}
+        ).inc()
+        if self._last_tick is not None:
+            metrics.histogram("vm.check_to_sample_latency_cycles").observe(
+                cycles - self._last_tick
+            )
+
+    # -- VM hooks ----------------------------------------------------------
+
+    def check(self, cycles, tid, function, pc, fired, target=None) -> None:
+        enter = self._dup_enter.pop(tid, None)
+        if enter is not None:
+            # First check boundary after a sample transfer: execution
+            # is demonstrably back in checking code.
+            residency = cycles - enter
+            self._emit(
+                DUP_EXIT, cycles, tid, function, pc,
+                (("enter_cycles", enter), ("residency", residency)),
+            )
+            self.metrics.histogram("vm.dup_residency_cycles").observe(
+                residency
+            )
+        if fired:
+            self._sample("check", cycles, tid, function, pc)
+            self._emit(
+                CHECK_TAKEN, cycles, tid, function, pc,
+                (("target", target),),
+            )
+            self._emit(DUP_ENTER, cycles, tid, function, pc, ())
+            self._dup_enter[tid] = cycles
+
+    def guarded_fired(self, cycles, tid, function, pc) -> None:
+        self._sample("guarded", cycles, tid, function, pc)
+
+    def gc_pause(self, cycles, tid, function, pc, pause, allocs) -> None:
+        self._emit(
+            GC_PAUSE, cycles, tid, function, pc,
+            (("pause_cycles", pause), ("alloc_count", allocs)),
+        )
+        self.metrics.counter("vm.gc_pauses").inc()
+
+    def timer_tick(self, boundary, tick, tid) -> None:
+        self._last_tick = boundary
+        self._emit(TIMER_TICK, boundary, tid, None, None, (("tick", tick),))
+        self.metrics.counter("vm.timer_ticks").inc()
+
+    def thread_switch(self, cycles, tid) -> None:
+        self._emit(
+            THREAD_SWITCH, cycles, tid, None, None, (("from_tid", tid),)
+        )
+        self.metrics.counter("vm.thread_switches").inc()
+
+    def annotate(self, kind, cycles=0, tid=-1, function=None, pc=None,
+                 **data) -> None:
+        self._emit(kind, cycles, tid, function, pc, tuple(data.items()))
+
+    # -- read side ---------------------------------------------------------
+
+    def events(self) -> Tuple[Event, ...]:
+        """The retained stream, oldest first."""
+        return tuple(self.ring)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "active": True,
+            "events": len(self.ring),
+            "dropped": self.ring.dropped,
+            "capacity": self.ring.capacity,
+        }
+
+
+def recompile_decision(recorder, cycles, **data) -> None:
+    """Convenience used by the adaptive controller: emit an
+    ``adaptive.recompile`` event (no-op on a null recorder)."""
+    recorder.annotate(RECOMPILE, cycles=cycles, **data)

@@ -1,0 +1,63 @@
+"""Bounded flight-recorder ring buffer for telemetry events.
+
+The recorder must be safe to leave enabled on long runs: memory is
+bounded by ``capacity`` and appends stay O(1). When the buffer is full
+the *oldest* event is overwritten — the flight-recorder policy: the
+most recent history is what post-mortem questions ("why did the last
+samples cluster there?") need. ``dropped`` counts evictions so readers
+know when a stream is a suffix rather than the whole run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.telemetry.events import Event
+
+
+class EventRing:
+    """Fixed-capacity ring of :class:`Event` with oldest-first reads."""
+
+    __slots__ = ("capacity", "dropped", "_buf", "_head")
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buf: List[Event] = []
+        self._head = 0  # index of the oldest event once the ring is full
+
+    def append(self, event: Event) -> None:
+        buf = self._buf
+        if len(buf) < self.capacity:
+            buf.append(event)
+            return
+        head = self._head
+        buf[head] = event
+        self._head = (head + 1) % self.capacity
+        self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[Event]:
+        buf = self._buf
+        head = self._head
+        for i in range(len(buf)):
+            yield buf[(head + i) % len(buf)]
+
+    def snapshot(self) -> List[Event]:
+        """Events oldest-to-newest (a copy; safe to keep)."""
+        return list(self)
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self._head = 0
+        self.dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<EventRing {len(self._buf)}/{self.capacity} "
+            f"dropped={self.dropped}>"
+        )

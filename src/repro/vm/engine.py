@@ -604,9 +604,16 @@ class FastEngine:
         next_tick = self.next_tick
         timer_period = vm.timer_period
         notify = vm.trigger.notify_timer_tick
+        rec = vm.recorder
+        tid = self.thread.tid
         while cycles >= next_tick:
-            next_tick += timer_period
             stats.timer_ticks += 1
+            if rec is not None:
+                # Boundary cycles, matching the reference engine: the
+                # two engines detect crossings at different instruction
+                # granularities, but k * timer_period is shared.
+                rec.timer_tick(next_tick, stats.timer_ticks, tid)
+            next_tick += timer_period
             notify()
         self.next_tick = next_tick
         vm._threadswitch_bit = True
@@ -671,6 +678,10 @@ class FastEngine:
         io_base = vm.cost_model.io_base_cost
         max_depth = vm.max_stack_depth
         fn_name = fn.name
+        # Telemetry is a compile-time decision: with no recorder the
+        # closures below are built without a single telemetry branch, so
+        # the null path costs nothing (docs/OBSERVABILITY.md).
+        rec = vm.recorder
 
         code = fn.code
         ops = [int(ins.op) for ins in code]
@@ -1043,6 +1054,34 @@ class FastEngine:
                 return h
             if op == _CHECK:
                 T = head_index[arg]
+                if rec is not None:
+                    target = arg
+                    def h(stack, locals_):
+                        if HEAD:
+                            ni = stats.instructions
+                            if ni >= fuel:
+                                eng._fuel_trap(PC)
+                            stats.instructions = ni + SL
+                            c = stats.cycles + SC
+                            stats.cycles = c
+                            if c >= eng.next_tick:
+                                eng._ticks()
+                        stats.checks_executed += 1
+                        if poll():
+                            stats.checks_taken += 1
+                            c = stats.cycles + penalty
+                            stats.cycles = c
+                            rec.check(
+                                c, eng.thread.tid, fn_name, pc_,
+                                True, target,
+                            )
+                            return T
+                        rec.check(
+                            stats.cycles, eng.thread.tid, fn_name, pc_,
+                            False,
+                        )
+                        return NXT
+                    return h
                 def h(stack, locals_):
                     if HEAD:
                         ni = stats.instructions
@@ -1065,16 +1104,32 @@ class FastEngine:
             if op == _GUARDED_INSTR:
                 action = arg
                 PCP1 = pc_ + 1
-                def body(stack, locals_):
-                    stats.guarded_checks_executed += 1
-                    if poll():
-                        stats.guarded_checks_taken += 1
-                        stats.cycles += action.cost
-                        stats.instr_ops_executed += 1
-                        fr = eng.frames[-1]
-                        fr.pc = PCP1
-                        action.execute(vm, fr)
-                    return NXT
+                if rec is not None:
+                    def body(stack, locals_):
+                        stats.guarded_checks_executed += 1
+                        if poll():
+                            stats.guarded_checks_taken += 1
+                            c = stats.cycles + action.cost
+                            stats.cycles = c
+                            stats.instr_ops_executed += 1
+                            rec.guarded_fired(
+                                c, eng.thread.tid, fn_name, pc_
+                            )
+                            fr = eng.frames[-1]
+                            fr.pc = PCP1
+                            action.execute(vm, fr)
+                        return NXT
+                else:
+                    def body(stack, locals_):
+                        stats.guarded_checks_executed += 1
+                        if poll():
+                            stats.guarded_checks_taken += 1
+                            stats.cycles += action.cost
+                            stats.instr_ops_executed += 1
+                            fr = eng.frames[-1]
+                            fr.pc = PCP1
+                            action.execute(vm, fr)
+                        return NXT
             elif op == _INSTR:
                 action = arg
                 PCP1 = pc_ + 1
@@ -1087,26 +1142,59 @@ class FastEngine:
                     return NXT
             elif op == _NEW:
                 klass = classes[arg]
-                def body(stack, locals_):
-                    vm._alloc_count += 1
-                    if vm._alloc_count % gc_every == 0:
-                        stats.cycles += gc_pause
-                        stats.gc_pauses += 1
-                    stack.append(RObject(klass))
-                    return NXT
+                if rec is not None:
+                    def body(stack, locals_):
+                        vm._alloc_count += 1
+                        if vm._alloc_count % gc_every == 0:
+                            c = stats.cycles + gc_pause
+                            stats.cycles = c
+                            stats.gc_pauses += 1
+                            rec.gc_pause(
+                                c, eng.thread.tid, fn_name, pc_,
+                                gc_pause, vm._alloc_count,
+                            )
+                        stack.append(RObject(klass))
+                        return NXT
+                else:
+                    def body(stack, locals_):
+                        vm._alloc_count += 1
+                        if vm._alloc_count % gc_every == 0:
+                            stats.cycles += gc_pause
+                            stats.gc_pauses += 1
+                        stack.append(RObject(klass))
+                        return NXT
             elif op == _NEWARRAY:
-                def body(stack, locals_):
-                    length = stack.pop()
-                    if not isinstance(length, int) or length < 0:
-                        raise VMTrap(
-                            f"bad array length {length!r}", fn_name, pc_
-                        )
-                    vm._alloc_count += 1
-                    if vm._alloc_count % gc_every == 0:
-                        stats.cycles += gc_pause
-                        stats.gc_pauses += 1
-                    stack.append(RArray(length))
-                    return NXT
+                if rec is not None:
+                    def body(stack, locals_):
+                        length = stack.pop()
+                        if not isinstance(length, int) or length < 0:
+                            raise VMTrap(
+                                f"bad array length {length!r}", fn_name, pc_
+                            )
+                        vm._alloc_count += 1
+                        if vm._alloc_count % gc_every == 0:
+                            c = stats.cycles + gc_pause
+                            stats.cycles = c
+                            stats.gc_pauses += 1
+                            rec.gc_pause(
+                                c, eng.thread.tid, fn_name, pc_,
+                                gc_pause, vm._alloc_count,
+                            )
+                        stack.append(RArray(length))
+                        return NXT
+                else:
+                    def body(stack, locals_):
+                        length = stack.pop()
+                        if not isinstance(length, int) or length < 0:
+                            raise VMTrap(
+                                f"bad array length {length!r}", fn_name, pc_
+                            )
+                        vm._alloc_count += 1
+                        if vm._alloc_count % gc_every == 0:
+                            stats.cycles += gc_pause
+                            stats.gc_pauses += 1
+                        stack.append(RArray(length))
+                        return NXT
             elif op == _IO:
                 charge = io_base * arg
                 def body(stack, locals_):

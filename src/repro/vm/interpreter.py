@@ -124,6 +124,11 @@ class VM:
             consults ``$REPRO_ENGINE`` and falls back to "fast".  Both
             engines produce bit-identical stats/cycles/output/profiles;
             see :mod:`repro.vm.engine` and docs/VM_PERF.md.
+        recorder: telemetry recorder whose hooks fire at observer
+            boundaries (see :mod:`repro.telemetry.recorder` and
+            docs/OBSERVABILITY.md).  ``None`` (the default) compiles /
+            dispatches with no telemetry branches at all; both engines
+            emit identical event streams for the same program+trigger.
     """
 
     def __init__(
@@ -136,6 +141,7 @@ class VM:
         max_stack_depth: int = 4000,
         record_opcode_counts: bool = False,
         engine: Optional[str] = None,
+        recorder=None,
     ):
         self.program = program
         self.engine = resolve_engine(engine)
@@ -144,6 +150,7 @@ class VM:
         self.timer_period = timer_period
         self.fuel = fuel
         self.max_stack_depth = max_stack_depth
+        self.recorder = recorder
         self.stats = ExecStats(record_opcode_counts)
         self.output: List[Value] = []
         self.threads: List[GreenThread] = []
@@ -170,6 +177,7 @@ class VM:
             run_one = FastEngine(self).run_thread
         else:
             run_one = self._run_thread
+        rec = self.recorder
         index = 0
         while True:
             runnable = [t for t in self.threads if not t.done]
@@ -185,6 +193,10 @@ class VM:
             else:
                 self.stats.thread_switches += 1
                 self.stats.cycles += self.cost_model.thread_switch_cost
+                if rec is not None:
+                    # This scheduler loop is shared by both engines, so
+                    # the event is engine-identical by construction.
+                    rec.thread_switch(self.stats.cycles, thread.tid)
                 index += 1
         return VMResult(
             value=main_thread.result if main_thread.result is not None else 0,
@@ -239,6 +251,8 @@ class VM:
         notify_tick = trigger.notify_timer_tick
         stats = self.stats
         output = self.output
+        rec = self.recorder
+        tid = thread.tid
         fuel = self.fuel
         max_depth = self.max_stack_depth
         timer_period = self.timer_period
@@ -271,8 +285,13 @@ class VM:
             cycles += cost[op]
             if cycles >= next_tick:
                 while cycles >= next_tick:
-                    next_tick += timer_period
                     stats.timer_ticks += 1
+                    if rec is not None:
+                        # The boundary (k * timer_period), not the
+                        # detection cycle: detection granularity differs
+                        # between engines, the boundary does not.
+                        rec.timer_tick(next_tick, stats.timer_ticks, tid)
+                    next_tick += timer_period
                     notify_tick()
                 self._threadswitch_bit = True
             if opcode_counts is not None:
@@ -369,7 +388,16 @@ class VM:
                 if poll():
                     stats.checks_taken += 1
                     cycles += penalty
+                    if rec is not None:
+                        rec.check(
+                            cycles, tid, frame.function.name, pc - 1,
+                            True, ins.arg,
+                        )
                     pc = ins.arg
+                elif rec is not None:
+                    # Unfired checks are still observer boundaries: the
+                    # recorder uses them to close duplicated-code spans.
+                    rec.check(cycles, tid, frame.function.name, pc - 1, False)
             elif op == _YIELDPOINT:
                 stats.yieldpoints_executed += 1
                 if self._threadswitch_bit:
@@ -394,6 +422,10 @@ class VM:
                     action = ins.arg
                     cycles += action.cost
                     stats.instr_ops_executed += 1
+                    if rec is not None:
+                        rec.guarded_fired(
+                            cycles, tid, frame.function.name, pc - 1
+                        )
                     frame.pc = pc
                     action.execute(self, frame)
             elif op == _CALL:
@@ -464,6 +496,11 @@ class VM:
                 if self._alloc_count % gc_every == 0:
                     cycles += gc_pause
                     stats.gc_pauses += 1
+                    if rec is not None:
+                        rec.gc_pause(
+                            cycles, tid, frame.function.name, pc - 1,
+                            gc_pause, self._alloc_count,
+                        )
                 stack.append(RObject(classes[ins.arg]))
             elif op == _NEWARRAY:
                 length = stack.pop()
@@ -479,6 +516,11 @@ class VM:
                 if self._alloc_count % gc_every == 0:
                     cycles += gc_pause
                     stats.gc_pauses += 1
+                    if rec is not None:
+                        rec.gc_pause(
+                            cycles, tid, frame.function.name, pc - 1,
+                            gc_pause, self._alloc_count,
+                        )
                 stack.append(RArray(length))
             elif op == _ALOAD:
                 idx = stack.pop()

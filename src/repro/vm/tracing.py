@@ -12,8 +12,34 @@ from typing import Dict, Optional
 from repro.bytecode.opcodes import Op
 
 
+#: Every scalar counter, in declaration order. The single source of
+#: truth for :meth:`ExecStats.as_dict` / :meth:`ExecStats.merge` /
+#: :meth:`ExecStats.from_dict` — add a field here (and to ``__slots__``
+#: and ``__init__``) and every serializer/aggregator picks it up.
+_SCALAR_FIELDS = (
+    "instructions",
+    "cycles",
+    "calls",
+    "returns",
+    "backward_jumps",
+    "checks_executed",
+    "checks_taken",
+    "guarded_checks_executed",
+    "guarded_checks_taken",
+    "instr_ops_executed",
+    "yieldpoints_executed",
+    "thread_switches",
+    "threads_spawned",
+    "io_ops",
+    "gc_pauses",
+    "timer_ticks",
+)
+
+
 class ExecStats:
     """Counters for one VM run. All values are exact and deterministic."""
+
+    SCALAR_FIELDS = _SCALAR_FIELDS
 
     __slots__ = (
         "instructions",
@@ -99,38 +125,30 @@ class ExecStats:
         return self.opcode_counts.get(int(op), 0)
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "instructions": self.instructions,
-            "cycles": self.cycles,
-            "calls": self.calls,
-            "returns": self.returns,
-            "backward_jumps": self.backward_jumps,
-            "checks_executed": self.checks_executed,
-            "checks_taken": self.checks_taken,
-            "guarded_checks_executed": self.guarded_checks_executed,
-            "guarded_checks_taken": self.guarded_checks_taken,
-            "instr_ops_executed": self.instr_ops_executed,
-            "yieldpoints_executed": self.yieldpoints_executed,
-            "thread_switches": self.thread_switches,
-            "threads_spawned": self.threads_spawned,
-            "io_ops": self.io_ops,
-            "gc_pauses": self.gc_pauses,
-            "timer_ticks": self.timer_ticks,
-        }
+        return {name: getattr(self, name) for name in _SCALAR_FIELDS}
 
     @classmethod
     def from_dict(cls, payload: Dict[str, int]) -> "ExecStats":
         """Rebuild stats from :meth:`as_dict` output (used by the
         persistent baseline cache and the parallel harness)."""
         stats = cls()
-        for name in cls.__slots__:
-            if name == "opcode_counts":
-                continue
+        for name in _SCALAR_FIELDS:
             value = payload[name]
             if not isinstance(value, int) or isinstance(value, bool):
                 raise TypeError(f"stat {name!r} must be an int")
             setattr(stats, name, value)
         return stats
+
+    def merge(self, other: "ExecStats") -> "ExecStats":
+        """Accumulate *other* into self (all scalar counters add;
+        opcode counts add per opcode when both sides recorded them).
+        Returns self, so worker results fold with ``reduce``."""
+        for name in _SCALAR_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        if self.opcode_counts is not None and other.opcode_counts is not None:
+            for op, n in other.opcode_counts.items():
+                self.opcode_counts[op] = self.opcode_counts.get(op, 0) + n
+        return self
 
     def __repr__(self) -> str:
         return (
