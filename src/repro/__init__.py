@@ -21,7 +21,9 @@ simulated machine:
 * :mod:`repro.profiles` — profiles and the overlap-percentage metric;
 * :mod:`repro.adaptive` — a sampled-profile-driven adaptive optimizer;
 * :mod:`repro.workloads` — ten benchmark analogs of the paper's suite;
-* :mod:`repro.harness` — generators for every table and figure.
+* :mod:`repro.harness` — generators for every table and figure;
+* :mod:`repro.analysis` — the static auditor: invariant certification,
+  check-cost certificates, and static↔dynamic reconciliation.
 
 Quickstart::
 
@@ -40,6 +42,11 @@ Quickstart::
 """
 
 from repro.adaptive import AdaptiveController
+from repro.analysis import (
+    audit_program,
+    reconcile,
+    reconcile_manifest,
+)
 from repro.bytecode import (
     BytecodeBuilder,
     Function,
@@ -125,4 +132,8 @@ __all__ = [
     "overlap_percentage",
     # adaptive
     "AdaptiveController",
+    # static auditor
+    "audit_program",
+    "reconcile",
+    "reconcile_manifest",
 ]

@@ -1,0 +1,69 @@
+"""Static analysis of transformed programs: invariant certification,
+cost-bound certificates, lints, and static↔dynamic reconciliation.
+
+The auditor proves, per function, the structural facts the paper's
+Property 1 rests on (checking-code purity, backedge redirection, check
+placement, trampoline well-formedness), derives a machine-checkable
+upper bound on dynamic check counts, and — through the reconciler —
+fails any run whose observed counters exceed the certified bound.
+
+Entry points:
+
+* :func:`audit_program` / :func:`audit_function` — run the rule catalog.
+* :func:`build_certificate` — the static cost bound (usually taken from
+  the :class:`AuditReport` returned by :func:`audit_program`).
+* :func:`reconcile` / :func:`reconcile_manifest` — validate dynamic
+  ExecStats against a certificate.
+* ``repro lint`` / ``repro audit`` — the CLI surfaces (see
+  docs/ANALYSIS.md for the rule catalog and suppression syntax).
+"""
+
+from repro.analysis.auditor import (
+    STRATEGY_MISMATCH_RULE,
+    AuditReport,
+    audit_function,
+    audit_program,
+)
+from repro.analysis.context import AuditContext, checking_projection
+from repro.analysis.cost import (
+    CostCertificate,
+    FunctionCostBound,
+    build_certificate,
+    function_cost_bound,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reconcile import (
+    ReconcileVerdict,
+    reconcile,
+    reconcile_manifest,
+)
+from repro.analysis.rules import (
+    Rule,
+    Suppressions,
+    all_rules,
+    get_rule,
+    run_rules,
+)
+
+__all__ = [
+    "AuditContext",
+    "AuditReport",
+    "CostCertificate",
+    "Finding",
+    "FunctionCostBound",
+    "ReconcileVerdict",
+    "Rule",
+    "Severity",
+    "Suppressions",
+    "STRATEGY_MISMATCH_RULE",
+    "all_rules",
+    "audit_function",
+    "audit_program",
+    "build_certificate",
+    "checking_projection",
+    "function_cost_bound",
+    "get_rule",
+    "reconcile",
+    "reconcile_manifest",
+    "run_rules",
+]

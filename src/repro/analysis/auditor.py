@@ -1,0 +1,162 @@
+"""The auditor facade: run every applicable rule over a transformed
+program and assemble findings plus the cost certificate into one
+:class:`AuditReport`.
+
+Per-function strategy resolution: the sampling framework stamps
+``fn.notes["sampling"]`` on everything it transforms, so each function
+is audited under the strategy that actually produced it. A caller-
+supplied expected strategy is cross-checked against the stamp (finding
+``AUD009`` on mismatch); functions with no stamp — untransformed code,
+or exhaustive instrumentation — get lints and cost accounting only,
+never the placement invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.analysis.context import EXHAUSTIVE, AuditContext
+from repro.analysis.cost import CostCertificate, build_certificate
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Suppressions, run_rules
+from repro.bytecode.function import Function
+from repro.bytecode.program import Program
+
+#: Pseudo-rule id for the auditor-level strategy-label cross-check (not
+#: in the registry: it guards the audit request, not the audited CFG).
+STRATEGY_MISMATCH_RULE = "AUD009"
+
+
+@dataclass
+class AuditReport:
+    """Findings + certificate for one audited program (or function)."""
+
+    label: str
+    strategy: Optional[str]
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    certificate: Optional[CostCertificate] = None
+    functions: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing at ERROR severity survived suppression."""
+        return not any(
+            f.severity >= Severity.ERROR for f in self.findings
+        )
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def worst_severity(self) -> Optional[Severity]:
+        return max(
+            (f.severity for f in self.findings), default=None
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.functions)} function(s) audited",
+            f"{self.count(Severity.ERROR)} error(s)",
+            f"{self.count(Severity.WARNING)} warning(s)",
+        ]
+        if self.suppressed:
+            parts.append(f"{self.suppressed} suppressed")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(f"{self.label}: {self.summary()}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "strategy": self.strategy,
+            "ok": self.ok,
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "suppressed": self.suppressed,
+            "functions": list(self.functions),
+            "findings": [f.as_dict() for f in self.findings],
+            "certificate": (
+                self.certificate.as_dict()
+                if self.certificate is not None
+                else None
+            ),
+        }
+
+
+def audit_function(
+    fn: Function,
+    strategy: Optional[str] = None,
+    suppressions: Optional[Suppressions] = None,
+) -> List[Finding]:
+    """Run every applicable rule over one function; returns findings.
+
+    *strategy* overrides the function's ``notes["sampling"]`` stamp
+    (useful for auditing hand-built functions in tests); by default
+    the stamp decides which rules apply.
+    """
+    ctx = AuditContext(fn, strategy=strategy)
+    findings = run_rules(ctx)
+    if suppressions is not None:
+        findings, _ = suppressions.apply(findings)
+    return findings
+
+
+def audit_program(
+    program: Program,
+    strategy: Optional[str] = None,
+    suppressions: Optional[Suppressions] = None,
+    functions: Optional[Iterable[str]] = None,
+    label: Optional[str] = None,
+) -> AuditReport:
+    """Audit every (or the named) function of *program*.
+
+    Returns an :class:`AuditReport` whose certificate covers exactly
+    the audited functions; ``report.ok`` is the audit verdict.
+    """
+    names = (
+        list(functions) if functions is not None else program.function_names()
+    )
+    report = AuditReport(
+        label=label or "program",
+        strategy=strategy,
+        functions=list(names),
+    )
+    contexts: List[AuditContext] = []
+    all_findings: List[Finding] = []
+    for name in names:
+        fn = program.function(name)
+        stamped = fn.notes.get("sampling")
+        if (
+            strategy is not None
+            and stamped is not None
+            and stamped != strategy
+        ):
+            all_findings.append(
+                Finding(
+                    rule_id=STRATEGY_MISMATCH_RULE,
+                    severity=Severity.ERROR,
+                    function=name,
+                    message=(
+                        f"function is stamped {stamped!r} but the audit "
+                        f"expected {strategy!r}"
+                    ),
+                )
+            )
+        # The stamp is authoritative for rule selection; the expected
+        # strategy only fills in when the function carries no stamp at
+        # all (it was never transformed -> lints + cost only).
+        effective = stamped if stamped is not None else EXHAUSTIVE
+        ctx = AuditContext(fn, strategy=effective)
+        contexts.append(ctx)
+        all_findings.extend(run_rules(ctx))
+    if suppressions is not None:
+        all_findings, report.suppressed = suppressions.apply(all_findings)
+    report.findings = all_findings
+    report.certificate = build_certificate(
+        report.label, strategy or EXHAUSTIVE, contexts
+    )
+    return report

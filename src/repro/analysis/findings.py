@@ -1,0 +1,74 @@
+"""Structured findings emitted by the static auditor.
+
+A :class:`Finding` is one rule violation (or observation) anchored to a
+function and, usually, a block. Findings are plain frozen data so they
+pickle across pool workers, serialize into manifests, and compare in
+tests. Severities order as integers: a report "fails" when it contains
+anything at :attr:`Severity.ERROR` or above (``repro lint --strict``
+lowers the bar to :attr:`Severity.WARNING`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            choices = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(
+                f"unknown severity {name!r}; choose from {choices}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured result from an auditor rule."""
+
+    rule_id: str
+    severity: Severity
+    function: str
+    message: str
+    block: Optional[int] = None
+
+    def format(self) -> str:
+        where = f" (B{self.block})" if self.block is not None else ""
+        return (
+            f"{self.rule_id} {self.severity.label} "
+            f"{self.function}: {self.message}{where}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.label,
+            "function": self.function,
+            "message": self.message,
+            "block": self.block,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule_id=payload["rule_id"],
+            severity=Severity.parse(payload["severity"]),
+            function=payload["function"],
+            message=payload["message"],
+            block=payload.get("block"),
+        )

@@ -1,0 +1,391 @@
+"""Invariant certifier rules: the structure that implies Property 1.
+
+Each rule certifies one clause of the paper's static argument (§2–§3.2)
+on a transformed function's decoded CFG:
+
+========  ==================================================================
+AUD001    checking-code purity — no INSTR/GUARDED_INSTR reachable when no
+          check fires (decided by the instrumentation-reachability
+          dataflow analysis over the checking projection)
+AUD002    every check's taken target lies in duplicated code
+AUD003    duplicated code is acyclic (backedges redirected out)
+AUD004    every check is chargeable: entry-placed or immediately followed
+          by a counted backward jump on its not-taken path
+AUD005    check coverage matches the strategy's promise: entry and/or
+          every loop backedge of the checking code is guarded
+AUD006    trampolines entered from duplicated code have empty bodies
+          (Full-Duplication, where every dup backedge lands on one)
+AUD007    Partial-Duplication left a prunable non-empty top-/bottom-node
+AUD008    No-Duplication output carries no CHECKs and no raw INSTRs
+========  ==================================================================
+
+AUD003 is skipped under counted backedges (``sample_iterations > 1``):
+the burst counter deliberately closes bounded cycles inside duplicated
+code, so the acyclic-pass property is traded for a counter bound and the
+cost certificate reports no duplicated-code residency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.context import (
+    CHECKED_STRATEGIES,
+    CHECKS_ONLY_BACKEDGE,
+    CHECKS_ONLY_ENTRY,
+    DUPLICATING_STRATEGIES,
+    FULL_DUPLICATION,
+    NO_DUPLICATION,
+    PARTIAL_DUPLICATION,
+    AuditContext,
+    CheckKind,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, rule
+from repro.bytecode.opcodes import Op
+from repro.cfg.basic_block import CheckBranch
+from repro.cfg.dataflow import InstrumentationReachability, solve
+
+
+@rule(
+    "AUD001",
+    Severity.ERROR,
+    "checking-code purity",
+    strategies=CHECKED_STRATEGIES,
+)
+def checking_code_purity(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """No instrumentation may execute unless a check transfers control
+    into duplicated code — the framework's zero-cost-when-not-sampling
+    claim. Decided by the forward may-analysis over the checking
+    projection; findings name the offending blocks."""
+    proj = ctx.projection
+    in_facts, out_facts = solve(InstrumentationReachability(), proj)
+    reachable_sites: Set[str] = set()
+    for bid in ctx.checking:
+        reachable_sites |= out_facts[bid]
+    if not reachable_sites:
+        return []
+    findings = [
+        r.finding(
+            ctx,
+            "checking code contains instrumentation "
+            "(reachable with no check taken)",
+            block=bid,
+        )
+        for bid in ctx.instrumented_checking_blocks()
+    ]
+    if not findings:  # pragma: no cover - the scans agree by construction
+        findings.append(
+            r.finding(
+                ctx,
+                f"instrumentation reachable in checking code: "
+                f"{sorted(reachable_sites)}",
+            )
+        )
+    return findings
+
+
+@rule(
+    "AUD002",
+    Severity.ERROR,
+    "checks must target duplicated code",
+    strategies=DUPLICATING_STRATEGIES,
+)
+def check_targets_duplicated_code(
+    r: Rule, ctx: AuditContext
+) -> List[Finding]:
+    """A taken check must transfer into duplicated code; a check whose
+    taken edge stays in checking code samples nothing and (worse) may
+    re-run checking paths. Checks-only strategies are exempt: their
+    checks deliberately fall back into checking code (there is no
+    duplicate to enter)."""
+    findings = []
+    for bid in ctx.checking_check_bids:
+        taken = ctx.cfg.block(bid).terminator.taken
+        if taken in ctx.checking:
+            findings.append(
+                r.finding(
+                    ctx,
+                    f"check targets checking code B{taken}",
+                    block=bid,
+                )
+            )
+    return findings
+
+
+@rule(
+    "AUD003",
+    Severity.ERROR,
+    "duplicated code must be acyclic",
+    strategies=DUPLICATING_STRATEGIES,
+)
+def duplicated_code_acyclic(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """Duplicated-code backedges must have been redirected to checking
+    code, so one sample executes at most one acyclic pass (§2). Kahn's
+    algorithm over the duplicated subgraph; any leftover is a cycle."""
+    if ctx.sample_iterations > 1:
+        # Counted backedges close bounded cycles on purpose.
+        return []
+    dup = ctx.duplicated
+    succs: Dict[int, List[int]] = {
+        bid: [s for s in ctx.cfg.block(bid).successors() if s in dup]
+        for bid in dup
+    }
+    indegree = {bid: 0 for bid in dup}
+    for bid in dup:
+        for succ in succs[bid]:
+            indegree[succ] += 1
+    ready = [bid for bid, deg in indegree.items() if deg == 0]
+    visited: Set[int] = set()
+    while ready:
+        bid = ready.pop()
+        visited.add(bid)
+        for succ in succs[bid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    cyclic = sorted(dup - visited)
+    if not cyclic:
+        return []
+    return [
+        r.finding(
+            ctx,
+            f"duplicated code contains a cycle through "
+            f"{', '.join(f'B{b}' for b in cyclic[:8])}"
+            + ("…" if len(cyclic) > 8 else ""),
+            block=cyclic[0],
+        )
+    ]
+
+
+@rule(
+    "AUD004",
+    Severity.ERROR,
+    "every check must be chargeable to an entry or backedge",
+    strategies={FULL_DUPLICATION, CHECKS_ONLY_ENTRY, CHECKS_ONLY_BACKEDGE},
+)
+def checks_chargeable(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """Property 1's charging argument, block by block: each check is the
+    function's entry block (paid by a CALL/SPAWN) or its not-taken
+    continuation jumps backward before executing anything (paid by a
+    backward jump, or by ``checks_taken`` when the sample fires).
+    Partial-Duplication is exempt — its residual re-entry checks are
+    covered by the §3.1 ≤-Full-Duplication argument instead."""
+    findings = []
+    for bid, kind in sorted(ctx.classification.items()):
+        if kind == CheckKind.RESIDUAL:
+            findings.append(
+                r.finding(
+                    ctx,
+                    "check is neither entry-placed nor followed by a "
+                    "backward jump (uncharged under Property 1)",
+                    block=bid,
+                )
+            )
+    return findings
+
+
+@rule(
+    "AUD005",
+    Severity.ERROR,
+    "check coverage must match the strategy's placement promise",
+    strategies={FULL_DUPLICATION, CHECKS_ONLY_ENTRY, CHECKS_ONLY_BACKEDGE},
+)
+def check_coverage(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """Checks must sit exactly where the strategy promises: at the
+    method entry (full duplication, checks-only-entry) and on every
+    loop backedge of the checking code (full duplication,
+    checks-only-backedge). An unguarded backedge means iterations that
+    can never be sampled; a missing entry check means calls that can
+    never be sampled.
+
+    The obligation is over *loop* backedges (dominator-based, the
+    notion the transforms place trampolines on), not over every
+    pc-retreating edge: the linearizer also lays loop-free forward
+    flow at retreating pcs, and those edges legitimately carry no
+    check. A backedge counts as guarded when it lies on some check's
+    not-taken free chain — the check then fires on every traversal."""
+    findings = []
+    kinds = ctx.classification
+    wants_entry = ctx.strategy in (FULL_DUPLICATION, CHECKS_ONLY_ENTRY)
+    wants_backedges = ctx.strategy in (
+        FULL_DUPLICATION,
+        CHECKS_ONLY_BACKEDGE,
+    )
+    if wants_entry and CheckKind.ENTRY not in kinds.values():
+        findings.append(
+            r.finding(
+                ctx,
+                "method entry carries no check",
+                block=ctx.cfg.entry,
+            )
+        )
+    if wants_backedges:
+        guarded = {
+            edge
+            for bid in ctx.checking_check_bids
+            for edge in ctx.check_chain_edges[bid]
+        }
+        for src, dst in ctx.projection_sampling_backedges:
+            if (src, dst) not in guarded:
+                findings.append(
+                    r.finding(
+                        ctx,
+                        f"checking-code backedge B{src} -> B{dst} "
+                        "carries no check",
+                        block=src,
+                    )
+                )
+    return findings
+
+
+@rule(
+    "AUD006",
+    Severity.ERROR,
+    "trampolines entered from duplicated code must be empty",
+    strategies={FULL_DUPLICATION},
+)
+def check_blocks_empty(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """A trampoline that duplicated code returns through (the landing
+    pad of a redirected dup backedge) must be pure control flow: a
+    jump always enters the block at its start, so any body there
+    re-executes on every sample's return, outside both the checking
+    code's checks-only accounting and the duplicate's acyclic pass.
+    Under Full-Duplication every dup backedge lands on such a
+    trampoline, so the rule is exact there.
+
+    Everything else is exempt for structural reasons, not leniency:
+    trampolines reached purely by checking-code fallthrough may
+    legally absorb their predecessor's body at linearization (the
+    block then reads "predecessor code; CHECK" — ordinary checking
+    code ahead of the check), and Partial-Duplication's pruned
+    bottom-nodes legally redirect dup exits into the *checking
+    counterpart* of the pruned block, entering real checking code that
+    may itself end in a merged trampoline. The checks-only strategies'
+    well-formedness is exactly the AUD004 chargeability walk."""
+    findings = []
+    dup = ctx.duplicated
+    for bid in ctx.check_bids:
+        block = ctx.cfg.block(bid)
+        if not block.instructions:
+            continue
+        if any(pred in dup for pred in ctx.predecessors.get(bid, ())):
+            findings.append(
+                r.finding(
+                    ctx,
+                    f"check block carries {len(block.instructions)} "
+                    "body instruction(s) but is entered from "
+                    "duplicated code; trampolines must be empty",
+                    block=bid,
+                )
+            )
+    return findings
+
+
+@rule(
+    "AUD007",
+    Severity.WARNING,
+    "prunable top-/bottom-node left in duplicated code",
+    strategies={PARTIAL_DUPLICATION},
+)
+def partial_pruning_complete(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """Partial-Duplication's fixpoint legality check, recomputed on the
+    final CFG: no duplicated block with a body should remain that is
+    (a) unable to reach instrumentation (bottom-node) or (b) unreached
+    by any instrumented ancestor within the duplicated DAG (top-node).
+    Either means the transform kept code §3.1 says it could delete.
+    Empty connector blocks (bare gotos the pruning rewires exits
+    through) are ignored — they cost nothing and are a layout artifact
+    of edge redirection, not retained work."""
+    dup = ctx.duplicated
+    if not dup:
+        return []
+    # Duplicated-code DAG edges (dup-internal only; edges back into
+    # checking code are the redirected backedges / exits).
+    succs: Dict[int, List[int]] = {
+        bid: [s for s in ctx.cfg.block(bid).successors() if s in dup]
+        for bid in dup
+    }
+    instrumented = {
+        bid for bid in dup if ctx.cfg.block(bid).has_instrumentation()
+    }
+    # Bottom-nodes: cannot reach an instrumented block.
+    reaches: Set[int] = set(instrumented)
+    preds: Dict[int, List[int]] = {bid: [] for bid in dup}
+    for bid, ss in succs.items():
+        for s in ss:
+            preds[s].append(bid)
+    stack = list(instrumented)
+    while stack:
+        bid = stack.pop()
+        for pred in preds[bid]:
+            if pred not in reaches:
+                reaches.add(pred)
+                stack.append(pred)
+    # Top-nodes: no instrumented block above them in the DAG.
+    below: Set[int] = set(instrumented)
+    stack = list(instrumented)
+    while stack:
+        bid = stack.pop()
+        for succ in succs[bid]:
+            if succ not in below:
+                below.add(succ)
+                stack.append(succ)
+    nonempty = {bid for bid in dup if ctx.cfg.block(bid).instructions}
+    bottoms = (dup - reaches) & nonempty
+    tops = (dup - below - bottoms) & nonempty
+    findings = []
+    for bid in sorted(bottoms):
+        findings.append(
+            r.finding(
+                ctx,
+                "duplicated block cannot reach instrumentation "
+                "(prunable bottom-node)",
+                block=bid,
+            )
+        )
+    for bid in sorted(tops):
+        findings.append(
+            r.finding(
+                ctx,
+                "duplicated block has no instrumented ancestor "
+                "(prunable top-node)",
+                block=bid,
+            )
+        )
+    return findings
+
+
+@rule(
+    "AUD008",
+    Severity.ERROR,
+    "no-duplication output must guard every instrumentation op",
+    strategies={NO_DUPLICATION},
+)
+def no_duplication_guarded(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """§3.2 replaces every INSTR with a GUARDED_INSTR poll and inserts
+    no checks at all; a leftover CHECK or raw INSTR means the transform
+    mislabeled its output (and the 0-check cost bound would be wrong)."""
+    findings = []
+    for bid in sorted(ctx.reachable):
+        block = ctx.cfg.block(bid)
+        if isinstance(block.terminator, CheckBranch):
+            findings.append(
+                r.finding(
+                    ctx,
+                    "no-duplication output contains a CHECK",
+                    block=bid,
+                )
+            )
+        for ins in block.instructions:
+            if ins.op == Op.INSTR:
+                findings.append(
+                    r.finding(
+                        ctx,
+                        "raw INSTR survived no-duplication "
+                        "(must be GUARDED_INSTR)",
+                        block=bid,
+                    )
+                )
+                break
+    return findings

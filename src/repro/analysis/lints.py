@@ -1,0 +1,75 @@
+"""General bytecode/CFG lints hosted by the auditor's rule framework.
+
+Unlike the AUD invariant rules, these do not certify Property 1 — they
+flag code-quality problems any strategy's output (or untransformed
+bytecode) can exhibit. All are warnings: ``repro lint`` passes unless
+``--strict`` is given.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.context import (
+    CHECKS_ONLY_BACKEDGE,
+    CHECKS_ONLY_ENTRY,
+    AuditContext,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, rule
+from repro.cfg.basic_block import CheckBranch
+
+
+@rule("LNT001", Severity.WARNING, "unreachable blocks")
+def unreachable_blocks(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """Linearized code should contain no blocks the entry cannot reach;
+    dead blocks inflate code size (Table 3's space column) for nothing."""
+    dead = sorted(set(ctx.cfg.blocks) - ctx.reachable)
+    return [
+        r.finding(ctx, "block is unreachable from the entry", block=bid)
+        for bid in dead
+    ]
+
+
+@rule("LNT002", Severity.WARNING, "dead trampoline")
+def dead_trampolines(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """An empty check block nothing jumps to is a trampoline whose edge
+    was redirected away (e.g. by later passes) — pure code-size waste."""
+    findings = []
+    for bid in sorted(ctx.reachable):
+        block = ctx.cfg.block(bid)
+        if (
+            isinstance(block.terminator, CheckBranch)
+            and not block.instructions
+            and bid != ctx.cfg.entry
+            and not ctx.predecessors.get(bid)
+        ):
+            findings.append(
+                r.finding(
+                    ctx, "trampoline check has no predecessors", block=bid
+                )
+            )
+    return findings
+
+
+@rule("LNT003", Severity.WARNING, "degenerate check")
+def degenerate_checks(r: Rule, ctx: AuditContext) -> List[Finding]:
+    """A check whose taken target equals its fallthrough can never
+    transfer anywhere else — all poll cost, no sampling. The checks-only
+    strategies are exempt: their checks are *deliberately* degenerate
+    (they measure check overhead with nothing to sample)."""
+    if ctx.strategy in (CHECKS_ONLY_ENTRY, CHECKS_ONLY_BACKEDGE):
+        return []
+    findings = []
+    for bid in ctx.check_bids:
+        term = ctx.cfg.block(bid).terminator
+        if term.taken == term.fallthrough:
+            findings.append(
+                r.finding(
+                    ctx,
+                    f"check's taken and not-taken targets are both "
+                    f"B{term.taken}",
+                    block=bid,
+                )
+            )
+    return findings

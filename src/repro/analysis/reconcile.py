@@ -1,0 +1,92 @@
+"""Static↔dynamic reconciliation: validate a run against its certificate.
+
+The reconciler closes the loop the paper argues only statically: after a
+run, the observed :class:`~repro.vm.tracing.ExecStats` counters must
+satisfy the :class:`~repro.analysis.cost.CostCertificate` bound derived
+before the run. ``ExperimentRunner`` reconciles every audited cell and
+raises on violation, making Property 1 a hard error in every experiment
+rather than a test-suite assertion; manifests embed the verdict next to
+the stats so archived runs can be re-checked offline
+(:func:`reconcile_manifest`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Union
+
+from repro.analysis.cost import CostCertificate, _stat
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ReconcileVerdict:
+    """Outcome of validating one run against one certificate."""
+
+    ok: bool
+    bound: int
+    observed: int
+    formula: str
+    violations: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "VIOLATED"
+        return (
+            f"checks {self.observed} <= static bound {self.bound}: {status}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "bound": self.bound,
+            "observed": self.observed,
+            "formula": self.formula,
+            "violations": list(self.violations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ReconcileVerdict":
+        return cls(
+            ok=payload["ok"],
+            bound=payload["bound"],
+            observed=payload["observed"],
+            formula=payload.get("formula", ""),
+            violations=list(payload.get("violations", [])),
+        )
+
+
+def reconcile(
+    certificate: CostCertificate, stats: Union[Mapping[str, Any], Any]
+) -> ReconcileVerdict:
+    """Check one run's counters against the static certificate.
+
+    *stats* is an ExecStats or its ``as_dict()`` form. The verdict never
+    raises — callers decide whether a violation is fatal (the harness
+    does; ``repro audit`` reports and sets the exit code).
+    """
+    violations = certificate.violations(stats)
+    return ReconcileVerdict(
+        ok=not violations,
+        bound=certificate.bound_against(stats),
+        observed=_stat(stats, "checks_executed"),
+        formula=certificate.formula,
+        violations=violations,
+    )
+
+
+def reconcile_manifest(manifest) -> ReconcileVerdict:
+    """Re-validate an archived :class:`RunManifest` offline.
+
+    Reads the certificate embedded under ``manifest.analysis`` and the
+    stats dict recorded at run time; raises :class:`AnalysisError` when
+    the manifest was produced without the auditor enabled.
+    """
+    payload = getattr(manifest, "analysis", None) or {}
+    cert_payload = payload.get("certificate")
+    if not cert_payload:
+        raise AnalysisError(
+            "manifest carries no cost certificate "
+            "(was the run audited? see ExperimentRunner(audit=...))"
+        )
+    certificate = CostCertificate.from_dict(cert_payload)
+    return reconcile(certificate, manifest.stats)

@@ -1,0 +1,165 @@
+"""Rule registry and suppression handling for the static auditor.
+
+Rules register themselves with the :func:`rule` decorator, declaring an
+id (``AUDnnn`` for invariant certifiers, ``LNTnnn`` for general lints),
+a default severity, and the set of strategies they apply to (None means
+every strategy). The auditor runs every applicable rule over an
+:class:`~repro.analysis.context.AuditContext` and collects
+:class:`~repro.analysis.findings.Finding` objects.
+
+Suppressions are strings of the form ``RULE`` (suppress everywhere) or
+``RULE@function`` (suppress in one function), comma-separated on the
+command line: ``repro lint --suppress LNT001,AUD007@main``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.context import AuditContext
+from repro.analysis.findings import Finding, Severity
+from repro.errors import AnalysisError
+
+#: Checker signature: (rule, context) -> findings.
+Checker = Callable[["Rule", AuditContext], List[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered auditor rule."""
+
+    rule_id: str
+    severity: Severity
+    title: str
+    strategies: Optional[FrozenSet[str]]
+    checker: Checker
+
+    def applies_to(self, strategy: str) -> bool:
+        return self.strategies is None or strategy in self.strategies
+
+    def finding(
+        self, ctx: AuditContext, message: str, block: Optional[int] = None
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            function=ctx.fn.name,
+            message=message,
+            block=block,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    severity: Severity,
+    title: str,
+    strategies: Optional[Iterable[str]] = None,
+) -> Callable[[Checker], Checker]:
+    """Register a checker function as an auditor rule."""
+
+    def register(checker: Checker) -> Checker:
+        if rule_id in _REGISTRY:
+            raise AnalysisError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(
+            rule_id=rule_id,
+            severity=severity,
+            title=title,
+            strategies=frozenset(strategies) if strategies is not None else None,
+            checker=checker,
+        )
+        return checker
+
+    return register
+
+
+def _ensure_rules_loaded() -> None:
+    # Rule modules register on import; importing here (not at module
+    # top) avoids a cycle, since they import this registry.
+    from repro.analysis import invariants, lints  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule id {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def run_rules(
+    ctx: AuditContext, rule_ids: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Run rules applicable to *ctx*'s strategy; deterministic order."""
+    if rule_ids is None:
+        selected = all_rules()
+    else:
+        selected = [get_rule(rid) for rid in rule_ids]
+    findings: List[Finding] = []
+    for r in selected:
+        if r.applies_to(ctx.strategy):
+            findings.extend(r.checker(r, ctx))
+    return findings
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Parsed ``--suppress`` patterns: rule ids, optionally per-function."""
+
+    #: rule ids suppressed everywhere
+    global_rules: FrozenSet[str] = frozenset()
+    #: (rule id, function name) pairs suppressed in one function
+    scoped: FrozenSet[Tuple[str, str]] = frozenset()
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "Suppressions":
+        """Parse ``"AUD001,LNT002@main"`` into a suppression set."""
+        if not text:
+            return cls()
+        global_rules: Set[str] = set()
+        scoped: Set[Tuple[str, str]] = set()
+        for raw in text.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            if "@" in token:
+                rid, _, fn = token.partition("@")
+                rid, fn = rid.strip(), fn.strip()
+                if not rid or not fn:
+                    raise AnalysisError(
+                        f"bad suppression {token!r}; use RULE or RULE@function"
+                    )
+                scoped.add((rid, fn))
+            else:
+                global_rules.add(token)
+        return cls(frozenset(global_rules), frozenset(scoped))
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule_id in self.global_rules
+            or (finding.rule_id, finding.function) in self.scoped
+        )
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """(kept findings, suppressed count)."""
+        kept: List[Finding] = []
+        dropped = 0
+        for finding in findings:
+            if self.matches(finding):
+                dropped += 1
+            else:
+                kept.append(finding)
+        return kept, dropped

@@ -140,6 +140,57 @@ def liveness(cfg: CFG) -> Tuple[Dict[int, FrozenSet[int]], Dict[int, FrozenSet[i
     return solve(LivenessProblem(), cfg)
 
 
+def instrumentation_sites(block: BasicBlock) -> FrozenSet[str]:
+    """Labels of the INSTR/GUARDED_INSTR operations in *block*.
+
+    Each label names one site (``B<bid>.<index>:<op>``) so reachability
+    facts identify exactly which operations may have executed."""
+    return frozenset(
+        f"B{block.bid}.{idx}:{ins.op.name.lower()}"
+        for idx, ins in enumerate(block.instructions)
+        if ins.op in (Op.INSTR, Op.GUARDED_INSTR)
+    )
+
+
+class InstrumentationReachability(DataflowProblem[FrozenSet[str]]):
+    """Forward may-analysis: which instrumentation sites may have
+    executed on some path reaching each program point.
+
+    The static auditor's checking-code purity rule (AUD001) runs this
+    over the *checking projection* — the CFG with every check forced
+    not-taken — where any non-empty fact proves instrumentation can
+    execute without a sample being active, violating the framework's
+    zero-cost-when-not-sampling guarantee (paper §2).
+    """
+
+    direction = "forward"
+
+    def boundary(self, cfg: CFG) -> FrozenSet[str]:
+        return frozenset()
+
+    def initial(self, cfg: CFG) -> FrozenSet[str]:
+        return frozenset()
+
+    def meet(self, facts: Iterable[FrozenSet[str]]) -> FrozenSet[str]:
+        result: Set[str] = set()
+        for fact in facts:
+            result |= fact
+        return frozenset(result)
+
+    def transfer(
+        self, block: BasicBlock, fact: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        sites = instrumentation_sites(block)
+        return fact | sites if sites else fact
+
+
+def instrumentation_reachability(
+    cfg: CFG,
+) -> Tuple[Dict[int, FrozenSet[str]], Dict[int, FrozenSet[str]]]:
+    """(reach_in, reach_out) instrumentation-site facts per block id."""
+    return solve(InstrumentationReachability(), cfg)
+
+
 def live_slots_at_each_instruction(
     block: BasicBlock, live_out: FrozenSet[int]
 ) -> List[FrozenSet[int]]:

@@ -16,7 +16,13 @@ Commands:
   attached and export the event stream (Chrome ``trace_event`` JSON or
   JSONL); see docs/OBSERVABILITY.md.
 * ``metrics``        — same run, but print the metrics-registry
-  snapshot instead of the trace.
+  snapshot instead of the trace (plus the static audit verdict and
+  cost-certificate reconciliation for the run).
+* ``lint``           — transform and statically audit without running:
+  invariant certifier + lint rules over every function
+  (docs/ANALYSIS.md has the rule catalog).
+* ``audit``          — transform, audit, run, and reconcile the dynamic
+  counters against the static cost certificate.
 
 All commands operate on deterministic simulated execution; see DESIGN.md.
 """
@@ -30,6 +36,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.adaptive import AdaptiveController
+from repro.analysis import Severity, Suppressions, audit_program, reconcile
 from repro.bytecode import disassemble_program
 from repro.errors import ReproError
 from repro.frontend import CompileOptions, compile_baseline, compile_source
@@ -253,20 +260,22 @@ def _resolve_strategy(name: str) -> Strategy:
         ) from None
 
 
-def _telemetry_run(args: argparse.Namespace):
-    """Shared backend for ``trace`` and ``metrics``: compile the target,
-    transform it per the requested strategy, and run it with a
-    :class:`TelemetryRecorder` attached. Returns (recorder, result,
-    label)."""
+def _compile_target(args: argparse.Namespace, commands: str):
+    """Resolve FILE / --workload into (program, label)."""
     if args.workload is not None:
         workload = get_workload(args.workload)
-        program = workload.compile(args.scale)
-        label = workload.name
-    elif args.file is not None:
-        program = compile_baseline(_read_source(args.file))
-        label = args.file
-    else:
-        raise ReproError("trace/metrics need a FILE or --workload NAME")
+        return workload.compile(args.scale), workload.name
+    if args.file is not None:
+        return compile_baseline(_read_source(args.file)), args.file
+    raise ReproError(f"{commands} need a FILE or --workload NAME")
+
+
+def _telemetry_run(args: argparse.Namespace):
+    """Shared backend for ``trace``, ``metrics`` and ``audit``: compile
+    the target, transform it per the requested strategy, and run it with
+    a :class:`TelemetryRecorder` attached. Returns (recorder, result,
+    label, transformed, strategy)."""
+    program, label = _compile_target(args, "trace/metrics")
 
     strategy = _resolve_strategy(args.strategy)
     kinds = tuple(k.strip() for k in args.instrument.split(",") if k.strip())
@@ -287,11 +296,11 @@ def _telemetry_run(args: argparse.Namespace):
         engine=args.engine,
         recorder=recorder,
     )
-    return recorder, result, label
+    return recorder, result, label, transformed, strategy
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    recorder, result, label = _telemetry_run(args)
+    recorder, result, label, _transformed, _strategy = _telemetry_run(args)
     events = recorder.events()
     if args.out is not None:
         if args.format == "jsonl":
@@ -314,8 +323,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    recorder, result, label = _telemetry_run(args)
+    recorder, result, label, transformed, strategy = _telemetry_run(args)
     snapshot = recorder.metrics.snapshot()
+    report = audit_program(transformed, strategy=strategy.value, label=label)
+    verdict = (
+        reconcile(report.certificate, result.stats)
+        if report.certificate is not None
+        else None
+    )
     if args.json:
         json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
@@ -330,7 +345,100 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                   f"min={payload['min']} max={payload['max']}")
         else:
             print(f"  {key}  {payload['value']}")
+    print(f"  audit: {report.summary()}")
+    if report.certificate is not None:
+        cert = report.certificate
+        print(f"  certificate: {cert.static_checks} static check(s), "
+              f"{cert.guarded_sites} guarded site(s); {cert.formula}")
+    if verdict is not None:
+        print(f"  reconcile: {verdict.summary()}")
     return 0
+
+
+def _lint_cells(args: argparse.Namespace):
+    """Yield (label, strategy, program) lint targets from the CLI args."""
+    strategies = [
+        _resolve_strategy(s.strip())
+        for s in args.strategy.split(",")
+        if s.strip()
+    ]
+    if not strategies:
+        raise ReproError("lint needs at least one --strategy")
+    if args.workload is not None:
+        if args.workload == "all":
+            targets = [(w.name, w.compile(args.scale)) for w in all_workloads()]
+        else:
+            workload = get_workload(args.workload)
+            targets = [(workload.name, workload.compile(args.scale))]
+    elif args.file is not None:
+        targets = [(args.file, compile_baseline(_read_source(args.file)))]
+    else:
+        raise ReproError("lint needs a FILE or --workload NAME|all")
+    for label, program in targets:
+        for strategy in strategies:
+            yield label, strategy, program
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    suppressions = (
+        Suppressions.parse(args.suppress) if args.suppress else None
+    )
+    kinds = tuple(k.strip() for k in args.instrument.split(",") if k.strip())
+    reports = []
+    for label, strategy, program in _lint_cells(args):
+        framework = SamplingFramework(strategy)
+        transformed = framework.transform(
+            program, make_instrumentations(kinds)
+        )
+        reports.append(
+            audit_program(
+                transformed,
+                strategy=strategy.value,
+                suppressions=suppressions,
+                label=f"{label}/{strategy.value}",
+            )
+        )
+    if args.json:
+        json.dump([r.as_dict() for r in reports], sys.stdout, indent=2,
+                  sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for report in reports:
+            for finding in report.findings:
+                print(finding.format())
+            print(f"{report.label}: {report.summary()}")
+    errors = sum(r.count(Severity.ERROR) for r in reports)
+    total = sum(len(r.findings) for r in reports)
+    if errors or (args.strict and total):
+        return 1
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    recorder, result, label, transformed, strategy = _telemetry_run(args)
+    report = audit_program(transformed, strategy=strategy.value, label=label)
+    verdict = reconcile(report.certificate, result.stats)
+    payload = {
+        "report": report.as_dict(),
+        "verdict": verdict.as_dict(),
+        "stats": result.stats.as_dict(),
+    }
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(report.render())
+        cert = report.certificate
+        print(f"certificate: {cert.static_checks} static check(s), "
+              f"{cert.guarded_sites} guarded site(s); {cert.formula}")
+        print(f"reconcile: {verdict.summary()}")
+        if args.out is not None:
+            print(f"wrote {args.out}")
+    return 0 if report.ok and verdict.ok else 1
 
 
 # ---------------------------------------------------------------------------
@@ -444,11 +552,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None)
     p.set_defaults(func=cmd_cache)
 
+    p = sub.add_parser(
+        "lint",
+        help="statically audit transformed code (no execution)",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="MiniJ source file, or - for stdin")
+    p.add_argument("--workload", default=None,
+                   help="benchmark-suite member, or 'all' for the suite")
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument(
+        "--strategy",
+        default="full,partial,none",
+        help="comma-separated strategies to audit under; canonical "
+        "names or shorthands (full, partial, none, entry, backedge)",
+    )
+    p.add_argument("--instrument", default="call-edge")
+    p.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on any finding, not just errors",
+    )
+    p.add_argument(
+        "--suppress", default=None,
+        help="comma-separated rule suppressions, e.g. "
+        "'LNT001,AUD007@main'",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the audit reports as JSON")
+    p.set_defaults(func=cmd_lint)
+
     for name, helptext, fn in (
         ("trace", "run with telemetry and export the event trace",
          cmd_trace),
         ("metrics", "run with telemetry and print the metrics registry",
          cmd_metrics),
+        ("audit", "audit, run, and reconcile against the certificate",
+         cmd_audit),
     ):
         p = sub.add_parser(name, help=helptext)
         p.add_argument("file", nargs="?", default=None,
@@ -477,11 +616,15 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["chrome", "jsonl"])
             p.add_argument("--out", default=None,
                            help="write to a file instead of stdout")
-            p.set_defaults(func=cmd_trace)
+        elif name == "audit":
+            p.add_argument("--json", action="store_true",
+                           help="emit report + verdict as JSON")
+            p.add_argument("--out", default=None,
+                           help="also write the JSON document to a file")
         else:
             p.add_argument("--json", action="store_true",
                            help="emit the raw snapshot as JSON")
-            p.set_defaults(func=cmd_metrics)
+        p.set_defaults(func=fn)
 
     return parser
 

@@ -92,3 +92,9 @@ class FuelExhaustedError(VMError):
 
 class HarnessError(ReproError):
     """An experiment configuration is inconsistent or unrunnable."""
+
+
+class AnalysisError(ReproError):
+    """The static auditor was misused (unknown rule, bad suppression,
+    malformed certificate) — distinct from a *finding*, which reports a
+    problem in the audited code rather than in the audit request."""

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis import AuditReport, Severity, audit_program, reconcile
 from repro.bytecode.program import Program
 from repro.errors import HarnessError
 from repro.harness.baseline_cache import (
@@ -125,6 +126,8 @@ class RunResult:
     transform_report: Optional[TransformReport] = None
     transform_seconds: float = 0.0
     code_bytes: int = 0
+    #: static audit of the transformed program (None with auditing off)
+    audit: Optional[AuditReport] = None
     #: provenance document when the runner has telemetry enabled
     #: (picklable, so pool workers ship it back with the result)
     manifest: Optional[RunManifest] = None
@@ -156,6 +159,13 @@ class ExperimentRunner:
             baseline's value and output (cheap, catches transform bugs).
         check_property1: verify Property 1 for duplication strategies
             against the baseline run.
+        audit: run the static auditor (:mod:`repro.analysis`) over every
+            transformed program and reconcile each run's counters
+            against the derived cost certificate. Error-severity
+            findings and reconciliation violations raise
+            :class:`HarnessError`; the report and verdict ride on
+            :attr:`RunResult.audit` and (with telemetry on) in the
+            manifest's ``analysis`` section.
         cache: persistent baseline cache — a :class:`BaselineCache`, a
             directory path, True for the default directory, False to
             disable. The default (None) enables the cache only when
@@ -188,6 +198,7 @@ class ExperimentRunner:
         fuel: int = DEFAULT_FUEL,
         check_semantics: bool = True,
         check_property1: bool = True,
+        audit: bool = True,
         cache: Union[BaselineCache, str, bool, None] = None,
         jobs: Optional[int] = None,
         engine: Optional[str] = None,
@@ -198,6 +209,7 @@ class ExperimentRunner:
         self.fuel = fuel
         self.check_semantics = check_semantics
         self.check_property1 = check_property1
+        self.audit = bool(audit)
         self.baseline_cache = _resolve_cache(cache)
         self.jobs = jobs
         self.engine = resolve_engine(engine)
@@ -332,6 +344,24 @@ class ExperimentRunner:
         )
         transform_seconds = time.perf_counter() - t0
 
+        audit_report: Optional[AuditReport] = None
+        if self.audit:
+            audit_report = audit_program(
+                transformed,
+                strategy=spec.strategy.value,
+                label=spec.describe(),
+            )
+            self.metrics.counter("harness.audit.cells").inc()
+            if audit_report.findings:
+                self.metrics.counter("harness.audit.findings").inc(
+                    len(audit_report.findings)
+                )
+            if not audit_report.ok:
+                raise HarnessError(
+                    f"{spec.describe()}: static audit failed\n"
+                    + audit_report.render()
+                )
+
         seed_used: Optional[int] = spec.seed
         if spec.trigger == "counter" and spec.phase:
             trigger = make_trigger(spec.trigger, spec.interval, phase=spec.phase)
@@ -377,6 +407,18 @@ class ExperimentRunner:
                     f"(checks={result.stats.checks_executed}, "
                     f"bound={base_result.stats.check_opportunities})"
                 )
+        verdict = None
+        if audit_report is not None and audit_report.certificate is not None:
+            verdict = reconcile(audit_report.certificate, result.stats)
+            self.metrics.counter("harness.audit.reconciled").inc()
+            if not verdict.ok:
+                self.metrics.counter(
+                    "harness.audit.reconcile_violations"
+                ).inc(len(verdict.violations))
+                raise HarnessError(
+                    f"{spec.describe()}: run contradicts its cost "
+                    f"certificate: " + "; ".join(verdict.violations)
+                )
 
         profiles = {
             instr.profile.name: instr.profile for instr in instrumentations
@@ -390,6 +432,7 @@ class ExperimentRunner:
             transform_report=framework.last_report,
             transform_seconds=transform_seconds,
             code_bytes=transformed.total_code_size_bytes(),
+            audit=audit_report,
         )
         cell_seconds = time.perf_counter() - cell_started
         if recorder is not None:
@@ -405,6 +448,23 @@ class ExperimentRunner:
                 metrics=recorder.metrics.snapshot(),
                 telemetry=recorder.summary(),
                 source="serial",
+                analysis=(
+                    {
+                        "ok": audit_report.ok,
+                        "errors": audit_report.count(Severity.ERROR),
+                        "warnings": audit_report.count(Severity.WARNING),
+                        "certificate": (
+                            audit_report.certificate.as_dict()
+                            if audit_report.certificate is not None
+                            else None
+                        ),
+                        "verdict": (
+                            verdict.as_dict() if verdict is not None else None
+                        ),
+                    }
+                    if audit_report is not None
+                    else {}
+                ),
             )
             self._absorb_manifest(run_result.manifest)
         self._run_memo[spec] = run_result

@@ -98,6 +98,7 @@ class RunnerConfig:
     fuel: int
     check_semantics: bool
     check_property1: bool
+    audit: bool = True
     cache_dir: Optional[str] = None
     engine: str = "fast"
     telemetry: bool = False
@@ -111,6 +112,7 @@ class RunnerConfig:
             fuel=runner.fuel,
             check_semantics=runner.check_semantics,
             check_property1=runner.check_property1,
+            audit=runner.audit,
             cache_dir=str(cache.directory) if cache is not None else None,
             engine=runner.engine,
             telemetry=runner.telemetry,
@@ -125,6 +127,7 @@ class RunnerConfig:
             fuel=self.fuel,
             check_semantics=self.check_semantics,
             check_property1=self.check_property1,
+            audit=self.audit,
             cache=self.cache_dir if self.cache_dir is not None else False,
             jobs=1,
             engine=self.engine,

@@ -213,6 +213,7 @@ class SamplingFramework:
             notes={
                 "sampling": strategy.value,
                 "yieldpoint_opt": self.yieldpoint_opt,
+                "sample_iterations": self.sample_iterations,
             },
         )
         report.static_checks += transformed.count_op(Op.CHECK)

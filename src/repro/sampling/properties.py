@@ -4,10 +4,18 @@ Property 1 (paper §2): *the number of checks executed in the checking
 code is less than or equal to the number of backedges and method
 entries executed, independent of the instrumentation being performed.*
 
-Static checks (on a transformed function) verify the structure that
-implies Property 1; the dynamic check compares ExecStats counters from
-an actual run. Both are used by the test suite; the harness runs the
-dynamic check on every experiment as a tripwire.
+The static side is a thin shim over the auditor
+(:mod:`repro.analysis`): :func:`verify_check_placement` runs the three
+placement invariants — AUD001 (checking-code purity), AUD002 (checks
+target duplicated code), AUD003 (duplicated code acyclic) — and repacks
+the findings into the historical :class:`StaticCheckReport` shape. One
+implementation, two entry points: tests and old callers keep this API,
+while ``repro lint`` / ``repro audit`` drive the full rule catalog.
+
+The dynamic check compares ExecStats counters from an actual run; the
+harness runs it on every experiment as a tripwire (and, when auditing
+is enabled, additionally reconciles runs against the static cost
+certificate — see :mod:`repro.analysis.reconcile`).
 """
 
 from __future__ import annotations
@@ -15,11 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Set
 
+from repro.analysis.context import FULL_DUPLICATION, AuditContext
+from repro.analysis.rules import run_rules
 from repro.bytecode.function import Function
-from repro.bytecode.opcodes import Op
-from repro.cfg.basic_block import CheckBranch
-from repro.cfg.graph import CFG
 from repro.vm.tracing import ExecStats
+
+#: The auditor rules :func:`verify_check_placement` runs — the original
+#: three placement invariants, in their historical order.
+PLACEMENT_RULES = ("AUD001", "AUD002", "AUD003")
 
 
 @dataclass
@@ -30,90 +41,47 @@ class StaticCheckReport:
     problems: List[str] = field(default_factory=list)
     checks: int = 0
     instrumented_checking_blocks: int = 0
+    #: Distinct auditor rule ids behind ``problems`` (empty when ok).
+    rule_ids: List[str] = field(default_factory=list)
 
     def fail(self, message: str) -> None:
         self.ok = False
         self.problems.append(message)
 
 
-def _blocks_reachable_without_taken_checks(cfg: CFG) -> Set[int]:
-    """Blocks reachable from the entry when no check ever fires — by
-    construction, the checking code (plus trampolines)."""
-    seen: Set[int] = set()
-    stack = [cfg.entry]
-    while stack:
-        bid = stack.pop()
-        if bid in seen:
-            continue
-        seen.add(bid)
-        term = cfg.block(bid).terminator
-        if isinstance(term, CheckBranch):
-            stack.append(term.fallthrough)
-        else:
-            stack.extend(term.successors())
-    return seen
-
-
 def checking_code_blocks(fn: Function) -> Set[int]:
     """Block ids of the checking code of a transformed function."""
-    cfg = CFG.from_function(fn)
-    return _blocks_reachable_without_taken_checks(cfg)
+    return set(AuditContext(fn).checking)
 
 
 def verify_check_placement(fn: Function) -> StaticCheckReport:
     """Statically verify a Full/Partial-Duplication output function.
 
-    Invariants checked:
+    Invariants checked (by the auditor rules in :data:`PLACEMENT_RULES`):
 
-    1. The checking code (blocks reachable when no check fires)
-       contains no INSTR/GUARDED_INSTR operations.
-    2. Every check's taken target lies *outside* the checking code
-       (checks jump into duplicated code).
-    3. The duplicated code (everything else) contains no cycles among
-       itself — its backedges must have been redirected to checking
-       code, bounding per-sample execution.
+    1. AUD001 — the checking code (blocks reachable when no check
+       fires) contains no INSTR/GUARDED_INSTR operations.
+    2. AUD002 — every check's taken target lies *outside* the checking
+       code (checks jump into duplicated code).
+    3. AUD003 — the duplicated code contains no cycles among itself;
+       its backedges must have been redirected to checking code,
+       bounding per-sample execution.
+
+    The function's strategy stamp is ignored: callers hand us anything
+    (including raw instrumented code in negative tests) and ask "would
+    this pass as a duplication output?".
     """
-    report = StaticCheckReport()
-    cfg = CFG.from_function(fn)
-    checking = _blocks_reachable_without_taken_checks(cfg)
-
-    for bid in sorted(checking):
-        block = cfg.block(bid)
-        if block.has_instrumentation():
-            report.instrumented_checking_blocks += 1
-            report.fail(
-                f"{fn.name}: checking block B{bid} contains instrumentation"
-            )
-        term = block.terminator
-        if isinstance(term, CheckBranch):
-            report.checks += 1
-            if term.taken in checking:
-                report.fail(
-                    f"{fn.name}: check in B{bid} targets checking code "
-                    f"B{term.taken}"
-                )
-
-    dup = set(cfg.blocks) - checking
-    # Cycle check over the duplicated subgraph.
-    succs = {
-        bid: [s for s in cfg.block(bid).successors() if s in dup]
-        for bid in dup
-    }
-    indegree = {bid: 0 for bid in dup}
-    for bid in dup:
-        for succ in succs[bid]:
-            indegree[succ] += 1
-    ready = [bid for bid, deg in indegree.items() if deg == 0]
-    visited = 0
-    while ready:
-        bid = ready.pop()
-        visited += 1
-        for succ in succs[bid]:
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                ready.append(succ)
-    if visited != len(dup):
-        report.fail(f"{fn.name}: duplicated code contains a cycle")
+    ctx = AuditContext(fn, strategy=FULL_DUPLICATION)
+    findings = run_rules(ctx, rule_ids=PLACEMENT_RULES)
+    report = StaticCheckReport(
+        checks=len(ctx.checking_check_bids),
+        instrumented_checking_blocks=len(
+            ctx.instrumented_checking_blocks()
+        ),
+    )
+    for finding in findings:
+        report.fail(finding.format())
+    report.rule_ids = sorted({f.rule_id for f in findings})
     return report
 
 

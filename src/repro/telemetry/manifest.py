@@ -46,6 +46,10 @@ class RunManifest:
     stats: Dict[str, Any]
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     telemetry: Dict[str, Any] = field(default_factory=dict)
+    #: static-analysis section: audit verdict, cost certificate, and the
+    #: static↔dynamic reconciliation result (empty when the producing
+    #: runner had auditing disabled; see :mod:`repro.analysis`)
+    analysis: Dict[str, Any] = field(default_factory=dict)
     source: str = "serial"
     version: int = MANIFEST_VERSION
 

@@ -10,7 +10,11 @@ from typing import FrozenSet, Iterable
 
 from repro.bytecode import BytecodeBuilder, Op
 from repro.cfg import CFG
-from repro.cfg.dataflow import DataflowProblem, solve
+from repro.cfg.dataflow import (
+    DataflowProblem,
+    instrumentation_reachability,
+    solve,
+)
 
 
 class DefinedSlots(DataflowProblem[FrozenSet[int]]):
@@ -95,3 +99,113 @@ class TestForwardSolve:
         in_facts, _ = solve(DefinedSlots(2), cfg)
         # the loop header can be reached without slot 1 being assigned
         assert 1 not in in_facts[cfg.entry]
+
+
+# ---------------------------------------------------------------------------
+# InstrumentationReachability — the auditor's production forward problem
+
+
+class TestInstrumentationReachability:
+    """The may-analysis behind AUD001 (checking-code purity)."""
+
+    def _branchy(self):
+        """entry -> {instrumented arm, clean arm} -> join."""
+        b = BytecodeBuilder("g", num_params=1)
+        els, end = b.new_label("els"), b.new_label("end")
+        b.load(0).jz(els)
+        b.emit(Op.INSTR, ("block", 1))
+        b.jump(end)
+        b.label(els)
+        b.push(0).emit(Op.POP)
+        b.label(end)
+        b.push(0).ret()
+        return CFG.from_function(b.build())
+
+    def test_clean_cfg_has_empty_facts(self):
+        cfg = diamond_with_uneven_stores()
+        reach_in, reach_out = instrumentation_reachability(cfg)
+        assert all(not fact for fact in reach_in.values())
+        assert all(not fact for fact in reach_out.values())
+
+    def test_sites_flow_forward_from_their_block(self):
+        cfg = self._branchy()
+        reach_in, reach_out = instrumentation_reachability(cfg)
+        instrumented = [
+            bid for bid in cfg.reachable()
+            if cfg.block(bid).has_instrumentation()
+        ]
+        assert len(instrumented) == 1
+        (site_bid,) = instrumented
+        # Nothing reaches the instrumented block's entry...
+        assert reach_in[site_bid] == frozenset()
+        # ...but the site is live on its way out, named precisely.
+        (site,) = reach_out[site_bid]
+        assert site.startswith(f"B{site_bid}.")
+        assert site.endswith(":instr")
+
+    def test_may_meet_unions_at_joins(self):
+        cfg = self._branchy()
+        _, reach_out = instrumentation_reachability(cfg)
+        preds = cfg.predecessors_map()
+        join = next(
+            bid for bid, ps in preds.items() if len(ps) == 2
+        )
+        reach_in, _ = instrumentation_reachability(cfg)
+        # May-analysis: the site reaches the join through ONE arm, and
+        # the union meet keeps it (a must-meet would drop it).
+        assert len(reach_in[join]) == 1
+
+    def test_guarded_sites_are_tracked_too(self):
+        b = BytecodeBuilder("h")
+        b.emit(Op.GUARDED_INSTR, ("block", 0))
+        b.push(0).ret()
+        _, reach_out = instrumentation_reachability(
+            CFG.from_function(b.build())
+        )
+        sites = set().union(*reach_out.values())
+        assert any(s.endswith(":guarded_instr") for s in sites)
+
+    def test_loop_body_site_reaches_header_via_backedge(self):
+        b = BytecodeBuilder("k", num_params=1)
+        head, done = b.new_label("head"), b.new_label("done")
+        b.label(head)
+        b.load(0).jz(done)
+        b.emit(Op.INSTR, ("block", 2))
+        b.load(0).push(1).emit(Op.SUB).store(0)
+        b.jump(head)
+        b.label(done)
+        b.push(0).ret()
+        cfg = CFG.from_function(b.build())
+        reach_in, _ = instrumentation_reachability(cfg)
+        # Fixpoint over the backedge: once around the loop, the site
+        # may have executed when control re-reaches the header.
+        assert reach_in[cfg.entry] or reach_in[
+            min(b for b in cfg.reachable() if b != cfg.entry)
+        ]
+
+    def test_checking_projection_is_clean_for_real_transforms(self):
+        from repro.analysis.context import AuditContext
+        from repro.frontend import compile_baseline
+        from repro.instrument import BlockCountInstrumentation
+        from repro.sampling import SamplingFramework, Strategy
+
+        src = """
+        func main() {
+            var acc = 0;
+            for (var i = 0; i < 9; i = i + 1) { acc = acc + i; }
+            print(acc);
+            return acc;
+        }
+        """
+        prog = SamplingFramework(Strategy.FULL_DUPLICATION).transform(
+            compile_baseline(src), BlockCountInstrumentation()
+        )
+        ctx = AuditContext(prog.function("main"))
+        _, reach_out = instrumentation_reachability(ctx.projection)
+        # Over the checking projection every fact is empty (AUD001's
+        # clean case); over the full CFG the duplicated sites show up.
+        assert all(
+            not reach_out[bid] for bid in ctx.checking
+        )
+        _, full_out = instrumentation_reachability(ctx.cfg)
+        assert any(full_out[bid] for bid in ctx.duplicated)

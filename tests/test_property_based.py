@@ -189,3 +189,49 @@ def test_sampled_block_profile_overlaps_perfect(program):
     if stats.samples_taken >= 50:
         overlap = overlap_percentage(perfect.profile, sampled.profile)
         assert overlap >= 60.0
+
+
+BOUND = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+BOUND_STRATEGIES = (
+    Strategy.FULL_DUPLICATION,
+    Strategy.PARTIAL_DUPLICATION,
+    Strategy.NO_DUPLICATION,
+)
+
+
+@BOUND
+@given(programs())
+def test_certificate_bounds_dynamic_checks(program):
+    """The auditor's cost certificate is a true bound: for random
+    programs, every strategy, and sampling rates from every-check to
+    never, the observed check count stays under the static formula and
+    the reconciler agrees."""
+    from repro.analysis import audit_program, reconcile
+    from repro.sampling import NeverTrigger
+
+    baseline = insert_yieldpoints(program)
+    for strategy in BOUND_STRATEGIES:
+        instr = BlockCountInstrumentation()
+        transformed = SamplingFramework(strategy).transform(
+            baseline, instr
+        )
+        report = audit_program(transformed, strategy=strategy.value)
+        assert report.ok, report.render()
+        cert = report.certificate
+        for trigger in (
+            CounterTrigger(1),
+            CounterTrigger(1000),
+            NeverTrigger(),
+        ):
+            instr.reset()
+            stats = run_program(
+                transformed, trigger=trigger, fuel=9_000_000
+            ).stats
+            assert stats.checks_executed <= cert.bound_against(stats)
+            verdict = reconcile(cert, stats)
+            assert verdict.ok, verdict.summary()
