@@ -10,11 +10,14 @@ one-time segment-compilation cost) and records instructions/second per
 engine plus the per-workload and geometric-mean speedup.
 
 Results land in ``BENCH_vm.json`` at the repo root so the numbers have
-a tracked trajectory; CI runs the standalone entry point on one
-workload as a regression tripwire::
+a tracked trajectory; per-workload throughput records are additionally
+appended to the continuous perf-regression ledger
+(``BENCH_history.jsonl``, machine-normalized — docs/PROFILING.md) and
+trend-checked against a rolling baseline. CI runs the standalone entry
+point on one workload as a regression tripwire::
 
     python benchmarks/bench_vm_throughput.py --workload compress \
-        --min-speedup 2.0
+        --min-speedup 2.0 --profiler-gate 2.0
 """
 
 from __future__ import annotations
@@ -27,12 +30,15 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.profiling import LEDGER_FILENAME, PerfLedger, make_record
+from repro.profiling.profiler import OverheadProfiler
 from repro.telemetry import NullRecorder
 from repro.vm.interpreter import VM
 from repro.workloads import all_workloads, get_workload
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_vm.json"
+DEFAULT_LEDGER = REPO_ROOT / LEDGER_FILENAME
 
 #: Best-of-N repeats. Three is enough to absorb the fast engine's
 #: cold-start segment compilation (a few ms, cached process-wide after
@@ -92,6 +98,90 @@ def measure_telemetry_overhead(
         }
     return {
         "repeats": repeats,
+        "workloads": rows,
+        "worst_overhead_pct": round(worst, 2),
+    }
+
+
+#: Gate-measurement shape: each timing sample executes the workload
+#: GATE_BATCH times back to back (longer samples absorb scheduler
+#: jitter that dominates single ~30 ms runs), GATE_PAIRS adjacent
+#: (detached, disabled) sample pairs are taken with the order flipped
+#: every pair, and the reported overhead is the *median* of the
+#: per-pair ratios. On a noisy shared host this statistic holds a ±1%
+#: floor where best-of-N single runs swing ±3% — tight enough for the
+#: 2% gate (docs/PROFILING.md).
+GATE_BATCH = 5
+GATE_PAIRS = 15
+
+
+def measure_profiler_overhead(
+    names: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Fast engine with a disabled self-profiler attached vs detached.
+
+    ``profiler=None`` and an attached-but-disabled
+    :class:`OverheadProfiler` must compile the *same* hook-free
+    superinstruction closures (the engine checks ``prof.enabled`` at
+    compile time), so the disabled path is gated tighter than the
+    null-recorder path (CI uses ``--profiler-gate 2``). Stats identity
+    is asserted, not assumed — a disabled profiler that perturbed
+    execution would invalidate every decomposition report.
+    """
+    workloads = (
+        [get_workload(name) for name in names]
+        if names
+        else list(all_workloads())
+    )
+    rows: Dict[str, Dict] = {}
+    worst = 0.0
+    for wl in workloads:
+        program = wl.compile(None)
+
+        def batch_seconds(attach_profiler):
+            started = time.perf_counter()
+            for _ in range(GATE_BATCH):
+                result = VM(
+                    program,
+                    engine="fast",
+                    profiler=(
+                        OverheadProfiler(enabled=False)
+                        if attach_profiler
+                        else None
+                    ),
+                ).run()
+            return time.perf_counter() - started, result
+
+        ratios = []
+        off_seconds = attached_seconds = 0.0
+        off_result = attached_result = None
+        for pair in range(GATE_PAIRS):
+            if pair % 2:
+                attached, attached_result = batch_seconds(True)
+                off, off_result = batch_seconds(False)
+            else:
+                off, off_result = batch_seconds(False)
+                attached, attached_result = batch_seconds(True)
+            off_seconds += off
+            attached_seconds += attached
+            ratios.append(attached / off)
+        if off_result.stats.as_dict() != attached_result.stats.as_dict():
+            raise AssertionError(
+                f"disabled profiler perturbed execution on {wl.name}"
+            )
+        ratios.sort()
+        median = ratios[len(ratios) // 2]
+        overhead = 100.0 * (median - 1.0)
+        worst = max(worst, overhead)
+        runs = GATE_PAIRS * GATE_BATCH
+        rows[wl.name] = {
+            "detached_seconds": round(off_seconds / runs, 6),
+            "disabled_profiler_seconds": round(attached_seconds / runs, 6),
+            "overhead_pct": round(overhead, 2),
+        }
+    return {
+        "pairs": GATE_PAIRS,
+        "batch": GATE_BATCH,
         "workloads": rows,
         "worst_overhead_pct": round(worst, 2),
     }
@@ -165,6 +255,32 @@ def render(report: Dict) -> str:
     return "\n".join(lines)
 
 
+def ledger_append(report: Dict, ledger: PerfLedger) -> int:
+    """One machine-normalized throughput record per (workload, engine).
+
+    This is the bench's feed into the continuous perf-regression ledger
+    (docs/PROFILING.md): every invocation extends the per-machine-class
+    trajectory that ``repro ledger check`` trends against.
+    """
+    records = []
+    for name, row in report["workloads"].items():
+        for engine in ("reference", "fast"):
+            records.append(
+                make_record(
+                    bench="vm_throughput",
+                    key=f"{name}/{engine}",
+                    metric="instr_per_sec",
+                    value=row[engine]["instr_per_sec"],
+                    meta={
+                        "scale": row["scale"],
+                        "repeats": report["repeats"],
+                        "speedup": row["speedup"],
+                    },
+                )
+            )
+    return ledger.append_many(records)
+
+
 def sweep(save, names: Optional[Sequence[str]] = None) -> Dict:
     report = measure(names)
     save("vm_throughput", render(report))
@@ -209,7 +325,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "exit nonzero if any workload's overhead exceeds PCT percent",
     )
     parser.add_argument(
+        "--profiler-gate",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="also time the fast engine with a disabled self-profiler "
+        "attached; exit nonzero if any workload's overhead exceeds PCT "
+        "percent",
+    )
+    parser.add_argument(
         "--out", default=str(DEFAULT_OUT), help="where to write BENCH_vm.json"
+    )
+    parser.add_argument(
+        "--ledger", default=str(DEFAULT_LEDGER),
+        help="perf-regression ledger to append per-workload records to",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip the BENCH_history.jsonl append and trend check",
     )
     args = parser.parse_args(argv)
 
@@ -236,9 +369,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             failed = True
+    if args.profiler_gate is not None:
+        profiler = measure_profiler_overhead(args.workload)
+        report["profiler"] = profiler
+        for name, row in profiler["workloads"].items():
+            print(
+                f"profiler overhead {name:12s} "
+                f"{row['overhead_pct']:+6.2f}% "
+                f"(detached {row['detached_seconds']:.4f}s, "
+                f"disabled {row['disabled_profiler_seconds']:.4f}s)"
+            )
+        if profiler["worst_overhead_pct"] > args.profiler_gate:
+            print(
+                f"error: disabled-profiler overhead "
+                f"{profiler['worst_overhead_pct']:.2f}% exceeds gate "
+                f"{args.profiler_gate:.2f}%",
+                file=sys.stderr,
+            )
+            failed = True
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[wrote {out}]")
+    if not args.no_ledger:
+        ledger = PerfLedger(args.ledger)
+        appended = ledger_append(report, ledger)
+        print(f"[appended {appended} record(s) to {ledger.path}]")
+        trend = ledger.check()
+        # Warn-only: cross-machine noise makes a hard ledger gate
+        # counterproductive; the CI perf-trend job surfaces the report.
+        for verdict in trend.regressions:
+            print(f"warning: {verdict.summary()}", file=sys.stderr)
     if (
         args.min_speedup is not None
         and report["geomean_speedup"] < args.min_speedup

@@ -36,6 +36,7 @@ from repro.analysis.reconcile import (
     ReconcileVerdict,
     reconcile,
     reconcile_manifest,
+    reconcile_profile,
 )
 from repro.analysis.rules import (
     Rule,
@@ -65,5 +66,6 @@ __all__ = [
     "get_rule",
     "reconcile",
     "reconcile_manifest",
+    "reconcile_profile",
     "run_rules",
 ]

@@ -74,6 +74,45 @@ def reconcile(
     )
 
 
+def reconcile_profile(snapshot: Mapping[str, Any]) -> ReconcileVerdict:
+    """Check an :class:`~repro.profiling.OverheadProfiler` snapshot
+    against its Property-1-style sample bound.
+
+    The profiler drives a counter trigger from the engines' observer
+    boundaries, so the same argument that caps guest samples caps
+    profiler samples: ``samples <= boundaries // interval + 1`` (one
+    in-flight countdown per run). A merged snapshot whose parts
+    disagree on the interval carries ``interval: None`` and cannot be
+    re-checked — that raises, since calling this on such a snapshot is
+    a harness bug, not a bound violation.
+    """
+    interval = snapshot.get("interval")
+    if not interval:
+        raise AnalysisError(
+            "profile snapshot carries no sample interval "
+            "(merged from runs with differing intervals?)"
+        )
+    boundaries = int(snapshot.get("boundaries", 0))
+    samples = int(snapshot.get("samples", 0))
+    # One countdown may be in flight per profiled run; merged snapshots
+    # sum ``runs`` so the slack scales with the number of folds.
+    runs = max(1, int(snapshot.get("runs", 1)))
+    bound = boundaries // int(interval) + runs
+    violations = []
+    if samples > bound:
+        violations.append(
+            f"profiler took {samples} samples but {boundaries} "
+            f"boundaries at interval {interval} admit at most {bound}"
+        )
+    return ReconcileVerdict(
+        ok=not violations,
+        bound=bound,
+        observed=samples,
+        formula="samples <= boundaries // interval + runs",
+        violations=violations,
+    )
+
+
 def reconcile_manifest(manifest) -> ReconcileVerdict:
     """Re-validate an archived :class:`RunManifest` offline.
 

@@ -5,7 +5,9 @@ Commands:
 * ``compile FILE``   — compile MiniJ source; print stats or disassembly.
 * ``run FILE``       — compile and execute; print result, output, stats.
 * ``profile FILE``   — instrument, sample, and report a profile plus its
-  overhead against the uninstrumented baseline.
+  overhead against the uninstrumented baseline; also self-profiles the
+  VM and emits an overhead decomposition with a collapsed-stack flame
+  graph (docs/PROFILING.md).
 * ``adaptive FILE``  — run the sampled-profile-driven optimizer lifecycle.
 * ``workloads``      — list the benchmark suite, or run one member.
 * ``tables``         — regenerate the paper's tables and figures
@@ -23,6 +25,8 @@ Commands:
   (docs/ANALYSIS.md has the rule catalog).
 * ``audit``          — transform, audit, run, and reconcile the dynamic
   counters against the static cost certificate.
+* ``ledger``         — show or trend-check the continuous
+  perf-regression ledger (``BENCH_history.jsonl``).
 
 All commands operate on deterministic simulated execution; see DESIGN.md.
 """
@@ -36,7 +40,13 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.adaptive import AdaptiveController
-from repro.analysis import Severity, Suppressions, audit_program, reconcile
+from repro.analysis import (
+    Severity,
+    Suppressions,
+    audit_program,
+    reconcile,
+    reconcile_profile,
+)
 from repro.bytecode import disassemble_program
 from repro.errors import ReproError
 from repro.frontend import CompileOptions, compile_baseline, compile_source
@@ -54,11 +64,24 @@ from repro.harness import (
 )
 from repro.harness.experiment import make_instrumentations
 from repro.profiles import profile_summary
+from repro.profiling import (
+    DEFAULT_INTERVAL as DEFAULT_PROFILE_INTERVAL,
+    DEFAULT_NOISE_PCT,
+    DEFAULT_WINDOW,
+    LEDGER_FILENAME,
+    OverheadProfiler,
+    PerfLedger,
+    decompose,
+    write_chrome_flame,
+    write_collapsed,
+    write_speedscope,
+)
 from repro.sampling import SamplingFramework, Strategy, make_trigger
 from repro.telemetry import (
     TelemetryRecorder,
     events_to_chrome_trace,
     events_to_jsonl,
+    quantile_from_buckets,
     write_chrome_trace,
     write_jsonl,
 )
@@ -131,13 +154,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _safe_label(label: str) -> str:
+    stem = label.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return "".join(c if c.isalnum() else "-" for c in stem) or "profile"
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
-    program = compile_baseline(_read_source(args.file))
+    program, label = _compile_target(args, "profile")
     base = run_program(program, fuel=args.fuel, engine=args.engine)
 
     kinds = tuple(k.strip() for k in args.instrument.split(",") if k.strip())
     instrumentations = make_instrumentations(kinds)
-    strategy = Strategy(args.strategy)
+    strategy = _resolve_strategy(args.strategy)
     framework = SamplingFramework(
         strategy,
         yieldpoint_opt=args.yieldpoint_opt,
@@ -149,13 +177,21 @@ def cmd_profile(args: argparse.Namespace) -> int:
         trigger = make_trigger("never")
     else:
         trigger = make_trigger(args.trigger, args.interval)
+    profiler = (
+        None
+        if args.no_self_profile
+        else OverheadProfiler(interval=args.profile_interval)
+    )
+    started = time.perf_counter()
     result = run_program(
         transformed,
         trigger=trigger,
         timer_period=args.timer_period,
         fuel=args.fuel,
         engine=args.engine,
+        profiler=profiler,
     )
+    measured_wall = time.perf_counter() - started
     if result.value != base.value:
         print("error: transformed program diverged", file=sys.stderr)
         return 1
@@ -169,6 +205,26 @@ def cmd_profile(args: argparse.Namespace) -> int:
     for instr in instrumentations:
         print()
         print(profile_summary(instr.profile, top_n=args.top))
+    if profiler is not None:
+        snapshot = profiler.snapshot()
+        verdict = reconcile_profile(snapshot)
+        report = decompose(snapshot, measured_wall=measured_wall)
+        print()
+        print(report.render())
+        print(f"sample bound: {verdict.summary()}")
+        stacks_out = args.stacks_out or f"{_safe_label(label)}.collapsed"
+        write_collapsed(snapshot["stacks"], stacks_out)
+        print(f"collapsed stacks -> {stacks_out}")
+        if args.speedscope_out:
+            write_speedscope(
+                snapshot["stacks"], args.speedscope_out, name=label
+            )
+            print(f"speedscope profile -> {args.speedscope_out}")
+        if args.flame_out:
+            write_chrome_flame(snapshot["stacks"], args.flame_out)
+            print(f"chrome flame trace -> {args.flame_out}")
+        if not verdict.ok or not report.reconciles():
+            return 1
     return 0
 
 
@@ -270,11 +326,11 @@ def _compile_target(args: argparse.Namespace, commands: str):
     raise ReproError(f"{commands} need a FILE or --workload NAME")
 
 
-def _telemetry_run(args: argparse.Namespace):
+def _telemetry_run(args: argparse.Namespace, profiler=None):
     """Shared backend for ``trace``, ``metrics`` and ``audit``: compile
     the target, transform it per the requested strategy, and run it with
     a :class:`TelemetryRecorder` attached. Returns (recorder, result,
-    label, transformed, strategy)."""
+    label, transformed, strategy, measured_wall)."""
     program, label = _compile_target(args, "trace/metrics")
 
     strategy = _resolve_strategy(args.strategy)
@@ -288,6 +344,7 @@ def _telemetry_run(args: argparse.Namespace):
     else:
         trigger = make_trigger(args.trigger, args.interval)
     recorder = TelemetryRecorder(capacity=args.capacity)
+    started = time.perf_counter()
     result = run_program(
         transformed,
         trigger=trigger,
@@ -295,12 +352,16 @@ def _telemetry_run(args: argparse.Namespace):
         fuel=args.fuel,
         engine=args.engine,
         recorder=recorder,
+        profiler=profiler,
     )
-    return recorder, result, label, transformed, strategy
+    measured_wall = time.perf_counter() - started
+    return recorder, result, label, transformed, strategy, measured_wall
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    recorder, result, label, _transformed, _strategy = _telemetry_run(args)
+    recorder, result, label, _transformed, _strategy, _wall = (
+        _telemetry_run(args)
+    )
     events = recorder.events()
     if args.out is not None:
         if args.format == "jsonl":
@@ -322,8 +383,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _quantile_suffix(payload) -> str:
+    """p50/p90/p99 rendering for a histogram snapshot payload."""
+    parts = []
+    for q, tag in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+        value = quantile_from_buckets(
+            payload["bounds"], payload["buckets"], payload["count"], q,
+            observed_min=payload["min"], observed_max=payload["max"],
+        )
+        parts.append(f"{tag}={value:.1f}" if value is not None else f"{tag}=-")
+    return " ".join(parts)
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
-    recorder, result, label, transformed, strategy = _telemetry_run(args)
+    profiler = (
+        OverheadProfiler(interval=args.profile_interval)
+        if args.profile_vm
+        else None
+    )
+    recorder, result, label, transformed, strategy, measured_wall = (
+        _telemetry_run(args, profiler=profiler)
+    )
     snapshot = recorder.metrics.snapshot()
     report = audit_program(transformed, strategy=strategy.value, label=label)
     verdict = (
@@ -332,7 +412,13 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         else None
     )
     if args.json:
-        json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+        payload = dict(snapshot)
+        if profiler is not None:
+            payload["vm.self_profile"] = {
+                "type": "profile",
+                "snapshot": profiler.snapshot(),
+            }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
         return 0
     print(f"{label}: {result.stats.cycles} cycles, "
@@ -342,7 +428,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             count, total = payload["count"], payload["sum"]
             mean = total / count if count else 0.0
             print(f"  {key}  count={count} sum={total} mean={mean:.1f} "
-                  f"min={payload['min']} max={payload['max']}")
+                  f"min={payload['min']} max={payload['max']} "
+                  + _quantile_suffix(payload))
         else:
             print(f"  {key}  {payload['value']}")
     print(f"  audit: {report.summary()}")
@@ -352,6 +439,12 @@ def cmd_metrics(args: argparse.Namespace) -> int:
               f"{cert.guarded_sites} guarded site(s); {cert.formula}")
     if verdict is not None:
         print(f"  reconcile: {verdict.summary()}")
+    if profiler is not None:
+        prof_snapshot = profiler.snapshot()
+        prof_verdict = reconcile_profile(prof_snapshot)
+        print()
+        print(decompose(prof_snapshot, measured_wall=measured_wall).render())
+        print(f"sample bound: {prof_verdict.summary()}")
     return 0
 
 
@@ -415,7 +508,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
-    recorder, result, label, transformed, strategy = _telemetry_run(args)
+    recorder, result, label, transformed, strategy, _wall = (
+        _telemetry_run(args)
+    )
     report = audit_program(transformed, strategy=strategy.value, label=label)
     verdict = reconcile(report.certificate, result.stats)
     payload = {
@@ -439,6 +534,45 @@ def cmd_audit(args: argparse.Namespace) -> int:
         if args.out is not None:
             print(f"wrote {args.out}")
     return 0 if report.ok and verdict.ok else 1
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    ledger = PerfLedger(args.ledger)
+    if args.action == "show":
+        records = ledger.records(
+            bench=args.bench, key=args.key, metric=args.metric
+        )
+        if args.json:
+            json.dump(records, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+            return 0
+        if not records:
+            print(f"{ledger.path}: no matching records")
+            return 0
+        for record in records:
+            normalized = record.get("normalized")
+            norm = f" (norm {normalized:.4g})" if normalized else ""
+            print(
+                f"{record.get('ts', '?'):20s} "
+                f"{record.get('bench', '?')}/{record.get('key', '?')}"
+                f"/{record.get('metric', '?')}: "
+                f"{record.get('value', float('nan')):.4g}{norm}"
+            )
+        print(f"{len(records)} record(s) in {ledger.path}")
+        return 0
+    # action == "check"
+    report = ledger.check(window=args.window, noise_pct=args.noise)
+    if args.json:
+        json.dump(
+            [v.as_dict() for v in report.verdicts],
+            sys.stdout, indent=2, sort_keys=True,
+        )
+        sys.stdout.write("\n")
+    else:
+        print(report.render())
+    if report.regressions and not args.warn_only:
+        return 1
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -477,8 +611,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(p)
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("profile", help="instrument, sample, and report")
-    p.add_argument("file")
+    p = sub.add_parser(
+        "profile",
+        help="instrument, sample, report — and self-profile the VM",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="MiniJ source file, or - for stdin")
+    p.add_argument("--workload", default=None,
+                   help="profile a benchmark-suite member instead of a file")
+    p.add_argument("--scale", type=int, default=None)
     p.add_argument(
         "--instrument",
         default="call-edge",
@@ -488,7 +629,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--strategy",
         default="full-duplication",
-        choices=[s.value for s in Strategy],
+        help="transform strategy; canonical names or shorthands "
+        "(full, partial, none, entry, backedge)",
     )
     p.add_argument("--trigger", default="counter",
                    choices=["counter", "timer", "randomized",
@@ -501,6 +643,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--yieldpoint-opt", action="store_true")
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--fuel", type=int, default=100_000_000)
+    p.add_argument(
+        "--profile-interval", type=int, default=DEFAULT_PROFILE_INTERVAL,
+        help="observer boundaries per VM self-profiler sample",
+    )
+    p.add_argument(
+        "--no-self-profile", action="store_true",
+        help="skip the VM overhead decomposition and flame-graph export",
+    )
+    p.add_argument(
+        "--stacks-out", default=None,
+        help="collapsed-stack output path (default <target>.collapsed)",
+    )
+    p.add_argument(
+        "--speedscope-out", default=None,
+        help="also write a speedscope JSON profile",
+    )
+    p.add_argument(
+        "--flame-out", default=None,
+        help="also write a Chrome trace_event flame graph",
+    )
     _add_engine_arg(p)
     p.set_defaults(func=cmd_profile)
 
@@ -624,7 +786,44 @@ def build_parser() -> argparse.ArgumentParser:
         else:
             p.add_argument("--json", action="store_true",
                            help="emit the raw snapshot as JSON")
+            p.add_argument(
+                "--profile-vm", action="store_true",
+                help="attach the VM self-profiler and print the overhead "
+                "decomposition next to the metrics",
+            )
+            p.add_argument(
+                "--profile-interval", type=int,
+                default=DEFAULT_PROFILE_INTERVAL,
+                help="observer boundaries per self-profiler sample",
+            )
         p.set_defaults(func=fn)
+
+    p = sub.add_parser(
+        "ledger",
+        help="inspect or check the continuous perf-regression ledger",
+    )
+    p.add_argument("action", choices=["show", "check"])
+    p.add_argument(
+        "--ledger", default=LEDGER_FILENAME,
+        help=f"ledger path (default ./{LEDGER_FILENAME})",
+    )
+    p.add_argument("--bench", default=None, help="filter: bench name")
+    p.add_argument("--key", default=None, help="filter: series key")
+    p.add_argument("--metric", default=None, help="filter: metric name")
+    p.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help="rolling-baseline depth (median of preceding records)",
+    )
+    p.add_argument(
+        "--noise", type=float, default=DEFAULT_NOISE_PCT,
+        help="noise band in percent; deviations inside it never flag",
+    )
+    p.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI perf-trend mode)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_ledger)
 
     return parser
 

@@ -14,7 +14,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis import AuditReport, Severity, audit_program, reconcile
+from repro.analysis import (
+    AuditReport,
+    Severity,
+    audit_program,
+    reconcile,
+    reconcile_profile,
+)
 from repro.bytecode.program import Program
 from repro.errors import HarnessError
 from repro.harness.baseline_cache import (
@@ -42,6 +48,13 @@ from repro.instrument import (
 )
 from repro.instrument.base import EmptyInstrumentation
 from repro.profiles.profile import Profile
+from repro.profiling.decomposition import decompose
+from repro.profiling.ledger import PerfLedger, make_record, resolve_ledger
+from repro.profiling.profiler import (
+    DEFAULT_INTERVAL as DEFAULT_PROFILE_INTERVAL,
+    OverheadProfiler,
+    merge_snapshots,
+)
 from repro.sampling.framework import SamplingFramework, Strategy, TransformReport
 from repro.sampling.properties import property1_vs_baseline
 from repro.sampling.triggers import make_trigger
@@ -131,6 +144,12 @@ class RunResult:
     #: provenance document when the runner has telemetry enabled
     #: (picklable, so pool workers ship it back with the result)
     manifest: Optional[RunManifest] = None
+    #: VM execution wall time for this cell (the profiled span; excludes
+    #: transform, audit and verification work around the run)
+    vm_seconds: float = 0.0
+    #: self-profiling payload when the runner has profiling enabled:
+    #: {"snapshot", "decomposition", "bound"} — plain dicts, picklable
+    profile: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -184,6 +203,21 @@ class ExperimentRunner:
             ExecStats/profiles — the differential test in
             tests/test_telemetry.py pins this on every workload.
         telemetry_capacity: per-run flight-recorder ring size.
+        profile: attach an :class:`OverheadProfiler` to every configured
+            run: each cell's manifest and :class:`RunResult` carry an
+            overhead-decomposition report reconciled against the cell's
+            VM wall time, and the profiler's Property-1-style sample
+            bound is enforced per cell (violations raise
+            :class:`HarnessError`). Profiling never changes a cell's
+            ExecStats/profiles — pinned by tests/test_profiling.py.
+        profile_interval: boundaries per profiler sample.
+        ledger: continuous perf-regression ledger — a
+            :class:`~repro.profiling.PerfLedger`, a path, or None to
+            enable only when ``$REPRO_LEDGER`` is set. When active, the
+            parent process appends one machine-normalized throughput
+            record per computed cell (pool workers never append — their
+            cells are recorded by the parent, so the ledger sees each
+            cell exactly once).
 
     The runner always keeps a :class:`MetricsRegistry` in
     :attr:`metrics` — harness-level counters (baseline-cache traffic,
@@ -204,6 +238,9 @@ class ExperimentRunner:
         engine: Optional[str] = None,
         telemetry: bool = False,
         telemetry_capacity: int = 65536,
+        profile: bool = False,
+        profile_interval: int = DEFAULT_PROFILE_INTERVAL,
+        ledger: Union[PerfLedger, str, bool, None] = None,
     ):
         self.cost_model = cost_model or CostModel()
         self.fuel = fuel
@@ -215,8 +252,12 @@ class ExperimentRunner:
         self.engine = resolve_engine(engine)
         self.telemetry = bool(telemetry)
         self.telemetry_capacity = telemetry_capacity
+        self.profile = bool(profile)
+        self.profile_interval = profile_interval
+        self.ledger = resolve_ledger(ledger)
         self.metrics = MetricsRegistry()
         self.manifests: List[RunManifest] = []
+        self.profile_snapshots: List[Dict[str, object]] = []
         self._baselines: Dict[Tuple[str, Optional[int]], Tuple[Program, VMResult]] = {}
         self._run_memo: Dict[RunSpec, RunResult] = {}
         self.cell_log: List[CellRecord] = []
@@ -315,6 +356,43 @@ class ExperimentRunner:
         self.manifests.append(manifest)
         self.metrics.merge_snapshot(manifest.metrics)
 
+    def _absorb_profile(self, snapshot: Dict[str, object]) -> None:
+        """Collect one cell's profiler snapshot (serial or shipped back
+        from a pool worker) for the sweep-level merged profile."""
+        self.profile_snapshots.append(snapshot)
+
+    def profile_summary(self) -> Dict[str, object]:
+        """All absorbed cell profiles folded into one snapshot.
+
+        :func:`~repro.profiling.merge_snapshots` is associative and
+        commutative, so the summary is independent of cell order and of
+        how cells were split between the parent and pool workers.
+        """
+        return merge_snapshots(self.profile_snapshots)
+
+    def _ledger_append(self, spec: RunSpec, run_result: RunResult) -> None:
+        """One perf-ledger record per computed cell (parent-side only:
+        pool workers are built without a ledger, so each cell is
+        recorded exactly once, here, when its result lands)."""
+        if self.ledger is None or run_result.vm_seconds <= 0:
+            return
+        stats = run_result.stats
+        self.ledger.append(
+            make_record(
+                bench="harness",
+                key=f"{spec.workload}/{spec.strategy.value}/{self.engine}",
+                metric="vm_instr_per_sec",
+                value=stats.instructions / run_result.vm_seconds,
+                meta={
+                    "trigger": spec.trigger,
+                    "interval": spec.interval,
+                    "instrumentation": list(spec.instrumentation),
+                    "profiled": run_result.profile is not None,
+                },
+            )
+        )
+        self.metrics.counter("harness.ledger.appends").inc()
+
     # -- configured runs ----------------------------------------------------------
 
     def run(self, spec: RunSpec) -> RunResult:
@@ -379,6 +457,12 @@ class ExperimentRunner:
             if self.telemetry
             else None
         )
+        profiler = (
+            OverheadProfiler(interval=self.profile_interval)
+            if self.profile
+            else None
+        )
+        vm_started = time.perf_counter()
         result = VM(
             transformed,
             cost_model=self.cost_model,
@@ -387,7 +471,9 @@ class ExperimentRunner:
             fuel=self.fuel,
             engine=self.engine,
             recorder=recorder,
+            profiler=profiler,
         ).run()
+        vm_seconds = time.perf_counter() - vm_started
 
         if self.check_semantics:
             if result.value != base_result.value or (
@@ -420,6 +506,24 @@ class ExperimentRunner:
                     f"certificate: " + "; ".join(verdict.violations)
                 )
 
+        profile_payload: Optional[Dict[str, object]] = None
+        if profiler is not None:
+            snapshot = profiler.snapshot()
+            prof_verdict = reconcile_profile(snapshot)
+            self.metrics.counter("harness.profile.cells").inc()
+            if not prof_verdict.ok:
+                raise HarnessError(
+                    f"{spec.describe()}: profiler sample bound violated: "
+                    + "; ".join(prof_verdict.violations)
+                )
+            decomposition = decompose(snapshot, measured_wall=vm_seconds)
+            profile_payload = {
+                "snapshot": snapshot,
+                "decomposition": decomposition.as_dict(),
+                "bound": prof_verdict.as_dict(),
+            }
+            self._absorb_profile(snapshot)
+
         profiles = {
             instr.profile.name: instr.profile for instr in instrumentations
         }
@@ -433,6 +537,8 @@ class ExperimentRunner:
             transform_seconds=transform_seconds,
             code_bytes=transformed.total_code_size_bytes(),
             audit=audit_report,
+            vm_seconds=vm_seconds,
+            profile=profile_payload,
         )
         cell_seconds = time.perf_counter() - cell_started
         if recorder is not None:
@@ -465,9 +571,11 @@ class ExperimentRunner:
                     if audit_report is not None
                     else {}
                 ),
+                profiling=profile_payload or {},
             )
             self._absorb_manifest(run_result.manifest)
         self._run_memo[spec] = run_result
+        self._ledger_append(spec, run_result)
         self.cell_log.append(
             CellRecord(
                 label=spec.describe(),
@@ -512,6 +620,10 @@ class ExperimentRunner:
                 if manifest is not None:
                     manifest.source = f"pool:{outcome.worker_pid}"
                     self._absorb_manifest(manifest)
+                profile_payload = outcome.result.profile
+                if profile_payload is not None:
+                    self._absorb_profile(profile_payload["snapshot"])
+                self._ledger_append(spec, outcome.result)
                 self.cell_log.append(
                     CellRecord(
                         label=spec.describe(),

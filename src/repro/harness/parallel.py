@@ -103,6 +103,12 @@ class RunnerConfig:
     engine: str = "fast"
     telemetry: bool = False
     telemetry_capacity: int = 65536
+    #: self-profiling travels to workers; the perf ledger deliberately
+    #: does not — cells computed in a pool are appended by the parent
+    #: (see ExperimentRunner._ledger_append), keeping the append-only
+    #: file single-writer.
+    profile: bool = False
+    profile_interval: int = 64
 
     @classmethod
     def from_runner(cls, runner) -> "RunnerConfig":
@@ -117,6 +123,8 @@ class RunnerConfig:
             engine=runner.engine,
             telemetry=runner.telemetry,
             telemetry_capacity=runner.telemetry_capacity,
+            profile=runner.profile,
+            profile_interval=runner.profile_interval,
         )
 
     def build_runner(self):
@@ -133,6 +141,9 @@ class RunnerConfig:
             engine=self.engine,
             telemetry=self.telemetry,
             telemetry_capacity=self.telemetry_capacity,
+            profile=self.profile,
+            profile_interval=self.profile_interval,
+            ledger=False,
         )
 
 

@@ -1,0 +1,142 @@
+"""Overhead-decomposition reports: component wall time vs measured wall.
+
+A :class:`DecompositionReport` is the per-cell deliverable of the
+self-sampling profiler: how the cell's wall-clock time splits across
+the VM's cost components (see :mod:`repro.profiling.profiler` for the
+component taxonomy). Because each inter-sample delta is attributed to
+exactly one component and the head/tail residue lands in ``runtime``,
+the component sum partitions the profiled span; reconciliation against
+an independently measured wall time only has to absorb clock-call
+jitter, hence the tight default tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.profiling.profiler import COMPONENTS
+
+#: Default reconciliation tolerance: component sum within 5% of the
+#: measured wall time (the acceptance bar in docs/PROFILING.md).
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass
+class DecompositionReport:
+    """Component wall-time split for one profiled span."""
+
+    components: Dict[str, float]
+    sample_counts: Dict[str, int]
+    measured_wall: float
+    samples: int
+    boundaries: int
+    interval: Optional[int]
+    tolerance: float = DEFAULT_TOLERANCE
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def component_sum(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def error_pct(self) -> float:
+        """Signed percent deviation of the component sum from measured
+        wall time (0 when nothing was measured)."""
+        if self.measured_wall <= 0.0:
+            return 0.0
+        return 100.0 * (self.component_sum / self.measured_wall - 1.0)
+
+    def reconciles(self) -> bool:
+        """Component sum within ``tolerance`` of measured wall time."""
+        if self.measured_wall <= 0.0:
+            return False
+        return abs(self.component_sum - self.measured_wall) <= (
+            self.tolerance * self.measured_wall
+        )
+
+    def share(self, component: str) -> float:
+        total = self.component_sum
+        if total <= 0.0:
+            return 0.0
+        return 100.0 * self.components.get(component, 0.0) / total
+
+    def render(self) -> str:
+        lines = [
+            f"overhead decomposition ({self.samples} sample(s) / "
+            f"{self.boundaries} boundaries"
+            + (f", interval {self.interval}" if self.interval else "")
+            + "):",
+            f"  {'component':<12s} {'wall ms':>10s} {'share':>7s} "
+            f"{'samples':>8s}",
+        ]
+        for comp in COMPONENTS:
+            wall = self.components.get(comp, 0.0)
+            count = self.sample_counts.get(comp, 0)
+            if wall == 0.0 and count == 0:
+                continue
+            lines.append(
+                f"  {comp:<12s} {wall * 1000.0:10.3f} "
+                f"{self.share(comp):6.1f}% {count:8d}"
+            )
+        status = "ok" if self.reconciles() else "VIOLATED"
+        lines.append(
+            f"  component sum {self.component_sum * 1000.0:.3f} ms vs "
+            f"measured {self.measured_wall * 1000.0:.3f} ms "
+            f"({self.error_pct:+.2f}%; tolerance "
+            f"{self.tolerance * 100.0:.0f}%): {status}"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "components": dict(self.components),
+            "sample_counts": dict(self.sample_counts),
+            "measured_wall": self.measured_wall,
+            "component_sum": self.component_sum,
+            "error_pct": self.error_pct,
+            "reconciles": self.reconciles(),
+            "samples": self.samples,
+            "boundaries": self.boundaries,
+            "interval": self.interval,
+            "tolerance": self.tolerance,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DecompositionReport":
+        return cls(
+            components=dict(payload["components"]),
+            sample_counts=dict(payload.get("sample_counts", {})),
+            measured_wall=payload["measured_wall"],
+            samples=payload.get("samples", 0),
+            boundaries=payload.get("boundaries", 0),
+            interval=payload.get("interval"),
+            tolerance=payload.get("tolerance", DEFAULT_TOLERANCE),
+            extra=dict(payload.get("extra", {})),
+        )
+
+
+def decompose(
+    snapshot: Dict[str, Any],
+    measured_wall: Optional[float] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> DecompositionReport:
+    """Build a report from a profiler snapshot.
+
+    ``measured_wall`` is an *independent* wall-time measurement of the
+    same span (the harness times ``VM.run()`` from outside); ``None``
+    falls back to the profiler's own elapsed clock, which reconciles
+    trivially and is only useful for rendering.
+    """
+    if measured_wall is None:
+        measured_wall = snapshot.get("elapsed_seconds", 0.0)
+    return DecompositionReport(
+        components=dict(snapshot.get("wall_seconds", {})),
+        sample_counts=dict(snapshot.get("sample_counts", {})),
+        measured_wall=measured_wall,
+        samples=snapshot.get("samples", 0),
+        boundaries=snapshot.get("boundaries", 0),
+        interval=snapshot.get("interval"),
+        tolerance=tolerance,
+    )

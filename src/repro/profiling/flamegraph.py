@@ -1,0 +1,158 @@
+"""Flame-graph exporters for profiler stack samples.
+
+Three interchange formats over the same input — the ``stacks`` table of
+an :class:`~repro.profiling.profiler.OverheadProfiler` snapshot, mapping
+``"root;...;leaf"`` strings to ``[samples, wall_seconds]``:
+
+* **collapsed** — Brendan Gregg's folded-stack lines (``a;b;c 42``),
+  consumable by ``flamegraph.pl``, speedscope, and most flame tooling;
+* **speedscope** — a ``sampled`` speedscope JSON profile
+  (https://www.speedscope.app/file-format-schema.json), weights in
+  milliseconds of attributed wall time;
+* **Chrome trace_event** — complete ("X") slices laid out sequentially
+  per stack, one nested slice per frame, so ``chrome://tracing`` /
+  Perfetto renders a left-heavy flame graph next to the telemetry
+  traces exported by :mod:`repro.telemetry.exporters`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+Stacks = Mapping[str, Sequence]
+
+
+def _rows(stacks: Stacks) -> List[Tuple[Tuple[str, ...], int, float]]:
+    """Normalized (frames, samples, wall) rows in deterministic order."""
+    rows = []
+    for key, cell in sorted(stacks.items()):
+        frames = tuple(f for f in key.split(";") if f) or ("(unknown)",)
+        samples = int(cell[0])
+        wall = float(cell[1]) if len(cell) > 1 else 0.0
+        rows.append((frames, samples, wall))
+    return rows
+
+
+# -- collapsed stacks --------------------------------------------------------
+
+
+def stacks_to_collapsed(stacks: Stacks) -> str:
+    """Folded-stack lines: ``root;..;leaf <samples>``, one per context."""
+    return "".join(
+        f"{';'.join(frames)} {samples}\n"
+        for frames, samples, _wall in _rows(stacks)
+    )
+
+
+def write_collapsed(
+    stacks: Stacks, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(stacks_to_collapsed(stacks), encoding="utf-8")
+    return path
+
+
+# -- speedscope --------------------------------------------------------------
+
+
+def stacks_to_speedscope(stacks: Stacks, name: str = "repro") -> Dict:
+    """A single ``sampled`` speedscope profile; weights are milliseconds
+    of attributed wall time (samples when no wall was recorded)."""
+    frame_index: Dict[str, int] = {}
+    frames: List[Dict[str, str]] = []
+    samples: List[List[int]] = []
+    weights: List[float] = []
+    for stack, count, wall in _rows(stacks):
+        indexed = []
+        for frame in stack:
+            idx = frame_index.get(frame)
+            if idx is None:
+                idx = frame_index[frame] = len(frames)
+                frames.append({"name": frame})
+            indexed.append(idx)
+        samples.append(indexed)
+        weights.append(wall * 1000.0 if wall > 0.0 else float(count))
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "repro.profiling",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "milliseconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "activeProfileIndex": 0,
+    }
+
+
+def write_speedscope(
+    stacks: Stacks, path: Union[str, pathlib.Path], name: str = "repro"
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(stacks_to_speedscope(stacks, name=name), indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def stacks_to_chrome_flame(stacks: Stacks, name: str = "repro") -> Dict:
+    """Synthesize a timeline from aggregated stacks: contexts are laid
+    end to end (width = attributed wall time in µs, or sample count when
+    no wall was recorded) with one nested ``X`` slice per frame."""
+    trace: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": f"{name} (vm self-profile)"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "aggregated stacks"}},
+    ]
+    cursor = 0.0
+    for frames, count, wall in _rows(stacks):
+        width = wall * 1e6 if wall > 0.0 else float(count)
+        for frame in frames:
+            trace.append(
+                {
+                    "name": frame,
+                    "ph": "X",
+                    "ts": cursor,
+                    "dur": width,
+                    "pid": 1,
+                    "tid": 0,
+                    "cat": "vm-profile",
+                    "args": {"samples": count},
+                }
+            )
+        cursor += width
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"layout": "aggregated stacks, not a real timeline"},
+    }
+
+
+def write_chrome_flame(
+    stacks: Stacks, path: Union[str, pathlib.Path], name: str = "repro"
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(stacks_to_chrome_flame(stacks, name=name), indent=1)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path

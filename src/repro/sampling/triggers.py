@@ -43,6 +43,14 @@ bit-identical to the reference interpreter's. Fused superinstructions
 never skip, reorder, or batch trigger polls. Any new trigger must keep
 ``poll()`` free of engine-visible side effects beyond its own counters,
 or the two engines could diverge.
+
+Triggers are also reused *outside* guest sampling: the self-sampling
+overhead profiler (:mod:`repro.profiling`) drives a private
+:class:`CounterTrigger` from the engines' observer boundaries to sample
+the host VM itself. The same Property-1-style cap applies there —
+:meth:`Trigger.sample_bound` states it once, as a pure function of the
+trigger's own counters, and :func:`repro.analysis.reconcile_profile`
+checks it after every profiled run.
 """
 
 from __future__ import annotations
@@ -88,6 +96,17 @@ class Trigger:
 
     def enable(self) -> None:
         self.enabled = True
+
+    def sample_bound(self) -> Optional[int]:
+        """Property-1-style cap on samples as a function of polls:
+        for interval-based triggers, at most one sample per ``interval``
+        polls plus the in-flight countdown. ``None`` when the trigger
+        has no interval (timer/never triggers derive no counter bound).
+        """
+        interval = getattr(self, "interval", None)
+        if not interval:
+            return None
+        return self.checks_polled // interval + 1
 
 
 class NeverTrigger(Trigger):

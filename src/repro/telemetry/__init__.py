@@ -26,6 +26,7 @@ from repro.telemetry.events import (
     event_from_dict,
 )
 from repro.telemetry.exporters import (
+    HARNESS_TID,
     events_to_chrome_trace,
     events_to_jsonl,
     read_jsonl,
@@ -46,6 +47,7 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     metric_key,
+    quantile_from_buckets,
 )
 from repro.telemetry.recorder import (
     NullRecorder,
@@ -60,6 +62,7 @@ __all__ = [
     "DUP_EXIT",
     "EVENT_KINDS",
     "GC_PAUSE",
+    "HARNESS_TID",
     "RECOMPILE",
     "SAMPLE_FIRED",
     "THREAD_SWITCH",
@@ -80,6 +83,7 @@ __all__ = [
     "events_to_jsonl",
     "load_manifest",
     "metric_key",
+    "quantile_from_buckets",
     "read_jsonl",
     "recompile_decision",
     "spec_as_dict",

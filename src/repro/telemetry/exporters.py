@@ -63,6 +63,23 @@ def read_jsonl(path: Union[str, pathlib.Path]) -> List[Event]:
 #: Instant/duration phases used below: "i" instant, "X" complete slice,
 #: "C" counter, "M" metadata.
 
+#: Viewer thread id for events without a green thread (``Event.tid``
+#: -1: harness annotations, VM-level timer machinery). A dedicated
+#: track keeps them from masquerading as green-thread 0 activity.
+HARNESS_TID = 9999
+
+
+def _viewer_tid(tid: int) -> int:
+    return tid if tid >= 0 else HARNESS_TID
+
+
+def _thread_label(tid: int) -> str:
+    if tid == HARNESS_TID:
+        return "vm/harness"
+    if tid == 0:
+        return "main (tid 0)"
+    return f"green-thread {tid}"
+
 
 def _instant(event: Event, name: str) -> Dict[str, object]:
     args = dict(event.data)
@@ -75,7 +92,7 @@ def _instant(event: Event, name: str) -> Dict[str, object]:
         "ph": "i",
         "ts": event.cycles,
         "pid": 1,
-        "tid": max(event.tid, 0),
+        "tid": _viewer_tid(event.tid),
         "s": "t",  # thread-scoped instant
         "cat": event.kind,
         "args": args,
@@ -99,7 +116,7 @@ def events_to_chrome_trace(
     open_dup: Dict[int, Event] = {}
 
     for event in events:
-        tid = max(event.tid, 0)
+        tid = _viewer_tid(event.tid)
         tids.add(tid)
         kind = event.kind
         if kind == DUP_ENTER:
@@ -156,6 +173,9 @@ def events_to_chrome_trace(
             "args": {"name": label},
         }
     )
+    # One thread_name + thread_sort_index metadata pair per viewer
+    # thread: spawned green threads group under their own named tracks
+    # in tid order, with the harness track pinned to the bottom.
     for tid in sorted(tids):
         trace.append(
             {
@@ -163,7 +183,16 @@ def events_to_chrome_trace(
                 "ph": "M",
                 "pid": 1,
                 "tid": tid,
-                "args": {"name": f"green-thread {tid}"},
+                "args": {"name": _thread_label(tid)},
+            }
+        )
+        trace.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"sort_index": tid},
             }
         )
     return {

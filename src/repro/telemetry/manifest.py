@@ -50,6 +50,10 @@ class RunManifest:
     #: static↔dynamic reconciliation result (empty when the producing
     #: runner had auditing disabled; see :mod:`repro.analysis`)
     analysis: Dict[str, Any] = field(default_factory=dict)
+    #: self-profiling section: the overhead profiler's snapshot, its
+    #: decomposition report, and the sample-bound verdict (empty when
+    #: the producing runner had profiling disabled; docs/PROFILING.md)
+    profiling: Dict[str, Any] = field(default_factory=dict)
     source: str = "serial"
     version: int = MANIFEST_VERSION
 

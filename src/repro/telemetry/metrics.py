@@ -122,6 +122,29 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantiles(
+        self, qs: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> Dict[float, Optional[float]]:
+        """Estimate quantiles from the bucket counts.
+
+        Estimates interpolate within the containing bucket (Prometheus
+        ``histogram_quantile`` style), clamped to the observed
+        ``min``/``max`` so single-bucket distributions do not smear
+        across the whole bucket span. Values landing in the +Inf
+        overflow bucket report the observed ``max`` — the only finite
+        statement the histogram can make about them. An empty histogram
+        maps every quantile to None.
+        """
+        out: Dict[float, Optional[float]] = {}
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ReproError(f"quantile must be in [0, 1], got {q}")
+            out[q] = quantile_from_buckets(
+                self.bounds, self.bucket_counts, self.count, q,
+                observed_min=self.min, observed_max=self.max,
+            )
+        return out
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "type": "histogram",
@@ -132,6 +155,52 @@ class Histogram:
             "bounds": list(self.bounds),
             "buckets": list(self.bucket_counts),
         }
+
+
+def quantile_from_buckets(
+    bounds: Sequence[Union[int, float]],
+    bucket_counts: Sequence[int],
+    count: int,
+    q: float,
+    observed_min: Optional[Union[int, float]] = None,
+    observed_max: Optional[Union[int, float]] = None,
+) -> Optional[float]:
+    """The *q*-quantile implied by histogram buckets (None when empty).
+
+    Works on snapshot dicts as well as live instruments: pass the
+    ``bounds``/``buckets``/``count`` fields of a histogram's
+    ``as_dict()`` form. Linear interpolation inside the containing
+    bucket; the +Inf overflow bucket collapses to ``observed_max``
+    (else the last finite bound) since its upper edge is unbounded.
+    """
+    if count <= 0:
+        return None
+    rank = q * count
+    cumulative = 0
+    for i, n in enumerate(bucket_counts):
+        if n <= 0:
+            continue
+        if cumulative + n < rank:
+            cumulative += n
+            continue
+        if i >= len(bounds):  # overflow bucket
+            if observed_max is not None:
+                return float(observed_max)
+            return float(bounds[-1]) if bounds else None
+        lower = float(bounds[i - 1]) if i > 0 else 0.0
+        upper = float(bounds[i])
+        if observed_min is not None:
+            lower = max(lower, float(observed_min))
+        if observed_max is not None:
+            upper = min(upper, float(observed_max))
+        if upper <= lower:
+            return float(upper)
+        fraction = (rank - cumulative) / n
+        return lower + fraction * (upper - lower)
+    # rank beyond the recorded mass (q == 1.0 with rounding): the max.
+    if observed_max is not None:
+        return float(observed_max)
+    return float(bounds[-1]) if bounds else None
 
 
 Instrument = Union[Counter, Gauge, Histogram]

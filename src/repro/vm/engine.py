@@ -1350,4 +1350,68 @@ class FastEngine:
                     handlers[head], tuple(counts.items())
                 )
 
+        # VM self-profiling (repro.profiling): like telemetry, a
+        # compile-time decision — with no enabled profiler attached not
+        # a single profiling branch is compiled.  With one, every
+        # segment head is wrapped so the profiler polls its counter
+        # exactly once per observer boundary, classified by the
+        # segment's breaker op.  CHECK/GUARDED firing is detected from
+        # the stats deltas the inner handler produced, so the wrappers
+        # never re-poll the VM's own sampling trigger.
+        prof = vm.profiler
+        if prof is not None and prof.enabled:
+            p_boundary = prof.boundary
+            p_check = prof.check_boundary
+            p_guarded = prof.guarded_boundary
+
+            def wrap_plain(inner, comp, PC, OP):
+                def h(stack, locals_):
+                    p_boundary(
+                        comp, fn_name, PC, OP, eng.frames, eng.thread.tid
+                    )
+                    return inner(stack, locals_)
+                return h
+
+            def wrap_check(inner, PC):
+                def h(stack, locals_):
+                    taken = stats.checks_taken
+                    nxt = inner(stack, locals_)
+                    p_check(
+                        stats.checks_taken != taken, fn_name, PC,
+                        eng.frames, eng.thread.tid,
+                    )
+                    return nxt
+                return h
+
+            def wrap_guarded(inner, PC):
+                def h(stack, locals_):
+                    taken = stats.guarded_checks_taken
+                    nxt = inner(stack, locals_)
+                    p_guarded(
+                        stats.guarded_checks_taken != taken, fn_name, PC,
+                        eng.frames, eng.thread.tid,
+                    )
+                    return nxt
+                return h
+
+            for (s, e) in segments:
+                head = head_index[s]
+                op0 = ops[s]
+                if op0 == _CHECK:
+                    handlers[head] = wrap_check(handlers[head], s)
+                elif op0 == _GUARDED_INSTR:
+                    handlers[head] = wrap_guarded(handlers[head], s)
+                elif op0 == _INSTR:
+                    handlers[head] = wrap_plain(
+                        handlers[head], "payload", s, op0
+                    )
+                elif op0 == _YIELDPOINT:
+                    handlers[head] = wrap_plain(
+                        handlers[head], "poll", s, op0
+                    )
+                else:
+                    handlers[head] = wrap_plain(
+                        handlers[head], "dispatch", s, op0
+                    )
+
         return handlers

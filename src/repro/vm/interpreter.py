@@ -84,6 +84,10 @@ _CHECK = int(Op.CHECK)
 _INSTR = int(Op.INSTR)
 _GUARDED_INSTR = int(Op.GUARDED_INSTR)
 
+#: Ops with their own profiler boundary classification; everything else
+#: reports a generic "dispatch" boundary (see repro.profiling).
+_PROF_SPECIAL = frozenset({_CHECK, _GUARDED_INSTR, _INSTR, _YIELDPOINT})
+
 _LCG_A = 6364136223846793005
 _LCG_C = 1442695040888963407
 _LCG_MASK = (1 << 64) - 1
@@ -129,6 +133,14 @@ class VM:
             docs/OBSERVABILITY.md).  ``None`` (the default) compiles /
             dispatches with no telemetry branches at all; both engines
             emit identical event streams for the same program+trigger.
+        profiler: a :class:`repro.profiling.OverheadProfiler` sampling
+            the *host* interpreter at the same observer boundaries
+            (docs/PROFILING.md).  ``None`` or a disabled profiler is a
+            compile-time decision exactly like ``recorder=None``: the
+            fast engine builds hook-free closures, so the disabled path
+            costs nothing.  Profiling reads VM state but never writes
+            it — ExecStats/events/profiles are bit-identical with or
+            without a profiler attached.
     """
 
     def __init__(
@@ -142,6 +154,7 @@ class VM:
         record_opcode_counts: bool = False,
         engine: Optional[str] = None,
         recorder=None,
+        profiler=None,
     ):
         self.program = program
         self.engine = resolve_engine(engine)
@@ -151,6 +164,7 @@ class VM:
         self.fuel = fuel
         self.max_stack_depth = max_stack_depth
         self.recorder = recorder
+        self.profiler = profiler
         self.stats = ExecStats(record_opcode_counts)
         self.output: List[Value] = []
         self.threads: List[GreenThread] = []
@@ -173,31 +187,44 @@ class VM:
         # The entry thread counts as one method entry (threads_spawned
         # feeds the Property-1 opportunity count).
         main_thread = self._spawn_thread(entry, [])
-        if self.engine == "fast":
-            run_one = FastEngine(self).run_thread
-        else:
-            run_one = self._run_thread
-        rec = self.recorder
-        index = 0
-        while True:
-            runnable = [t for t in self.threads if not t.done]
-            if not runnable:
-                break
-            index %= len(runnable)
-            thread = runnable[index]
-            switched = run_one(thread)
-            if thread.done or not switched:
-                # Thread finished (or ran dry): move on without charging
-                # a switch.
-                index += 1
+        prof = self.profiler
+        if prof is not None and not prof.enabled:
+            prof = None
+        if prof is not None:
+            # The profiled span opens before engine construction so
+            # fast-engine compilation is inside it: every wall second of
+            # run() is attributed to some component (docs/PROFILING.md).
+            prof.start()
+        try:
+            if self.engine == "fast":
+                run_one = FastEngine(self).run_thread
             else:
-                self.stats.thread_switches += 1
-                self.stats.cycles += self.cost_model.thread_switch_cost
-                if rec is not None:
-                    # This scheduler loop is shared by both engines, so
-                    # the event is engine-identical by construction.
-                    rec.thread_switch(self.stats.cycles, thread.tid)
-                index += 1
+                run_one = self._run_thread
+            rec = self.recorder
+            index = 0
+            while True:
+                runnable = [t for t in self.threads if not t.done]
+                if not runnable:
+                    break
+                index %= len(runnable)
+                thread = runnable[index]
+                switched = run_one(thread)
+                if thread.done or not switched:
+                    # Thread finished (or ran dry): move on without
+                    # charging a switch.
+                    index += 1
+                else:
+                    self.stats.thread_switches += 1
+                    self.stats.cycles += self.cost_model.thread_switch_cost
+                    if rec is not None:
+                        # This scheduler loop is shared by both engines,
+                        # so the event is engine-identical by
+                        # construction.
+                        rec.thread_switch(self.stats.cycles, thread.tid)
+                    index += 1
+        finally:
+            if prof is not None:
+                prof.stop()
         return VMResult(
             value=main_thread.result if main_thread.result is not None else 0,
             output=self.output,
@@ -252,6 +279,17 @@ class VM:
         stats = self.stats
         output = self.output
         rec = self.recorder
+        # Self-profiling hooks are hoisted like the recorder's: one
+        # predictable branch per instruction when disabled, classified
+        # boundary reports when enabled (repro.profiling). Hooks only
+        # *read* VM state, so stats/events stay bit-identical either
+        # way. Boundary granularity is engine-specific by design — this
+        # ladder reports every instruction, the fast engine one boundary
+        # per fused segment — so profiler sample counts are comparable
+        # only within one engine.
+        prof = self.profiler
+        if prof is not None and not prof.enabled:
+            prof = None
         tid = thread.tid
         fuel = self.fuel
         max_depth = self.max_stack_depth
@@ -296,6 +334,10 @@ class VM:
                 self._threadswitch_bit = True
             if opcode_counts is not None:
                 opcode_counts[op] = opcode_counts.get(op, 0) + 1
+            if prof is not None and op not in _PROF_SPECIAL:
+                prof.boundary(
+                    "dispatch", frame.function.name, pc, op, frames, tid
+                )
             pc += 1
 
             if op == _LOAD:
@@ -393,13 +435,29 @@ class VM:
                             cycles, tid, frame.function.name, pc - 1,
                             True, ins.arg,
                         )
+                    if prof is not None:
+                        prof.check_boundary(
+                            True, frame.function.name, pc - 1, frames, tid
+                        )
                     pc = ins.arg
-                elif rec is not None:
-                    # Unfired checks are still observer boundaries: the
-                    # recorder uses them to close duplicated-code spans.
-                    rec.check(cycles, tid, frame.function.name, pc - 1, False)
+                else:
+                    if rec is not None:
+                        # Unfired checks are still observer boundaries:
+                        # the recorder uses them to close
+                        # duplicated-code spans.
+                        rec.check(
+                            cycles, tid, frame.function.name, pc - 1, False
+                        )
+                    if prof is not None:
+                        prof.check_boundary(
+                            False, frame.function.name, pc - 1, frames, tid
+                        )
             elif op == _YIELDPOINT:
                 stats.yieldpoints_executed += 1
+                if prof is not None:
+                    prof.boundary(
+                        "poll", frame.function.name, pc - 1, op, frames, tid
+                    )
                 if self._threadswitch_bit:
                     self._threadswitch_bit = False
                     if any(
@@ -413,6 +471,11 @@ class VM:
                 action = ins.arg
                 cycles += action.cost
                 stats.instr_ops_executed += 1
+                if prof is not None:
+                    prof.boundary(
+                        "payload", frame.function.name, pc - 1, op,
+                        frames, tid,
+                    )
                 frame.pc = pc
                 action.execute(self, frame)
             elif op == _GUARDED_INSTR:
@@ -426,8 +489,16 @@ class VM:
                         rec.guarded_fired(
                             cycles, tid, frame.function.name, pc - 1
                         )
+                    if prof is not None:
+                        prof.guarded_boundary(
+                            True, frame.function.name, pc - 1, frames, tid
+                        )
                     frame.pc = pc
                     action.execute(self, frame)
+                elif prof is not None:
+                    prof.guarded_boundary(
+                        False, frame.function.name, pc - 1, frames, tid
+                    )
             elif op == _CALL:
                 callee = program_functions[ins.arg]
                 stats.calls += 1
