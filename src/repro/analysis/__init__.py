@@ -21,6 +21,7 @@ Entry points:
 from repro.analysis.auditor import (
     STRATEGY_MISMATCH_RULE,
     AuditReport,
+    IncrementalCertifier,
     audit_function,
     audit_program,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "CostCertificate",
     "Finding",
     "FunctionCostBound",
+    "IncrementalCertifier",
     "ReconcileVerdict",
     "Rule",
     "Severity",

@@ -17,7 +17,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.analysis.context import EXHAUSTIVE, AuditContext
-from repro.analysis.cost import CostCertificate, build_certificate
+from repro.analysis.cost import (
+    CostCertificate,
+    FunctionCostBound,
+    build_certificate,
+    function_cost_bound,
+)
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import Suppressions, run_rules
 from repro.bytecode.function import Function
@@ -160,3 +165,184 @@ def audit_program(
         report.label, strategy or EXHAUSTIVE, contexts
     )
     return report
+
+
+class IncrementalCertifier:
+    """Certificate maintenance for dynamically growing programs.
+
+    A program with loadables changes its function table mid-run
+    (``LOADFN``/``REPLACEFN``), so the certificate audited before the
+    run stops describing the code that actually executed. The certifier
+    subscribes to the VM's code-event stream (:meth:`attach`, via
+    ``VM.on_code_event``) and, at every load/replace event, audits
+    **only the arriving function** and folds its
+    :class:`FunctionCostBound` into the running per-function state — a
+    certificate *delta*, not a from-scratch rebuild.
+
+    Two certificates come out the other end:
+
+    * :meth:`snapshot` — the bounds of the functions *currently*
+      installed. By construction this equals a from-scratch
+      :func:`audit_program` of the final program (the delta-vs-rebuild
+      reconciliation the tests assert).
+    * :meth:`dynamic_certificate` — the snapshot's functions under
+      **monotone** ``cpe``/``cpb`` coefficients: the maximum over every
+      version that was ever installed (and the pre-run seed). Retired
+      versions executed checks before they were swapped out, so
+      validating a run's counters against the *final* coefficients
+      alone would be unsound — e.g. replacing a checked body with a
+      check-free one must not retroactively assert
+      ``checks_executed == 0``. Coefficients only ever grow, exactly
+      like the run's counters.
+
+    Every event also runs the full placement-rule set over the arriving
+    function; findings ride on the event record, and :attr:`ok` is
+    False if any event introduced an ERROR-severity finding.
+    """
+
+    def __init__(self, strategy: Optional[str] = None, label: str = "program"):
+        self.strategy = strategy
+        self.label = label
+        self._bounds: Dict[str, FunctionCostBound] = {}
+        self._floor_cpe = 0
+        self._floor_cpb = 0
+        self.events: List[Dict[str, Any]] = []
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        strategy: Optional[str] = None,
+        label: str = "program",
+    ) -> "IncrementalCertifier":
+        """Seed the certifier with the program's pre-run function table
+        (the same per-function facts :func:`audit_program` derives)."""
+        certifier = cls(strategy=strategy, label=label)
+        for name in program.function_names():
+            fn = program.function(name)
+            certifier._bounds[name] = certifier._audit_one(fn)
+        certifier._raise_floor()
+        return certifier
+
+    def attach(self, vm) -> "IncrementalCertifier":
+        """Subscribe to *vm*'s load/replace event stream."""
+        vm.on_code_event = self.on_event
+        return self
+
+    # -- event stream ----------------------------------------------------
+
+    def on_event(
+        self, kind: str, name: str, template: str, fn: Function
+    ) -> None:
+        """Fold one load/replace event into the running certificate.
+
+        Matches the ``VM.on_code_event`` signature: *kind* is ``"load"``
+        or ``"replace"``, *fn* is the function actually installed (the
+        instrumented body when a loader transformed the template).
+        """
+        ctx = AuditContext(
+            fn, strategy=str(fn.notes.get("sampling", EXHAUSTIVE))
+        )
+        findings = run_rules(ctx)
+        bound = function_cost_bound(ctx)
+        previous = self._bounds.get(name)
+        self._bounds[name] = bound
+        self._raise_floor()
+        self.events.append(
+            {
+                "kind": kind,
+                "function": name,
+                "template": template,
+                "strategy": ctx.strategy,
+                "bound": bound.as_dict(),
+                "previous_bound": (
+                    previous.as_dict() if previous is not None else None
+                ),
+                "findings": [f.as_dict() for f in findings],
+                "errors": sum(
+                    1 for f in findings if f.severity >= Severity.ERROR
+                ),
+                "checks_per_entry": self._floor_cpe,
+                "checks_per_backedge": self._floor_cpb,
+            }
+        )
+
+    # -- certificates ----------------------------------------------------
+
+    def snapshot(self) -> CostCertificate:
+        """Certificate of the currently installed function table —
+        bit-equal to a from-scratch audit of the final program."""
+        functions = [self._bounds[n] for n in sorted(self._bounds)]
+        has_entry = any(
+            f.entry_checks > 0 or f.residual_checks > 0 for f in functions
+        )
+        has_backedge = any(
+            f.backedge_checks > 0 or f.residual_checks > 0
+            for f in functions
+        )
+        return CostCertificate(
+            label=self.label,
+            strategy=self.strategy or EXHAUSTIVE,
+            checks_per_entry=1 if has_entry else 0,
+            checks_per_backedge=1 if has_backedge else 0,
+            functions=functions,
+        )
+
+    def dynamic_certificate(self) -> CostCertificate:
+        """The snapshot under the monotone coefficient floor — the
+        certificate a run's :class:`ExecStats` must be validated
+        against (retired function versions executed checks too)."""
+        snap = self.snapshot()
+        return CostCertificate(
+            label=snap.label,
+            strategy=snap.strategy,
+            checks_per_entry=max(snap.checks_per_entry, self._floor_cpe),
+            checks_per_backedge=max(
+                snap.checks_per_backedge, self._floor_cpb
+            ),
+            functions=snap.functions,
+        )
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return all(event["errors"] == 0 for event in self.events)
+
+    @property
+    def loads(self) -> int:
+        return sum(1 for e in self.events if e["kind"] == "load")
+
+    @property
+    def replaces(self) -> int:
+        return sum(1 for e in self.events if e["kind"] == "replace")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Manifest payload (``analysis["incremental"]``)."""
+        return {
+            "ok": self.ok,
+            "loads": self.loads,
+            "replaces": self.replaces,
+            "events": list(self.events),
+            "certificate": self.snapshot().as_dict(),
+            "dynamic_certificate": self.dynamic_certificate().as_dict(),
+        }
+
+    # -- helpers ---------------------------------------------------------
+
+    def _audit_one(self, fn: Function) -> FunctionCostBound:
+        ctx = AuditContext(
+            fn, strategy=str(fn.notes.get("sampling", EXHAUSTIVE))
+        )
+        return function_cost_bound(ctx)
+
+    def _raise_floor(self) -> None:
+        bounds = self._bounds.values()
+        if any(f.entry_checks > 0 or f.residual_checks > 0 for f in bounds):
+            self._floor_cpe = 1
+        if any(
+            f.backedge_checks > 0 or f.residual_checks > 0 for f in bounds
+        ):
+            self._floor_cpb = 1

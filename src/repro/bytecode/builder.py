@@ -107,6 +107,28 @@ class BytecodeBuilder:
     def putfield(self, class_name: str, field: str) -> "BytecodeBuilder":
         return self.emit(Op.PUTFIELD, (class_name, field))
 
+    def loadfn(self, loadable_name: str) -> "BytecodeBuilder":
+        """Load a registered loadable; pushes 1 if newly loaded, else 0."""
+        return self.emit(Op.LOADFN, loadable_name)
+
+    def replacefn(self, target: str, template: str) -> "BytecodeBuilder":
+        """Replace *target*'s body with loadable *template*; pushes 1 if
+        the swap happened, 0 if *template* was already installed."""
+        return self.emit(Op.REPLACEFN, (target, template))
+
+    def osrpoint(self, osr_id: int) -> "BytecodeBuilder":
+        """An on-stack-replacement landing point (stack must be empty)."""
+        return self.emit(Op.OSRPOINT, osr_id)
+
+    def try_(self, handler: Label) -> "BytecodeBuilder":
+        return self.emit(Op.TRY, handler)
+
+    def endtry(self) -> "BytecodeBuilder":
+        return self.emit(Op.ENDTRY)
+
+    def throw(self) -> "BytecodeBuilder":
+        return self.emit(Op.THROW)
+
     # -- finalization -------------------------------------------------------
 
     def current_pc(self) -> int:

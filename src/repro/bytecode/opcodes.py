@@ -85,24 +85,48 @@ class Op(enum.IntEnum):
     INSTR = enum.auto()           # arg: InstrumentationAction; always runs it
     GUARDED_INSTR = enum.auto()   # arg: action; runs it only on sample trigger
 
+    # -- dynamic code / exceptions (appended: opcode numbers are stable) ----
+    LOADFN = enum.auto()     # arg: loadable name        [] -> [loaded?]
+    REPLACEFN = enum.auto()  # arg: (target, template)   [] -> [replaced?]
+    OSRPOINT = enum.auto()   # arg: osr id; frame remap point    [] -> []
+    TRY = enum.auto()        # arg: handler target; pushes a handler record
+    ENDTRY = enum.auto()     # pops the innermost handler record
+    THROW = enum.auto()      # pops v, unwinds to the innermost handler
+
 
 #: Opcodes whose ``arg`` is a branch target (a ``Label`` before
-#: linearization, an absolute pc afterwards).
-BRANCH_OPS: FrozenSet[Op] = frozenset({Op.JUMP, Op.JZ, Op.JNZ, Op.CHECK})
+#: linearization, an absolute pc afterwards). TRY's target is its
+#: handler entry: never *jumped* to directly, but resolved, retargeted
+#: and relocated exactly like a branch target.
+BRANCH_OPS: FrozenSet[Op] = frozenset(
+    {Op.JUMP, Op.JZ, Op.JNZ, Op.CHECK, Op.TRY}
+)
 
 #: Branches that fall through when not taken (everything but JUMP).
 CONDITIONAL_BRANCH_OPS: FrozenSet[Op] = frozenset({Op.JZ, Op.JNZ, Op.CHECK})
 
 #: Opcodes that terminate a basic block.
 BLOCK_TERMINATORS: FrozenSet[Op] = frozenset(
-    {Op.JUMP, Op.JZ, Op.JNZ, Op.RETURN, Op.HALT, Op.CHECK}
+    {Op.JUMP, Op.JZ, Op.JNZ, Op.RETURN, Op.HALT, Op.CHECK, Op.TRY, Op.THROW}
 )
 
 #: Opcodes that never fall through to the next instruction.
-UNCONDITIONAL_EXITS: FrozenSet[Op] = frozenset({Op.JUMP, Op.RETURN, Op.HALT})
+UNCONDITIONAL_EXITS: FrozenSet[Op] = frozenset(
+    {Op.JUMP, Op.RETURN, Op.HALT, Op.THROW}
+)
 
 #: Opcodes that reference a function by name in ``arg``.
 FUNCTION_REF_OPS: FrozenSet[Op] = frozenset({Op.CALL, Op.SPAWN})
+
+#: Opcodes that load or replace guest code at runtime. A program
+#: containing any of these has an *open* function table: engines must
+#: resolve callees by name and compile lazily (see docs/VM_PERF.md).
+DYNAMIC_CODE_OPS: FrozenSet[Op] = frozenset(
+    {Op.LOADFN, Op.REPLACEFN, Op.OSRPOINT}
+)
+
+#: Guest exception-handling opcodes.
+EXCEPTION_OPS: FrozenSet[Op] = frozenset({Op.TRY, Op.ENDTRY, Op.THROW})
 
 #: Opcodes that reference ``(class, field)`` in ``arg``.
 FIELD_REF_OPS: FrozenSet[Op] = frozenset({Op.GETFIELD, Op.PUTFIELD})
@@ -150,6 +174,12 @@ STACK_EFFECTS: Dict[Op, Tuple[int, int]] = {
     Op.CHECK: (0, 0),
     Op.INSTR: (0, 0),
     Op.GUARDED_INSTR: (0, 0),
+    Op.LOADFN: (0, 1),
+    Op.REPLACEFN: (0, 1),
+    Op.OSRPOINT: (0, 0),
+    Op.TRY: (0, 0),
+    Op.ENDTRY: (0, 0),
+    Op.THROW: (1, 0),
 }
 STACK_EFFECTS.update({op: (2, 1) for op in _BINARY_OPS})
 

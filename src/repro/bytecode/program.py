@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.bytecode.function import Function
 from repro.bytecode.klass import Klass
@@ -10,13 +10,22 @@ from repro.errors import BytecodeError
 
 
 class Program:
-    """A closed set of functions and classes with a designated entry.
+    """A set of functions and classes with a designated entry.
 
     Programs are the unit handed to the verifier, the sampling framework
     (which maps instrumented functions to transformed replacements) and
     the VM. Transforms produce a *new* Program and never mutate their
     input, so a harness can run baseline and transformed variants of the
     same workload side by side.
+
+    The function table is *closed* for classic workloads, but programs
+    may also carry **loadables**: verified function templates that are
+    not yet part of the table. ``LOADFN``/``REPLACEFN`` materialize a
+    loadable at runtime via :meth:`define_at_runtime`; when a
+    :attr:`loader` is attached (by the sampling framework or exhaustive
+    instrumentation), the materialized body is instrumented at load
+    time so dynamically-arriving code is covered by the same transform
+    as the statically-known functions.
     """
 
     def __init__(
@@ -24,14 +33,26 @@ class Program:
         functions: Optional[Iterable[Function]] = None,
         classes: Optional[Iterable[Klass]] = None,
         entry: str = "main",
+        loadables: Optional[Iterable[Function]] = None,
     ):
         self.functions: Dict[str, Function] = {}
         self.classes: Dict[str, Klass] = {}
         self.entry = entry
+        #: Function templates loadable at runtime, keyed by template name.
+        self.loadables: Dict[str, Function] = {}
+        #: Instrument-at-load hook: ``loader.load(template, name, program)``
+        #: returns the (transformed) function to install. None means
+        #: templates are installed as verified verbatim copies.
+        self.loader: Optional[object] = None
+        #: Which template is currently installed under each dynamic name
+        #: (makes LOADFN/REPLACEFN idempotent per template).
+        self._installed_template: Dict[str, str] = {}
         for fn in functions or ():
             self.add_function(fn)
         for kl in classes or ():
             self.add_class(kl)
+        for fn in loadables or ():
+            self.define_loadable(fn)
 
     # -- construction ------------------------------------------------------
 
@@ -45,11 +66,98 @@ class Program:
             raise BytecodeError(f"duplicate class {kl.name!r}")
         self.classes[kl.name] = kl
 
+    def define_loadable(self, fn: Function) -> None:
+        """Register a template that LOADFN/REPLACEFN can materialize."""
+        if fn.name in self.loadables:
+            raise BytecodeError(f"duplicate loadable {fn.name!r}")
+        self.loadables[fn.name] = fn
+
     def replace_function(self, fn: Function) -> None:
         """Swap in a transformed body for an existing function name."""
         if fn.name not in self.functions:
             raise BytecodeError(f"no function {fn.name!r} to replace")
         self.functions[fn.name] = fn
+
+    # -- dynamic code ------------------------------------------------------
+
+    def resolve_callable(self, name: str) -> Optional[Function]:
+        """The function *name* resolves to for arity purposes: installed
+        functions first, then not-yet-loaded templates."""
+        fn = self.functions.get(name)
+        if fn is not None:
+            return fn
+        return self.loadables.get(name)
+
+    def is_dynamic(self) -> bool:
+        """True when the function table can change at runtime (any
+        loadables registered, or any dynamic-code opcode present)."""
+        if self.loadables:
+            return True
+        from repro.bytecode.opcodes import DYNAMIC_CODE_OPS
+
+        return any(
+            ins.op in DYNAMIC_CODE_OPS
+            for fn in self.functions.values()
+            for ins in fn.code
+        )
+
+    def define_at_runtime(
+        self, template_name: str, target: Optional[str] = None
+    ) -> Tuple[Function, bool]:
+        """Materialize loadable *template_name*, optionally replacing
+        *target*'s body, and return ``(installed_fn, changed)``.
+
+        * LOADFN path (``target is None``): installs the template under
+          its own name; a second load of the same template is a no-op.
+        * REPLACEFN path: swaps *target*'s body for the template
+          (arities must match); replacing with the already-installed
+          template is a no-op. The old :class:`Function` object is left
+          untouched — live frames keep executing it until they reach an
+          OSR point, and engine-side compiled code dies with it.
+
+        When a :attr:`loader` is attached the installed body is produced
+        by ``loader.load`` (instrument-at-load); otherwise the template
+        is copied and verified against this program.
+        """
+        template = self.loadables.get(template_name)
+        if template is None:
+            raise BytecodeError(f"no loadable template {template_name!r}")
+        name = target if target is not None else template_name
+        if target is None:
+            if name in self.functions:
+                return self.functions[name], False
+        else:
+            current = self.functions.get(target)
+            if current is None:
+                raise BytecodeError(
+                    f"REPLACEFN target {target!r} is not loaded"
+                )
+            if current.num_params != template.num_params:
+                raise BytecodeError(
+                    f"cannot replace {target!r} "
+                    f"({current.num_params} params) with template "
+                    f"{template_name!r} ({template.num_params} params)"
+                )
+            if self._installed_template.get(target) == template_name:
+                return current, False
+        if self.loader is not None:
+            fn = self.loader.load(template, name, self)
+        else:
+            from repro.bytecode.verifier import verify_function
+
+            fn = template.copy(name=name)
+            verify_function(fn, self)
+        if target is None:
+            self.add_function(fn)
+        else:
+            self.replace_function(fn)
+        self._installed_template[name] = template_name
+        return fn, True
+
+    def installed_template(self, name: str) -> Optional[str]:
+        """The template currently installed under *name* (None if the
+        function was never dynamically defined)."""
+        return self._installed_template.get(name)
 
     # -- lookup --------------------------------------------------------------
 
@@ -74,12 +182,17 @@ class Program:
     # -- whole-program views ---------------------------------------------------
 
     def copy(self) -> "Program":
-        """Deep-copy functions (classes are immutable and shared)."""
+        """Deep-copy functions and loadables (classes are immutable and
+        shared; the loader, which is stateless, is shared too)."""
         prog = Program(entry=self.entry)
         for fn in self.functions.values():
             prog.add_function(fn.copy())
         for kl in self.classes.values():
             prog.add_class(kl)
+        for fn in self.loadables.values():
+            prog.define_loadable(fn.copy())
+        prog.loader = self.loader
+        prog._installed_template = dict(self._installed_template)
         return prog
 
     def total_instructions(self) -> int:
@@ -98,12 +211,45 @@ class Program:
 
         if self.entry not in self.functions:
             raise BytecodeError(f"entry function {self.entry!r} missing")
-        for fn in self.functions.values():
+        checked = list(self.functions.values()) + list(self.loadables.values())
+        for fn in checked:
             for pc, ins in enumerate(fn.code):
-                if ins.op in FUNCTION_REF_OPS and ins.arg not in self.functions:
+                if ins.op in FUNCTION_REF_OPS and (
+                    ins.arg not in self.functions
+                    and ins.arg not in self.loadables
+                ):
                     raise BytecodeError(
                         f"{fn.name}@{pc}: call to unknown function {ins.arg!r}"
                     )
+                if ins.op == Op.LOADFN and ins.arg not in self.loadables:
+                    raise BytecodeError(
+                        f"{fn.name}@{pc}: LOADFN of unknown loadable "
+                        f"{ins.arg!r}"
+                    )
+                if ins.op == Op.REPLACEFN:
+                    target, template_name = ins.arg
+                    if (
+                        target not in self.functions
+                        and target not in self.loadables
+                    ):
+                        raise BytecodeError(
+                            f"{fn.name}@{pc}: REPLACEFN of unknown function "
+                            f"{target!r}"
+                        )
+                    template = self.loadables.get(template_name)
+                    if template is None:
+                        raise BytecodeError(
+                            f"{fn.name}@{pc}: REPLACEFN with unknown "
+                            f"template {template_name!r}"
+                        )
+                    replaced = self.resolve_callable(target)
+                    if replaced.num_params != template.num_params:
+                        raise BytecodeError(
+                            f"{fn.name}@{pc}: REPLACEFN arity mismatch: "
+                            f"{target!r} has {replaced.num_params} params, "
+                            f"template {template_name!r} has "
+                            f"{template.num_params}"
+                        )
                 if ins.op == Op.NEW and ins.arg not in self.classes:
                     raise BytecodeError(
                         f"{fn.name}@{pc}: NEW of unknown class {ins.arg!r}"

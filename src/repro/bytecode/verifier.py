@@ -42,11 +42,28 @@ def _effect(
     """(pops, pushes) for this instruction, resolving call arities."""
     if op in (Op.CALL, Op.SPAWN):
         if program is not None:
-            callee = program.functions.get(arg)
+            # Resolve against installed functions *or* loadable
+            # templates: verification is re-entrant, so a function
+            # registered (or loaded) after program construction can be
+            # verified against callees that are themselves not yet
+            # materialized.
+            callee = program.resolve_callable(arg)
             if callee is None:
                 _fail(fn, pc, f"call to unknown function {arg!r}")
             return (callee.num_params, 1)
         # Without a program we cannot know arity; assume a legal call.
+        return (0, 1)
+    if op == Op.LOADFN:
+        if program is not None and arg not in program.loadables:
+            _fail(fn, pc, f"LOADFN of unknown loadable {arg!r}")
+        return (0, 1)
+    if op == Op.REPLACEFN:
+        if program is not None:
+            target, template = arg
+            if program.loadables.get(template) is None:
+                _fail(fn, pc, f"REPLACEFN with unknown template {template!r}")
+            if program.resolve_callable(target) is None:
+                _fail(fn, pc, f"REPLACEFN of unknown function {target!r}")
         return (0, 1)
     if op == Op.RETURN:
         return (1, 0)
@@ -92,6 +109,12 @@ def verify_function(fn: Function, program: Optional[Program] = None) -> Dict[int
                     0 <= ins.arg < fn.num_locals
                 ):
                     _fail(fn, pc, f"local slot {ins.arg!r} out of range")
+            if op == Op.OSRPOINT and depth != 0:
+                _fail(
+                    fn, pc,
+                    f"OSRPOINT requires an empty operand stack, depth "
+                    f"{depth}",
+                )
             pops, pushes = _effect(fn, pc, op, ins.arg, program)
             if depth < pops:
                 _fail(
@@ -99,6 +122,14 @@ def verify_function(fn: Function, program: Optional[Program] = None) -> Dict[int
                     f"stack underflow: {op.name} pops {pops}, depth {depth}",
                 )
             depth = depth - pops + pushes
+            if op == Op.TRY:
+                # The handler entry observes the depth recorded at TRY
+                # time plus the thrown value: unwinding truncates the
+                # operand stack back to that depth before the push.
+                target = ins.arg
+                if not isinstance(target, int) or not (0 <= target < n):
+                    _fail(fn, pc, f"bad handler target {target!r}")
+                worklist.append((target, depth + 1))
             if op in UNCONDITIONAL_EXITS or op == Op.HALT:
                 if op == Op.JUMP:
                     target = ins.arg
@@ -125,4 +156,9 @@ def verify_program(program: Program) -> None:
             f"entry function {entry.name!r} must take 0 parameters"
         )
     for fn in program.functions.values():
+        verify_function(fn, program)
+    # Loadable templates are verified up front too, against the open
+    # table (their callees may themselves be unmaterialized loadables),
+    # so a LOADFN at runtime can never install unverifiable code.
+    for fn in program.loadables.values():
         verify_function(fn, program)

@@ -8,6 +8,8 @@ from repro.cfg.basic_block import (
     Halt,
     Return,
     Terminator,
+    Throw,
+    TryBranch,
 )
 from repro.cfg.dataflow import LivenessProblem, liveness, solve
 from repro.cfg.dominators import DominatorTree, immediate_dominators
@@ -31,6 +33,8 @@ __all__ = [
     "Goto",
     "CondBranch",
     "CheckBranch",
+    "TryBranch",
+    "Throw",
     "Return",
     "Halt",
     "DominatorTree",

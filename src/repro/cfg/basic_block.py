@@ -12,6 +12,9 @@ Terminator kinds:
 * :class:`CheckBranch` — the framework's sample check: transfers to
   ``taken`` (duplicated code) when the sample condition fires, otherwise
   falls through. Lowered to the ``CHECK`` opcode.
+* :class:`TryBranch` — TRY: records a handler edge, then falls through.
+* :class:`Throw` — THROW: unwinds to the innermost handler (no static
+  successors, like a return).
 * :class:`Return` / :class:`Halt` — function / thread exit.
 """
 
@@ -109,6 +112,54 @@ class CheckBranch(Terminator):
 
     def __repr__(self) -> str:
         return f"check B{self.taken} else B{self.fallthrough}"
+
+
+class TryBranch(Terminator):
+    """TRY: push a handler record for ``handler``, then fall through.
+
+    Control never transfers to ``handler`` here — only a THROW inside
+    the protected region does — but the edge is kept in the CFG so the
+    handler stays reachable, clones retarget it, and layout places it.
+    """
+
+    __slots__ = ("handler", "fallthrough")
+
+    def __init__(self, handler: int, fallthrough: int):
+        self.handler = handler
+        self.fallthrough = fallthrough
+
+    def successors(self) -> Tuple[int, ...]:
+        return (self.handler, self.fallthrough)
+
+    def retarget(self, old: int, new: int) -> None:
+        if self.handler == old:
+            self.handler = new
+        if self.fallthrough == old:
+            self.fallthrough = new
+
+    def copy(self) -> "TryBranch":
+        return TryBranch(self.handler, self.fallthrough)
+
+    def __repr__(self) -> str:
+        return f"try B{self.handler} else B{self.fallthrough}"
+
+
+class Throw(Terminator):
+    """THROW: pops the thrown value and unwinds; no static successors."""
+
+    __slots__ = ()
+
+    def successors(self) -> Tuple[int, ...]:
+        return ()
+
+    def retarget(self, old: int, new: int) -> None:
+        pass
+
+    def copy(self) -> "Throw":
+        return Throw()
+
+    def __repr__(self) -> str:
+        return "throw"
 
 
 class Return(Terminator):

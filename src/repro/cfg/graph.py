@@ -21,6 +21,8 @@ from repro.cfg.basic_block import (
     Halt,
     Return,
     Terminator,
+    Throw,
+    TryBranch,
 )
 from repro.errors import CFGError
 
@@ -70,13 +72,13 @@ class CFG:
         leaders: Set[int] = {0}
         for pc, ins in enumerate(code):
             op = ins.op
-            if op in (Op.JUMP, Op.JZ, Op.JNZ, Op.CHECK):
+            if op in (Op.JUMP, Op.JZ, Op.JNZ, Op.CHECK, Op.TRY):
                 if not isinstance(ins.arg, int) or not 0 <= ins.arg < n:
                     raise CFGError(f"{fn.name}@{pc}: bad branch target")
                 leaders.add(ins.arg)
                 if pc + 1 < n:
                     leaders.add(pc + 1)
-            elif op in (Op.RETURN, Op.HALT):
+            elif op in (Op.RETURN, Op.HALT, Op.THROW):
                 if pc + 1 < n:
                     leaders.add(pc + 1)
 
@@ -113,6 +115,16 @@ class CFG:
                 block.terminator = CheckBranch(
                     pc_to_block[last.arg].bid, pc_to_block[end].bid
                 )
+            elif op == Op.TRY:
+                body_end = end - 1
+                if end >= n:
+                    raise CFGError(f"{fn.name}: TRY at end of code")
+                block.terminator = TryBranch(
+                    pc_to_block[last.arg].bid, pc_to_block[end].bid
+                )
+            elif op == Op.THROW:
+                body_end = end - 1
+                block.terminator = Throw()
             elif op == Op.RETURN:
                 body_end = end - 1
                 block.terminator = Return()

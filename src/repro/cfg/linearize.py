@@ -15,7 +15,15 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.bytecode.function import Function
 from repro.bytecode.instructions import Instruction
 from repro.bytecode.opcodes import Op
-from repro.cfg.basic_block import CheckBranch, CondBranch, Goto, Halt, Return
+from repro.cfg.basic_block import (
+    CheckBranch,
+    CondBranch,
+    Goto,
+    Halt,
+    Return,
+    Throw,
+    TryBranch,
+)
 from repro.cfg.graph import CFG
 from repro.cfg.traversal import reverse_postorder
 from repro.errors import CFGError
@@ -34,7 +42,7 @@ def layout_order(cfg: CFG, cold_blocks: Optional[Set[int]] = None) -> List[int]:
 
     def preferred_next(bid: int) -> Optional[int]:
         term = cfg.block(bid).terminator
-        if isinstance(term, (CondBranch, CheckBranch)):
+        if isinstance(term, (CondBranch, CheckBranch, TryBranch)):
             return term.fallthrough
         if isinstance(term, Goto):
             return term.target
@@ -104,6 +112,14 @@ def linearize(
             if term.fallthrough != next_bid:
                 fixups.append((len(code), term.fallthrough))
                 code.append(Instruction(Op.JUMP, -1))
+        elif isinstance(term, TryBranch):
+            fixups.append((len(code), term.handler))
+            code.append(Instruction(Op.TRY, -1))
+            if term.fallthrough != next_bid:
+                fixups.append((len(code), term.fallthrough))
+                code.append(Instruction(Op.JUMP, -1))
+        elif isinstance(term, Throw):
+            code.append(Instruction(Op.THROW))
         elif isinstance(term, Return):
             code.append(Instruction(Op.RETURN))
         elif isinstance(term, Halt):

@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence
 
 from repro.adaptive import AdaptiveController
 from repro.analysis import (
+    IncrementalCertifier,
     Severity,
     Suppressions,
     audit_program,
@@ -85,7 +86,7 @@ from repro.telemetry import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.vm import run_program
+from repro.vm import VM, run_program
 from repro.workloads import all_workloads, get_workload
 
 _TABLES = {
@@ -329,8 +330,10 @@ def _compile_target(args: argparse.Namespace, commands: str):
 def _telemetry_run(args: argparse.Namespace, profiler=None):
     """Shared backend for ``trace``, ``metrics`` and ``audit``: compile
     the target, transform it per the requested strategy, and run it with
-    a :class:`TelemetryRecorder` attached. Returns (recorder, result,
-    label, transformed, strategy, measured_wall)."""
+    a :class:`TelemetryRecorder` attached. Dynamic targets (programs
+    with loadables) additionally get an :class:`IncrementalCertifier`
+    subscribed to the load/replace event stream. Returns (recorder,
+    result, label, transformed, strategy, measured_wall, certifier)."""
     program, label = _compile_target(args, "trace/metrics")
 
     strategy = _resolve_strategy(args.strategy)
@@ -344,8 +347,12 @@ def _telemetry_run(args: argparse.Namespace, profiler=None):
     else:
         trigger = make_trigger(args.trigger, args.interval)
     recorder = TelemetryRecorder(capacity=args.capacity)
-    started = time.perf_counter()
-    result = run_program(
+    certifier = None
+    if transformed.is_dynamic():
+        certifier = IncrementalCertifier.from_program(
+            transformed, strategy=strategy.value, label=label
+        )
+    vm = VM(
         transformed,
         trigger=trigger,
         timer_period=args.timer_period,
@@ -354,12 +361,17 @@ def _telemetry_run(args: argparse.Namespace, profiler=None):
         recorder=recorder,
         profiler=profiler,
     )
+    if certifier is not None:
+        certifier.attach(vm)
+    started = time.perf_counter()
+    result = vm.run()
     measured_wall = time.perf_counter() - started
-    return recorder, result, label, transformed, strategy, measured_wall
+    return recorder, result, label, transformed, strategy, measured_wall, \
+        certifier
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    recorder, result, label, _transformed, _strategy, _wall = (
+    recorder, result, label, _transformed, _strategy, _wall, _certifier = (
         _telemetry_run(args)
     )
     events = recorder.events()
@@ -401,16 +413,16 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         if args.profile_vm
         else None
     )
-    recorder, result, label, transformed, strategy, measured_wall = (
-        _telemetry_run(args, profiler=profiler)
-    )
+    recorder, result, label, transformed, strategy, measured_wall, \
+        certifier = _telemetry_run(args, profiler=profiler)
     snapshot = recorder.metrics.snapshot()
     report = audit_program(transformed, strategy=strategy.value, label=label)
-    verdict = (
-        reconcile(report.certificate, result.stats)
-        if report.certificate is not None
-        else None
-    )
+    if certifier is not None:
+        verdict = reconcile(certifier.dynamic_certificate(), result.stats)
+    elif report.certificate is not None:
+        verdict = reconcile(report.certificate, result.stats)
+    else:
+        verdict = None
     if args.json:
         payload = dict(snapshot)
         if profiler is not None:
@@ -439,6 +451,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
               f"{cert.guarded_sites} guarded site(s); {cert.formula}")
     if verdict is not None:
         print(f"  reconcile: {verdict.summary()}")
+    if certifier is not None:
+        print(f"  incremental: {certifier.loads} load(s), "
+              f"{certifier.replaces} replace(s), "
+              f"{'ok' if certifier.ok else 'FAILED'}")
     if profiler is not None:
         prof_snapshot = profiler.snapshot()
         prof_verdict = reconcile_profile(prof_snapshot)
@@ -508,15 +524,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
-    recorder, result, label, transformed, strategy, _wall = (
+    recorder, result, label, transformed, strategy, _wall, certifier = (
         _telemetry_run(args)
     )
     report = audit_program(transformed, strategy=strategy.value, label=label)
-    verdict = reconcile(report.certificate, result.stats)
+    if certifier is not None:
+        # Dynamic target: validate against the incrementally maintained
+        # certificate — loaded code may carry checks the pre-run audit
+        # never saw.
+        verdict = reconcile(certifier.dynamic_certificate(), result.stats)
+    else:
+        verdict = reconcile(report.certificate, result.stats)
     payload = {
         "report": report.as_dict(),
         "verdict": verdict.as_dict(),
         "stats": result.stats.as_dict(),
+        "incremental": (
+            certifier.as_dict() if certifier is not None else None
+        ),
     }
     if args.out is not None:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -530,10 +555,19 @@ def cmd_audit(args: argparse.Namespace) -> int:
         cert = report.certificate
         print(f"certificate: {cert.static_checks} static check(s), "
               f"{cert.guarded_sites} guarded site(s); {cert.formula}")
+        if certifier is not None:
+            dyn = certifier.dynamic_certificate()
+            print(f"incremental: {certifier.loads} load(s), "
+                  f"{certifier.replaces} replace(s), "
+                  f"{len(certifier.events)} event(s), "
+                  f"{'ok' if certifier.ok else 'FAILED'}; {dyn.formula}")
         print(f"reconcile: {verdict.summary()}")
         if args.out is not None:
             print(f"wrote {args.out}")
-    return 0 if report.ok and verdict.ok else 1
+    ok = report.ok and verdict.ok
+    if certifier is not None:
+        ok = ok and certifier.ok
+    return 0 if ok else 1
 
 
 def cmd_ledger(args: argparse.Namespace) -> int:

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import (
     AuditReport,
+    IncrementalCertifier,
     Severity,
     audit_program,
     reconcile,
@@ -440,6 +441,18 @@ class ExperimentRunner:
                     + audit_report.render()
                 )
 
+        # Dynamic programs change their function table mid-run, so the
+        # pre-run certificate stops describing the executed code: an
+        # incremental certifier audits every loaded/replaced function at
+        # its load event and maintains the certificate by deltas.
+        certifier: Optional[IncrementalCertifier] = None
+        if self.audit and transformed.is_dynamic():
+            certifier = IncrementalCertifier.from_program(
+                transformed,
+                strategy=spec.strategy.value,
+                label=spec.describe(),
+            )
+
         seed_used: Optional[int] = spec.seed
         if spec.trigger == "counter" and spec.phase:
             trigger = make_trigger(spec.trigger, spec.interval, phase=spec.phase)
@@ -463,7 +476,7 @@ class ExperimentRunner:
             else None
         )
         vm_started = time.perf_counter()
-        result = VM(
+        vm = VM(
             transformed,
             cost_model=self.cost_model,
             trigger=trigger,
@@ -472,7 +485,10 @@ class ExperimentRunner:
             engine=self.engine,
             recorder=recorder,
             profiler=profiler,
-        ).run()
+        )
+        if certifier is not None:
+            certifier.attach(vm)
+        result = vm.run()
         vm_seconds = time.perf_counter() - vm_started
 
         if self.check_semantics:
@@ -494,7 +510,27 @@ class ExperimentRunner:
                     f"bound={base_result.stats.check_opportunities})"
                 )
         verdict = None
-        if audit_report is not None and audit_report.certificate is not None:
+        if certifier is not None:
+            # Dynamic programs are reconciled against the incrementally
+            # maintained certificate: code loaded mid-run can introduce
+            # checks the pre-run (static) certificate never promised.
+            if not certifier.ok:
+                raise HarnessError(
+                    f"{spec.describe()}: dynamically loaded code failed "
+                    f"its audit ({certifier.loads} load(s), "
+                    f"{certifier.replaces} replace(s))"
+                )
+            verdict = reconcile(certifier.dynamic_certificate(), result.stats)
+            self.metrics.counter("harness.audit.reconciled").inc()
+            if not verdict.ok:
+                self.metrics.counter(
+                    "harness.audit.reconcile_violations"
+                ).inc(len(verdict.violations))
+                raise HarnessError(
+                    f"{spec.describe()}: run contradicts its incremental "
+                    f"cost certificate: " + "; ".join(verdict.violations)
+                )
+        elif audit_report is not None and audit_report.certificate is not None:
             verdict = reconcile(audit_report.certificate, result.stats)
             self.metrics.counter("harness.audit.reconciled").inc()
             if not verdict.ok:
@@ -566,6 +602,11 @@ class ExperimentRunner:
                         ),
                         "verdict": (
                             verdict.as_dict() if verdict is not None else None
+                        ),
+                        "incremental": (
+                            certifier.as_dict()
+                            if certifier is not None
+                            else None
                         ),
                     }
                     if audit_report is not None

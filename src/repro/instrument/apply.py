@@ -9,11 +9,33 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.bytecode.function import Function
 from repro.bytecode.program import Program
-from repro.bytecode.verifier import verify_program
+from repro.bytecode.verifier import verify_function, verify_program
 from repro.cfg.graph import CFG
 from repro.cfg.linearize import linearize
 from repro.instrument.base import Instrumentation
+
+
+class ExhaustiveLoader:
+    """Instrument-at-load hook for exhaustively instrumented programs:
+    templates materialized by LOADFN/REPLACEFN get the same INSTR
+    operations as the statically instrumented functions."""
+
+    def __init__(self, instrumentation: Instrumentation, verify: bool = True):
+        self.instrumentation = instrumentation
+        self.verify = verify
+
+    def load(self, template: Function, name: str, program: Program) -> Function:
+        fn = template.copy(name=name)
+        cfg = CFG.from_function(fn)
+        self.instrumentation.instrument_cfg(cfg, program)
+        out = linearize(
+            cfg, notes={"instrumentation": self.instrumentation.kind}
+        )
+        if self.verify:
+            verify_function(out, program)
+        return out
 
 
 def instrument_program(
@@ -35,6 +57,7 @@ def instrument_program(
         instrumentation.instrument_cfg(cfg, result)
         fn = linearize(cfg, notes={"instrumentation": instrumentation.kind})
         result.replace_function(fn)
+    result.loader = ExhaustiveLoader(instrumentation, verify)
     if verify:
         verify_program(result)
     return result

@@ -87,6 +87,40 @@ class TransformReport:
         return self.instructions_after / self.instructions_before
 
 
+class RuntimeLoader:
+    """Instrument-at-load hook for dynamically arriving code.
+
+    Attached to every transformed program by
+    :meth:`SamplingFramework.transform`; when the running program
+    executes ``LOADFN``/``REPLACEFN``, :meth:`Program.define_at_runtime`
+    hands the raw template here and installs what :meth:`load` returns —
+    so functions that arrive mid-run get exactly the same checks,
+    duplicated bodies, and instrumentation hooks as the statically
+    transformed code, and Property 1 keeps holding over the grown
+    program.  The loader is stateless (framework config plus the shared
+    instrumentation object), so program copies can share it.
+    """
+
+    def __init__(
+        self,
+        framework: "SamplingFramework",
+        instrumentation: Optional[Instrumentation],
+    ):
+        self.framework = framework
+        self.instrumentation = instrumentation
+
+    def load(self, template: Function, name: str, program: Program) -> Function:
+        fn = template.copy(name=name)
+        transformed = self.framework.transform_function(
+            fn, program, self.instrumentation
+        )
+        if self.framework.verify:
+            from repro.bytecode.verifier import verify_function
+
+            verify_function(transformed, program)
+        return transformed
+
+
 class SamplingFramework:
     """Applies a sampling strategy to instrumented programs.
 
@@ -156,6 +190,10 @@ class SamplingFramework:
             report.instructions_after += transformed.instruction_count()
             report.functions_transformed += 1
             result.replace_function(transformed)
+        # Dynamically loaded code must be transformed the same way the
+        # static functions were: route the program's load events back
+        # through this framework (instrument-at-load).
+        result.loader = RuntimeLoader(self, instr)
         if self.verify:
             verify_program(result)
         self.last_report = report

@@ -74,6 +74,17 @@ DEFAULT_OP_COSTS: Dict[Op, int] = {
     Op.PRINT: 8,
     Op.SPAWN: 30,
     Op.NOP: 1,
+    # Dynamic code events: LOADFN/REPLACEFN model a verify+install of a
+    # pre-compiled template (cheap relative to a real JIT, but clearly
+    # more than straight-line work); OSRPOINT is a load-compare like a
+    # guard; TRY/ENDTRY push/pop one handler record; THROW pays an
+    # unwind-machinery transfer.
+    Op.LOADFN: 40,
+    Op.REPLACEFN: 50,
+    Op.OSRPOINT: 2,
+    Op.TRY: 2,
+    Op.ENDTRY: 1,
+    Op.THROW: 20,
     # Placeholders; overridden by CostModel attributes below.
     Op.IO: 0,
     Op.YIELDPOINT: 0,

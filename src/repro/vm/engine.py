@@ -57,9 +57,11 @@ from typing import Callable, Dict, List, Optional
 from repro.bytecode.function import Function
 from repro.bytecode.opcodes import Op
 from repro.errors import (
+    BytecodeError,
     FuelExhaustedError,
     ReproError,
     StackOverflowError,
+    VerificationError,
     VMTrap,
 )
 from repro.vm.frame import Frame
@@ -134,9 +136,20 @@ _YIELDPOINT = int(Op.YIELDPOINT)
 _CHECK = int(Op.CHECK)
 _INSTR = int(Op.INSTR)
 _GUARDED_INSTR = int(Op.GUARDED_INSTR)
+_LOADFN = int(Op.LOADFN)
+_REPLACEFN = int(Op.REPLACEFN)
+_OSRPOINT = int(Op.OSRPOINT)
+_TRY = int(Op.TRY)
+_ENDTRY = int(Op.ENDTRY)
+_THROW = int(Op.THROW)
 
 #: Ops that must sit alone in their own segment because they observe or
-#: perturb the cycle counter / scheduler / heap clock mid-stream.
+#: perturb the cycle counter / scheduler / heap clock mid-stream.  The
+#: dynamic-code and exception ops join the set: LOADFN/REPLACEFN mutate
+#: the function table, OSRPOINT can remap the running frame, THROW can
+#: unwind it, and TRY/ENDTRY touch the handler stack that THROW reads —
+#: singleton segments keep every such transition on a dispatch boundary
+#: with reference-identical cycle accounting.
 _BREAKERS = frozenset(
     {
         _CHECK,
@@ -147,14 +160,22 @@ _BREAKERS = frozenset(
         _NEW,
         _NEWARRAY,
         _SPAWN,
+        _LOADFN,
+        _REPLACEFN,
+        _OSRPOINT,
+        _TRY,
+        _ENDTRY,
+        _THROW,
     }
 )
 
 #: Ops that end a segment (control leaves the straight line after them).
 _TERMINATORS = frozenset({_JUMP, _JZ, _JNZ, _CALL, _RETURN, _HALT})
 
-#: Ops whose ``arg`` is a branch-target pc after linearization.
-_BRANCHES = frozenset({_JUMP, _JZ, _JNZ, _CHECK})
+#: Ops whose ``arg`` is a branch-target pc after linearization.  TRY's
+#: arg is its handler pc: the handler must start a segment so THROW can
+#: land on a handler-list slot.
+_BRANCHES = frozenset({_JUMP, _JZ, _JNZ, _CHECK, _TRY})
 
 #: Non-trapping binary ops a single shared handler shape can execute
 #: (DIV/MOD trap on zero and get their own singleton bodies).
@@ -556,8 +577,33 @@ class FastEngine:
         self.frames = None
         self.next_tick = 0
         self._codes: Dict[Function, List[Callable]] = {}
+        #: Per-function map of segment-start pc -> handler slot; THROW
+        #: (handler targets) and OSRPOINT (landing pcs) translate
+        #: original pcs through it when they redirect a live frame.
+        self._heads: Dict[Function, Dict[int, int]] = {}
+        #: Dynamic programs (loadables / LOADFN / REPLACEFN / OSRPOINT)
+        #: resolve CALL and SPAWN callees by name at run time, because
+        #: the function table can change under compiled code.  Functions
+        #: installed mid-run are compiled on first entry; retired
+        #: Function objects keep their compiled handlers (live frames
+        #: still run them), and all per-function derived state —
+        #: superinstructions, inline caches, head maps, OSR-landing
+        #: caches — is keyed by Function object, so replacement
+        #: invalidates it wholesale: the new Function simply compiles
+        #: fresh.  Static programs keep the compile-time callee binding
+        #: and pay nothing for any of this.
+        self._dynamic = vm.program.is_dynamic()
         for fn in vm.program.functions.values():
-            self._codes[fn] = self._compile(fn)
+            self._code_for(fn)
+
+    def _code_for(self, fn: Function) -> List[Callable]:
+        """The compiled handler list for *fn*, compiling on first use
+        (functions registered at run time arrive here lazily)."""
+        handlers = self._codes.get(fn)
+        if handlers is None:
+            handlers = self._compile(fn)
+            self._codes[fn] = handlers
+        return handlers
 
     # -- thread execution ---------------------------------------------------
 
@@ -575,10 +621,10 @@ class FastEngine:
         self.thread = thread
         frames = thread.frames
         self.frames = frames
-        codes = self._codes
+        code_for = self._code_for
 
         frame = frames[-1]
-        handlers = codes[frame.function]
+        handlers = code_for(frame.function)
         i = frame.fast_pc
         stack = frame.stack
         locals_ = frame.locals
@@ -587,7 +633,7 @@ class FastEngine:
                 i = handlers[i](stack, locals_)
             if i == _REBIND:
                 frame = frames[-1]
-                handlers = codes[frame.function]
+                handlers = code_for(frame.function)
                 i = frame.fast_pc
                 stack = frame.stack
                 locals_ = frame.locals
@@ -683,9 +729,15 @@ class FastEngine:
         # the null path costs nothing (docs/OBSERVABILITY.md).
         rec = vm.recorder
 
+        dynamic = self._dynamic
+
         code = fn.code
         ops = [int(ins.op) for ins in code]
         segments = self._segments(code, ops)
+        # In dynamic mode CALL cannot be fused into a generated segment:
+        # the superinstruction binds its callee at compile time, but the
+        # function table can change under it.
+        gen_ops = _GEN_OPS if not dynamic else _GEN_OPS - {_CALL}
 
         # Pass 1: plan each segment and assign handler indices so branch
         # targets (always segment starts) resolve to handler slots.
@@ -699,12 +751,13 @@ class FastEngine:
         idx = 0
         for (s, e) in segments:
             head_index[s] = idx
-            if e - s >= 2 and all(ops[p] in _GEN_OPS for p in range(s, e)):
+            if e - s >= 2 and all(ops[p] in gen_ops for p in range(s, e)):
                 seg_plans.append(None)
                 idx += 1
             else:
                 seg_plans.append(list(range(s, e)))
                 idx += e - s
+        self._heads[fn] = head_index
 
         def wrap_head(body, SL, SC, PC):
             """Prepend segment accounting to a cold closure body."""
@@ -854,6 +907,43 @@ class FastEngine:
                             eng._ticks()
                     stack.pop()
                     return NXT
+                return h
+            if op == _CALL and dynamic:
+                PCP1 = pc_ + 1
+                def h(stack, locals_):
+                    if HEAD:
+                        ni = stats.instructions
+                        if ni >= fuel:
+                            eng._fuel_trap(PC)
+                        stats.instructions = ni + SL
+                        c = stats.cycles + SC
+                        stats.cycles = c
+                        if c >= eng.next_tick:
+                            eng._ticks()
+                    callee = functions.get(arg)
+                    if callee is None:
+                        raise VMTrap(
+                            f"call to unloaded function {arg!r}",
+                            fn_name,
+                            pc_,
+                        )
+                    stats.calls += 1
+                    frames = eng.frames
+                    if len(frames) >= max_depth:
+                        raise StackOverflowError(
+                            f"call depth {len(frames)} in {callee.name}"
+                        )
+                    nargs = callee.num_params
+                    if nargs:
+                        args = stack[-nargs:]
+                        del stack[-nargs:]
+                    else:
+                        args = []
+                    fr = frames[-1]
+                    fr.pc = PCP1
+                    fr.fast_pc = NXT
+                    frames.append(Frame(callee, args))
+                    return _REBIND
                 return h
             if op == _CALL:
                 callee = functions[arg]
@@ -1203,17 +1293,129 @@ class FastEngine:
                     stack.append(vm._io_value(eng.thread))
                     return NXT
             elif op == _SPAWN:
-                callee = functions[arg]
-                nargs = callee.num_params
+                if dynamic:
+                    def body(stack, locals_):
+                        callee = functions.get(arg)
+                        if callee is None:
+                            raise VMTrap(
+                                f"call to unloaded function {arg!r}",
+                                fn_name,
+                                pc_,
+                            )
+                        nargs = callee.num_params
+                        if nargs:
+                            args = stack[-nargs:]
+                            del stack[-nargs:]
+                        else:
+                            args = []
+                        child = vm._spawn_thread(callee, args)
+                        stack.append(child.tid)
+                        return NXT
+                else:
+                    callee = functions[arg]
+                    nargs = callee.num_params
+                    def body(stack, locals_):
+                        if nargs:
+                            args = stack[-nargs:]
+                            del stack[-nargs:]
+                        else:
+                            args = []
+                        child = vm._spawn_thread(callee, args)
+                        stack.append(child.tid)
+                        return NXT
+            elif op == _TRY:
+                target = arg
                 def body(stack, locals_):
-                    if nargs:
-                        args = stack[-nargs:]
-                        del stack[-nargs:]
-                    else:
-                        args = []
-                    child = vm._spawn_thread(callee, args)
-                    stack.append(child.tid)
+                    eng.frames[-1].handlers.append((target, len(stack)))
                     return NXT
+            elif op == _ENDTRY:
+                def body(stack, locals_):
+                    fr = eng.frames[-1]
+                    if not fr.handlers:
+                        raise VMTrap(
+                            "ENDTRY without matching TRY", fn_name, pc_
+                        )
+                    fr.handlers.pop()
+                    return NXT
+            elif op == _THROW:
+                def body(stack, locals_):
+                    value = stack.pop()
+                    stats.throws += 1
+                    frames = eng.frames
+                    fr = frames[-1]
+                    while True:
+                        if fr.handlers:
+                            target, depth = fr.handlers.pop()
+                            del fr.stack[depth:]
+                            fr.stack.append(value)
+                            # Handler targets are branch targets, so
+                            # they always lead a segment.
+                            fr.fast_pc = eng._heads[fr.function][target]
+                            return _REBIND
+                        frames.pop()
+                        stats.frames_unwound += 1
+                        if not frames:
+                            raise VMTrap(
+                                f"uncaught guest exception {value!r}",
+                                fn_name,
+                                pc_,
+                            )
+                        fr = frames[-1]
+            elif op == _LOADFN:
+                template_name = arg
+                def body(stack, locals_):
+                    try:
+                        loaded = vm._dyn_load(template_name)
+                    except (BytecodeError, VerificationError) as exc:
+                        raise VMTrap(
+                            f"LOADFN failed: {exc}", fn_name, pc_
+                        ) from None
+                    stack.append(loaded)
+                    return NXT
+            elif op == _REPLACEFN:
+                target_name, template_name = arg
+                def body(stack, locals_):
+                    try:
+                        replaced = vm._dyn_replace(
+                            target_name, template_name
+                        )
+                    except (BytecodeError, VerificationError) as exc:
+                        raise VMTrap(
+                            f"REPLACEFN failed: {exc}", fn_name, pc_
+                        ) from None
+                    stack.append(replaced)
+                    return NXT
+            elif op == _OSRPOINT:
+                osr_id = arg
+                def body(stack, locals_):
+                    current = functions.get(fn_name)
+                    if current is None or current is fn:
+                        return NXT
+                    landing = vm._osr_landing(current, osr_id)
+                    if landing is None:
+                        raise VMTrap(
+                            f"no OSR point {osr_id!r} in replacement of "
+                            f"{fn_name}",
+                            fn_name,
+                            pc_,
+                        )
+                    stats.osr_remaps += 1
+                    # Remap the live frame onto the new body (see the
+                    # reference ladder): pad/truncate locals in place,
+                    # drop handler records, and resume just past the
+                    # matching OSR point — a breaker singleton there, so
+                    # the landing pc always leads a segment.
+                    num_locals = current.num_locals
+                    if len(locals_) < num_locals:
+                        locals_.extend([0] * (num_locals - len(locals_)))
+                    elif len(locals_) > num_locals:
+                        del locals_[num_locals:]
+                    fr = eng.frames[-1]
+                    fr.handlers.clear()
+                    fr.function = current
+                    eng._code_for(current)
+                    fr.fast_pc = eng._heads[current][landing]
+                    return _REBIND
             elif op == _DIV or op == _MOD:
                 is_div = op == _DIV
                 def body(stack, locals_):

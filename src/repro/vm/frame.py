@@ -17,9 +17,15 @@ class Frame:
     index into the function's compiled handler list at which execution
     continues after a call returns or a yielded thread is rescheduled.
     The reference interpreter ignores it.
+
+    ``handlers`` is the frame's guest-exception handler stack: TRY
+    pushes a ``(handler_pc, stack_depth)`` record, ENDTRY pops it, and
+    THROW unwinds to the innermost record (or to the caller when the
+    list is empty). Both engines share this representation, so unwinds
+    are bit-identical.
     """
 
-    __slots__ = ("function", "pc", "locals", "stack", "fast_pc")
+    __slots__ = ("function", "pc", "locals", "stack", "fast_pc", "handlers")
 
     def __init__(self, function: Function, args: List[Value]):
         self.function = function
@@ -29,6 +35,7 @@ class Frame:
             function.num_locals - len(args)
         )
         self.stack: List[Value] = []
+        self.handlers: List[tuple] = []
 
     def __repr__(self) -> str:
         return f"<Frame {self.function.name}@{self.pc}>"

@@ -29,7 +29,13 @@ from typing import List, Optional
 
 from repro.bytecode.opcodes import Op
 from repro.bytecode.program import Program
-from repro.errors import FuelExhaustedError, StackOverflowError, VMTrap
+from repro.errors import (
+    BytecodeError,
+    FuelExhaustedError,
+    StackOverflowError,
+    VerificationError,
+    VMTrap,
+)
 from repro.sampling.triggers import NeverTrigger, Trigger
 from repro.vm.engine import FastEngine, resolve_engine
 from repro.vm.cost_model import CostModel
@@ -83,6 +89,12 @@ _YIELDPOINT = int(Op.YIELDPOINT)
 _CHECK = int(Op.CHECK)
 _INSTR = int(Op.INSTR)
 _GUARDED_INSTR = int(Op.GUARDED_INSTR)
+_LOADFN = int(Op.LOADFN)
+_REPLACEFN = int(Op.REPLACEFN)
+_OSRPOINT = int(Op.OSRPOINT)
+_TRY = int(Op.TRY)
+_ENDTRY = int(Op.ENDTRY)
+_THROW = int(Op.THROW)
 
 #: Ops with their own profiler boundary classification; everything else
 #: reports a generic "dispatch" boundary (see repro.profiling).
@@ -156,7 +168,12 @@ class VM:
         recorder=None,
         profiler=None,
     ):
-        self.program = program
+        # Dynamic programs mutate their own function table as they run
+        # (LOADFN/REPLACEFN install functions); execute a private copy
+        # so the caller's program — possibly cached or about to be
+        # transformed — is left untouched. Static programs are shared:
+        # running them never writes to them.
+        self.program = program.copy() if program.is_dynamic() else program
         self.engine = resolve_engine(engine)
         self.cost_model = cost_model or CostModel()
         self.trigger = trigger or NeverTrigger()
@@ -173,6 +190,14 @@ class VM:
         self._threadswitch_bit = False
         self._alloc_count = 0
         self._op_tables: dict = {}
+        self._osr_landings: dict = {}
+        #: Optional observer called as ``(kind, name, template, fn)``
+        #: after every effective LOADFN ("load") / REPLACEFN ("replace")
+        #: — the incremental certifier's subscription point. Both
+        #: engines notify through the shared :meth:`_dyn_load` /
+        #: :meth:`_dyn_replace` helpers, so the event stream is
+        #: engine-identical.
+        self.on_code_event = None
 
     # -- public API ---------------------------------------------------------
 
@@ -257,6 +282,49 @@ class VM:
             table = [int(ins.op) for ins in fn.code]
             self._op_tables[fn] = table
         return table
+
+    # -- dynamic code (shared by both engines) ------------------------------
+
+    def _dyn_load(self, template_name) -> int:
+        """Execute LOADFN: materialize the template (instrument-at-load
+        via the program's loader). Returns 1 if newly installed, 0 if a
+        repeat load (idempotent)."""
+        fn, changed = self.program.define_at_runtime(template_name)
+        if changed:
+            self.stats.functions_loaded += 1
+            if self.on_code_event is not None:
+                self.on_code_event("load", fn.name, template_name, fn)
+        return 1 if changed else 0
+
+    def _dyn_replace(self, target, template_name) -> int:
+        """Execute REPLACEFN: swap *target*'s body for the template.
+        Returns 1 on an effective swap, 0 when the template was already
+        installed. Live frames keep the retired Function object until
+        they reach an OSR point."""
+        fn, changed = self.program.define_at_runtime(
+            template_name, target=target
+        )
+        if changed:
+            self.stats.functions_replaced += 1
+            if self.on_code_event is not None:
+                self.on_code_event("replace", fn.name, template_name, fn)
+        return 1 if changed else 0
+
+    def _osr_landing(self, fn, osr_id) -> Optional[int]:
+        """The pc just past the first OSRPOINT with id *osr_id* in *fn*
+        (the checking copy: duplicated code is laid out last), or None.
+        Cached per (function, id) — replacement creates new Function
+        objects, so stale entries cannot be observed."""
+        key = (fn, osr_id)
+        if key in self._osr_landings:
+            return self._osr_landings[key]
+        landing = None
+        for idx, ins in enumerate(fn.code):
+            if ins.op is Op.OSRPOINT and ins.arg == osr_id:
+                landing = idx + 1
+                break
+        self._osr_landings[key] = landing
+        return landing
 
     def _run_thread(self, thread: GreenThread) -> bool:
         """Run *thread* until it finishes or yields to the scheduler.
@@ -500,7 +568,15 @@ class VM:
                         False, frame.function.name, pc - 1, frames, tid
                     )
             elif op == _CALL:
-                callee = program_functions[ins.arg]
+                callee = program_functions.get(ins.arg)
+                if callee is None:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"call to unloaded function {ins.arg!r}",
+                        frame.function.name,
+                        pc - 1,
+                    )
                 stats.calls += 1
                 if len(frames) >= max_depth:
                     stats.cycles = cycles
@@ -660,7 +736,15 @@ class VM:
                 stats.io_ops += 1
                 stack.append(self._io_value(thread))
             elif op == _SPAWN:
-                callee = program_functions[ins.arg]
+                callee = program_functions.get(ins.arg)
+                if callee is None:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"call to unloaded function {ins.arg!r}",
+                        frame.function.name,
+                        pc - 1,
+                    )
                 nargs = callee.num_params
                 if nargs:
                     args = stack[-nargs:]
@@ -671,6 +755,100 @@ class VM:
                 stack.append(child.tid)
             elif op == _NOP:
                 pass
+            elif op == _TRY:
+                frame.handlers.append((ins.arg, len(stack)))
+            elif op == _ENDTRY:
+                if not frame.handlers:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        "ENDTRY without matching TRY",
+                        frame.function.name,
+                        pc - 1,
+                    )
+                frame.handlers.pop()
+            elif op == _THROW:
+                value = stack.pop()
+                stats.throws += 1
+                throw_fn = frame.function.name
+                throw_pc = pc - 1
+                caught = False
+                while True:
+                    if frame.handlers:
+                        target, depth = frame.handlers.pop()
+                        del stack[depth:]
+                        stack.append(value)
+                        pc = target
+                        caught = True
+                        break
+                    frames.pop()
+                    stats.frames_unwound += 1
+                    if not frames:
+                        break
+                    frame = frames[-1]
+                    code = frame.function.code
+                    optab = self._op_table(frame.function)
+                    pc = frame.pc
+                    stack = frame.stack
+                    locals_ = frame.locals
+                if not caught:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"uncaught guest exception {value!r}",
+                        throw_fn,
+                        throw_pc,
+                    )
+            elif op == _LOADFN:
+                try:
+                    stack.append(self._dyn_load(ins.arg))
+                except (BytecodeError, VerificationError) as exc:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"LOADFN failed: {exc}", frame.function.name, pc - 1
+                    ) from None
+            elif op == _REPLACEFN:
+                try:
+                    stack.append(self._dyn_replace(ins.arg[0], ins.arg[1]))
+                except (BytecodeError, VerificationError) as exc:
+                    stats.cycles = cycles
+                    stats.instructions = executed
+                    raise VMTrap(
+                        f"REPLACEFN failed: {exc}",
+                        frame.function.name,
+                        pc - 1,
+                    ) from None
+            elif op == _OSRPOINT:
+                current = program_functions.get(frame.function.name)
+                if current is not None and current is not frame.function:
+                    landing = self._osr_landing(current, ins.arg)
+                    if landing is None:
+                        stats.cycles = cycles
+                        stats.instructions = executed
+                        raise VMTrap(
+                            f"no OSR point {ins.arg!r} in replacement of "
+                            f"{frame.function.name}",
+                            frame.function.name,
+                            pc - 1,
+                        )
+                    stats.osr_remaps += 1
+                    # Remap the live frame onto the new body: pad or
+                    # truncate locals to the new shape, drop handler
+                    # records (OSR points sit outside TRY regions by
+                    # construction; the verifier keeps the stack empty
+                    # here), and resume past the matching OSR point in
+                    # the new code.
+                    num_locals = current.num_locals
+                    if len(locals_) < num_locals:
+                        locals_.extend([0] * (num_locals - len(locals_)))
+                    elif len(locals_) > num_locals:
+                        del locals_[num_locals:]
+                    frame.handlers.clear()
+                    frame.function = current
+                    code = current.code
+                    optab = self._op_table(current)
+                    pc = landing
             elif op == _HALT:
                 thread.done = True
                 thread.result = 0

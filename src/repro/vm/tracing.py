@@ -33,6 +33,11 @@ _SCALAR_FIELDS = (
     "io_ops",
     "gc_pauses",
     "timer_ticks",
+    "functions_loaded",
+    "functions_replaced",
+    "osr_remaps",
+    "throws",
+    "frames_unwound",
 )
 
 
@@ -58,6 +63,11 @@ class ExecStats:
         "io_ops",
         "gc_pauses",
         "timer_ticks",
+        "functions_loaded",
+        "functions_replaced",
+        "osr_remaps",
+        "throws",
+        "frames_unwound",
         "opcode_counts",
     )
 
@@ -78,6 +88,11 @@ class ExecStats:
         self.io_ops = 0
         self.gc_pauses = 0
         self.timer_ticks = 0
+        self.functions_loaded = 0
+        self.functions_replaced = 0
+        self.osr_remaps = 0
+        self.throws = 0
+        self.frames_unwound = 0
         self.opcode_counts: Optional[Dict[int, int]] = (
             {} if record_opcode_counts else None
         )
@@ -133,7 +148,10 @@ class ExecStats:
         persistent baseline cache and the parallel harness)."""
         stats = cls()
         for name in _SCALAR_FIELDS:
-            value = payload[name]
+            # Missing keys default to 0 so payloads serialized before a
+            # counter existed (persistent baseline caches, old ledgers)
+            # still deserialize.
+            value = payload.get(name, 0)
             if not isinstance(value, int) or isinstance(value, bool):
                 raise TypeError(f"stat {name!r} must be an int")
             setattr(stats, name, value)

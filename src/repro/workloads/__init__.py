@@ -1,9 +1,12 @@
-"""The ten-workload benchmark suite (paper benchmark analogs)."""
+"""The benchmark suite: ten paper benchmark analogs plus the
+dynamic-code workloads (``dynload``, ``osr``)."""
 
 from repro.workloads.suite import (
     Workload,
     all_workloads,
     get_workload,
+    paper_workload_names,
+    prepare_baseline,
     register,
     workload_names,
 )
@@ -12,6 +15,8 @@ __all__ = [
     "Workload",
     "register",
     "get_workload",
+    "paper_workload_names",
+    "prepare_baseline",
     "workload_names",
     "all_workloads",
 ]

@@ -1,0 +1,159 @@
+"""``dynload`` — dynamic class loading with exception-heavy plugins.
+
+Character: the paper's framework targets Jalapeño, where code arrives
+*while the program runs* (dynamic class loading) and must be
+instrumented at load time. This workload is a plugin host: the main
+loop materializes plugin functions on demand with ``LOADFN`` (the
+second and later loads are no-ops, as a class loader's cache would
+make them), periodically swaps the hot plugin's implementation with
+``REPLACEFN``, and calls a risky plugin whose guest exceptions unwind
+across frame and duplicated/checking-code boundaries (``TRY`` /
+``THROW`` / ``ENDTRY``). One loaded plugin loads another — dynamic
+code loading dynamic code.
+
+MiniJ has no syntax for the dynamic-code opcodes, so the program is
+hand-built with :class:`BytecodeBuilder` and normalized through
+:func:`repro.workloads.suite.prepare_baseline`.
+"""
+
+from repro.bytecode.builder import BytecodeBuilder
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.workloads.suite import Workload, register
+
+MODULUS = 1000000007
+
+
+def _build_plug_mix(name: str, mult: int, bias: int):
+    """Plugin template: an 8-iteration mixing loop — backedges inside
+    dynamically loaded code, so backedge checks land there at load
+    time."""
+    b = BytecodeBuilder(name, num_params=2)
+    s = b.new_local()
+    j = b.new_local()
+    loop, done = b.new_label("loop"), b.new_label("done")
+    b.push(0).store(s).push(0).store(j)
+    b.label(loop)
+    b.load(j).push(8).emit(Op.LT).jz(done)
+    # s = (s * mult + a + j * b + bias) % 65537
+    b.load(s).push(mult).emit(Op.MUL)
+    b.load(0).emit(Op.ADD)
+    b.load(j).load(1).emit(Op.MUL).emit(Op.ADD)
+    b.push(bias).emit(Op.ADD)
+    b.push(65537).emit(Op.MOD).store(s)
+    b.load(j).push(1).emit(Op.ADD).store(j)
+    b.jump(loop)
+    b.label(done)
+    b.load(s).ret()
+    return b.build()
+
+
+def _build_plug_thrower():
+    """plug_thrower(x): returns x + 9 for even x, throws 2x + 1 for
+    odd x — the throw unwinds this frame into plug_risky's handler."""
+    b = BytecodeBuilder("plug_thrower", num_params=1)
+    odd = b.new_label("odd")
+    b.load(0).push(2).emit(Op.MOD).jnz(odd)
+    b.load(0).push(9).emit(Op.ADD).ret()
+    b.label(odd)
+    b.load(0).push(2).emit(Op.MUL).push(1).emit(Op.ADD).throw()
+    return b.build()
+
+
+def _build_plug_risky():
+    """plug_risky(r): by r % 7 either throws to the *caller's* handler,
+    loads and calls plug_thrower under a local handler, or returns a
+    plain value."""
+    b = BytecodeBuilder("plug_risky", num_params=1)
+    t = b.new_local()
+    not3, not5 = b.new_label("not3"), b.new_label("not5")
+    handler = b.new_label("handler")
+    b.load(0).push(7).emit(Op.MOD).store(t)
+    b.load(t).push(3).emit(Op.NE).jnz(not3)
+    # throw 13r + 5 — no local handler: unwinds into main
+    b.load(0).push(13).emit(Op.MUL).push(5).emit(Op.ADD).throw()
+    b.label(not3)
+    # loaded code loading more code
+    b.loadfn("plug_thrower").emit(Op.POP)
+    b.load(t).push(5).emit(Op.NE).jnz(not5)
+    b.try_(handler)
+    b.load(0).call("plug_thrower")
+    b.endtry()
+    b.ret()
+    b.label(handler)
+    # caught value from plug_thrower
+    b.push(1).emit(Op.ADD).ret()
+    b.label(not5)
+    b.load(0).push(3).emit(Op.MUL).push(1).emit(Op.ADD).ret()
+    return b.build()
+
+
+def _build_main(scale: int):
+    rounds = 120 * scale
+    b = BytecodeBuilder("main", num_params=0)
+    acc = b.new_local()
+    r = b.new_local()
+    loop, done = b.new_label("loop"), b.new_label("done")
+    no_v2, no_v1 = b.new_label("no_v2"), b.new_label("no_v1")
+    handler, cont = b.new_label("handler"), b.new_label("cont")
+    b.push(17).store(acc).push(0).store(r)
+    b.label(loop)
+    b.load(r).push(rounds).emit(Op.LT).jz(done)
+    # lazy loads: 1 the first time, 0 after — like a class-loader cache
+    b.load(acc).loadfn("plug_mix").emit(Op.ADD)
+    b.loadfn("plug_risky").emit(Op.ADD).store(acc)
+    # re-tier the mixer every 40 rounds: v2 at r%40==20, back at r%40==0
+    b.load(r).push(40).emit(Op.MOD).push(20).emit(Op.NE).jnz(no_v2)
+    b.load(acc).replacefn("plug_mix", "plug_mix_v2").emit(Op.ADD).store(acc)
+    b.label(no_v2)
+    b.load(r).push(40).emit(Op.MOD).jnz(no_v1)
+    b.load(acc).replacefn("plug_mix", "plug_mix").emit(Op.ADD).store(acc)
+    b.label(no_v1)
+    # acc = (acc * 3 + plug_mix(acc % 9973, r)) % MODULUS
+    b.load(acc).push(3).emit(Op.MUL)
+    b.load(acc).push(9973).emit(Op.MOD)
+    b.load(r).call("plug_mix")
+    b.emit(Op.ADD).push(MODULUS).emit(Op.MOD).store(acc)
+    # risky plugin under a handler: catches throws from one or two
+    # frames down
+    b.try_(handler)
+    b.load(r).call("plug_risky")
+    b.endtry()
+    b.load(acc).emit(Op.ADD).push(MODULUS).emit(Op.MOD).store(acc)
+    b.jump(cont)
+    b.label(handler)
+    # caught value on the stack
+    b.push(7).emit(Op.ADD)
+    b.load(acc).emit(Op.ADD).push(MODULUS).emit(Op.MOD).store(acc)
+    b.label(cont)
+    b.load(r).push(1).emit(Op.ADD).store(r)
+    b.jump(loop)
+    b.label(done)
+    b.load(acc).emit(Op.PRINT)
+    b.load(acc).ret()
+    return b.build()
+
+
+def build(scale: int) -> Program:
+    program = Program(
+        [_build_main(scale)],
+        [],
+        "main",
+        loadables=[
+            _build_plug_mix("plug_mix", 31, 3),
+            _build_plug_mix("plug_mix_v2", 37, 11),
+            _build_plug_risky(),
+            _build_plug_thrower(),
+        ],
+    )
+    return program
+
+
+WORKLOAD = register(
+    Workload(
+        name="dynload",
+        paper_name="(dynamic loading)",
+        description="plugin host: LOADFN/REPLACEFN + guest exceptions",
+        builder=build,
+    )
+)

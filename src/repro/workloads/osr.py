@@ -1,0 +1,104 @@
+"""``osr`` — tiered kernel with on-stack replacement.
+
+Character: an adaptive system (Jalapeño's recompilation loop) swaps a
+method's body while frames are live. The kernel starts in its tier-1
+body, counts its own iterations, and — once "hot" — replaces itself
+with the tier-2 template mid-loop (``REPLACEFN`` from inside the
+function being replaced). The live frame migrates at the next
+``OSRPOINT``: locals are remapped and execution continues in the new
+body. The driver periodically re-installs tier 1 ("deoptimization"),
+so the run performs many replace → OSR → deopt cycles and the
+instrument-at-load path re-transforms each arriving body.
+
+Hand-built with :class:`BytecodeBuilder`; see ``dynload`` for why.
+"""
+
+from repro.bytecode.builder import BytecodeBuilder
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import Program
+from repro.workloads.suite import Workload, register
+
+MODULUS = 1000000007
+HOT = 13  # iteration at which tier 1 requests its own replacement
+
+
+def _build_kernel(name: str, tier: int):
+    """kernel(n): loop i in 0..n accumulating a per-tier mix. Tier 1
+    self-replaces at i == HOT; both tiers carry OSRPOINT 1 at the loop
+    head so a migrating frame has a landing site."""
+    b = BytecodeBuilder(name, num_params=1)
+    i = b.new_local()
+    acc = b.new_local()
+    loop, done = b.new_label("loop"), b.new_label("done")
+    b.push(0).store(i).push(0).store(acc)
+    b.label(loop)
+    b.osrpoint(1)
+    b.load(i).load(0).emit(Op.LT).jz(done)
+    if tier == 1:
+        cold = b.new_label("cold")
+        b.load(i).push(HOT).emit(Op.NE).jnz(cold)
+        b.replacefn("kernel", "kernel_v2").emit(Op.POP)
+        b.label(cold)
+        # tier-1 mix: acc = (acc + i*i + 7) % 65537
+        b.load(acc).load(i).load(i).emit(Op.MUL).emit(Op.ADD)
+        b.push(7).emit(Op.ADD).push(65537).emit(Op.MOD).store(acc)
+    else:
+        # tier-2 mix: acc = (acc + 5i + 11) % 65537
+        b.load(acc).load(i).push(5).emit(Op.MUL).emit(Op.ADD)
+        b.push(11).emit(Op.ADD).push(65537).emit(Op.MOD).store(acc)
+    b.load(i).push(1).emit(Op.ADD).store(i)
+    b.jump(loop)
+    b.label(done)
+    b.load(acc).ret()
+    return b.build()
+
+
+def _build_main(scale: int):
+    rounds = 60 * scale
+    b = BytecodeBuilder("main", num_params=0)
+    acc = b.new_local()
+    r = b.new_local()
+    loop, done = b.new_label("loop"), b.new_label("done")
+    no_deopt = b.new_label("no_deopt")
+    b.push(5).store(acc).push(0).store(r)
+    b.label(loop)
+    b.load(r).push(rounds).emit(Op.LT).jz(done)
+    # deopt every 10 rounds: reinstall tier 1, which will get hot and
+    # OSR back to tier 2 during its next invocation
+    b.load(r).push(10).emit(Op.MOD).jnz(no_deopt)
+    b.load(acc).replacefn("kernel", "kernel_v1").emit(Op.ADD).store(acc)
+    b.label(no_deopt)
+    # acc = (acc * 31 + kernel(40 + r % 9) + r) % MODULUS
+    b.load(acc).push(31).emit(Op.MUL)
+    b.push(40).load(r).push(9).emit(Op.MOD).emit(Op.ADD)
+    b.call("kernel").emit(Op.ADD)
+    b.load(r).emit(Op.ADD).push(MODULUS).emit(Op.MOD).store(acc)
+    b.load(r).push(1).emit(Op.ADD).store(r)
+    b.jump(loop)
+    b.label(done)
+    b.load(acc).emit(Op.PRINT)
+    b.load(acc).ret()
+    return b.build()
+
+
+def build(scale: int) -> Program:
+    program = Program(
+        [_build_main(scale), _build_kernel("kernel", tier=1)],
+        [],
+        "main",
+        loadables=[
+            _build_kernel("kernel_v1", tier=1),
+            _build_kernel("kernel_v2", tier=2),
+        ],
+    )
+    return program
+
+
+WORKLOAD = register(
+    Workload(
+        name="osr",
+        paper_name="(on-stack replacement)",
+        description="tiered kernel: REPLACEFN mid-loop + OSR frame remap",
+        builder=build,
+    )
+)

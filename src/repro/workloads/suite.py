@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.bytecode.program import Program
 from repro.errors import HarnessError
@@ -28,17 +28,26 @@ from repro.frontend.compiler import CompileOptions, compile_baseline
 class Workload:
     """One benchmark: a MiniJ source template plus metadata.
 
-    The source must contain the literal token ``__SCALE__`` wherever
-    the problem size appears.
+    Most workloads are MiniJ source (the ``source`` template, with the
+    literal token ``__SCALE__`` wherever the problem size appears). The
+    dynamic-code workloads (``dynload``, ``osr``) exercise opcodes MiniJ
+    has no syntax for, so they supply a ``builder`` — a function from
+    scale to a raw :class:`Program` — instead; :func:`prepare_baseline`
+    applies the same VM conventions ``compile_baseline`` would.
     """
 
     name: str
     paper_name: str
     description: str
-    source: str
+    source: str = ""
     default_scale: int = 1
+    builder: Optional[Callable[[int], Program]] = None
 
     def render_source(self, scale: Optional[int] = None) -> str:
+        if self.builder is not None and not self.source:
+            raise HarnessError(
+                f"{self.name}: bytecode-built workload has no MiniJ source"
+            )
         actual = self.default_scale if scale is None else scale
         if actual < 1:
             raise HarnessError(f"{self.name}: scale must be >= 1")
@@ -49,6 +58,8 @@ class Workload:
         call-site ids). Cached per (workload, scale); callers receive a
         fresh copy so transforms can't corrupt the cache."""
         actual = self.default_scale if scale is None else scale
+        if actual < 1:
+            raise HarnessError(f"{self.name}: scale must be >= 1")
         return _compile_cached(self.name, actual).copy()
 
 
@@ -72,8 +83,9 @@ def get_workload(name: str) -> Workload:
         ) from None
 
 
-def workload_names() -> List[str]:
-    """Suite order follows the paper's tables."""
+def paper_workload_names() -> List[str]:
+    """The ten analogs of the paper's benchmark rows (Tables 1-5),
+    in table order — the workloads with published reference data."""
     _ensure_loaded()
     return [
         "compress",
@@ -89,13 +101,52 @@ def workload_names() -> List[str]:
     ]
 
 
+def workload_names() -> List[str]:
+    """Suite order follows the paper's tables; the dynamic-code
+    workloads (outside the paper's matrix) come last."""
+    return paper_workload_names() + ["dynload", "osr"]
+
+
 def all_workloads() -> List[Workload]:
     return [get_workload(name) for name in workload_names()]
+
+
+def prepare_baseline(program: Program) -> Program:
+    """Apply the ``compile_baseline`` conventions to a hand-built
+    program: yieldpoints (entry + backedges), call-site ids, and full
+    verification — loadable templates included, so code arriving via
+    LOADFN/REPLACEFN follows the same conventions as static code."""
+    from repro.bytecode.opcodes import Op
+    from repro.bytecode.verifier import verify_program
+    from repro.cfg.graph import CFG
+    from repro.cfg.linearize import linearize
+    from repro.sampling.yieldpoints import (
+        insert_yieldpoints,
+        insert_yieldpoints_cfg,
+    )
+    from repro.instrument.call_edge import assign_call_site_ids
+
+    result = insert_yieldpoints(program)
+    for name in sorted(result.loadables):
+        cfg = CFG.from_function(result.loadables[name])
+        insert_yieldpoints_cfg(cfg)
+        result.loadables[name] = linearize(cfg, notes={"yieldpoints": True})
+    assign_call_site_ids(result)
+    for name in sorted(result.loadables):
+        ordinal = 0
+        for ins in result.loadables[name].code:
+            if ins.op in (Op.CALL, Op.SPAWN):
+                ins.meta = (name, ordinal)
+                ordinal += 1
+    verify_program(result)
+    return result
 
 
 @lru_cache(maxsize=None)
 def _compile_cached(name: str, scale: int) -> Program:
     workload = get_workload(name)
+    if workload.builder is not None:
+        return prepare_baseline(workload.builder(scale))
     return compile_baseline(
         workload.render_source(scale), CompileOptions(opt_level=2)
     )
@@ -112,12 +163,14 @@ def _ensure_loaded() -> None:
     from repro.workloads import (  # noqa: F401
         compress,
         db,
+        dynload,
         jack,
         javac,
         jess,
         mpegaudio,
         mtrt,
         optcompiler,
+        osr,
         pbob,
         volano,
     )

@@ -81,6 +81,41 @@ class _Emitter:
             b.load(self.acc).call(node[1])
             b.push(0xFFFF).emit(Op.AND)
             b.store(self.acc)
+        elif kind == "dyncall":
+            # Load a dynamic helper (idempotent after the first time)
+            # and call it: acc = helper(acc) + loaded?.
+            b = self.b
+            b.loadfn(node[1])
+            b.load(self.acc).call(node[1])
+            b.emit(Op.ADD)
+            b.push(0xFFFF).emit(Op.AND)
+            b.store(self.acc)
+        elif kind == "replace":
+            # Swap d0's body for one of its templates (loading it first
+            # so the target exists). Inside a "loop" node this is the
+            # replace-mid-loop shape: the caller's loop keeps calling
+            # the name while its body changes underneath.
+            b = self.b
+            b.loadfn("d0").emit(Op.POP)
+            b.load(self.acc).replacefn("d0", node[1]).emit(Op.ADD)
+            b.push(0xFFFF).emit(Op.AND)
+            b.store(self.acc)
+        elif kind == "trycatch":
+            # acc = t0(acc) under a handler; t0 throws for odd inputs,
+            # unwinding its frame into this one.
+            b = self.b
+            handler = b.new_label()
+            end = b.new_label()
+            b.try_(handler)
+            b.load(self.acc).call("t0")
+            b.endtry()
+            b.jump(end)
+            b.label(handler)
+            # caught value on the stack
+            b.push(node[1]).emit(Op.ADD)
+            b.label(end)
+            b.push(0xFFFF).emit(Op.AND)
+            b.store(self.acc)
         elif kind == "ret":
             # Conditional early return: if acc > threshold, return acc.
             # Exercises functions whose exit is not the last block —
@@ -96,11 +131,13 @@ class _Emitter:
             raise AssertionError(f"unknown node {kind!r}")
 
 
-def _structure(depth: int, early_returns: bool = False):
+def _structure(depth: int, early_returns: bool = False, dynamic: bool = False):
     """Hypothesis strategy for a structure tree of bounded depth.
 
     ``early_returns`` adds conditional-return leaves, so drawn programs
     can exit ``main`` from the middle of (possibly nested) loops.
+    ``dynamic`` adds LOADFN/REPLACEFN/TRY-THROW leaves (dynamic-load,
+    replace-mid-loop and exception-heavy shapes).
     """
     leaves = [
         st.tuples(
@@ -116,10 +153,23 @@ def _structure(depth: int, early_returns: bool = False):
                 st.just("ret"), st.integers(min_value=0, max_value=0xFFFF)
             )
         )
+    if dynamic:
+        leaves.extend(
+            [
+                st.tuples(st.just("dyncall"), st.sampled_from(["d0", "d1"])),
+                st.tuples(
+                    st.just("replace"), st.sampled_from(["d0", "d0_alt"])
+                ),
+                st.tuples(
+                    st.just("trycatch"),
+                    st.integers(min_value=0, max_value=255),
+                ),
+            ]
+        )
     leaf = st.one_of(*leaves)
     if depth <= 0:
         return st.tuples(st.just("seq"), st.lists(leaf, min_size=1, max_size=3))
-    sub = _structure(depth - 1, early_returns)
+    sub = _structure(depth - 1, early_returns, dynamic)
     node = st.one_of(
         leaf,
         st.tuples(
@@ -149,10 +199,69 @@ def _leaf_helper(name: str, multiplier: int) -> Function:
     return b.build()
 
 
+def _dynamic_helper(name: str, multiplier: int, bias: int) -> Function:
+    """Loadable template: helper(x) mixed through a 3-iteration counted
+    loop — backedges inside dynamically loaded code."""
+    b = BytecodeBuilder(name, num_params=1)
+    s = b.new_local()
+    count = b.new_local()
+    head, done = b.new_label(), b.new_label()
+    b.load(0).store(s)
+    b.push(3).store(count)
+    b.label(head)
+    b.load(count).jz(done)
+    b.load(s).push(multiplier).emit(Op.MUL)
+    b.push(bias).emit(Op.ADD)
+    b.push(0xFFFF).emit(Op.AND)
+    b.store(s)
+    b.load(count).push(1).emit(Op.SUB).store(count)
+    b.jump(head)
+    b.label(done)
+    b.load(s).ret()
+    return b.build()
+
+
+def _self_catching_helper() -> Function:
+    """Loadable template d1(x): throws internally for odd x and catches
+    its own throw — exception flow confined to loaded code."""
+    b = BytecodeBuilder("d1", num_params=1)
+    handler, even = b.new_label(), b.new_label()
+    b.load(0).push(1).emit(Op.AND).jz(even)
+    b.try_(handler)
+    b.load(0).push(5).emit(Op.ADD).throw()
+    b.label(handler)
+    b.push(3).emit(Op.MUL).push(0xFFFF).emit(Op.AND).ret()
+    b.label(even)
+    b.load(0).push(7).emit(Op.MUL).push(1).emit(Op.ADD)
+    b.push(0xFFFF).emit(Op.AND).ret()
+    return b.build()
+
+
+def _thrower_helper() -> Function:
+    """t0(x): returns 3x + 1 for even x, throws x + 9 for odd x — the
+    throw unwinds t0's frame into the caller's handler."""
+    b = BytecodeBuilder("t0", num_params=1)
+    odd = b.new_label()
+    b.load(0).push(1).emit(Op.AND).jnz(odd)
+    b.load(0).push(3).emit(Op.MUL).push(1).emit(Op.ADD)
+    b.push(0xFFFF).emit(Op.AND).ret()
+    b.label(odd)
+    b.load(0).push(9).emit(Op.ADD).throw()
+    return b.build()
+
+
 @st.composite
-def programs(draw, max_depth: int = 3, early_returns: bool = False):
-    """A random, terminating, verifiable Program with entry ``main``."""
-    tree = draw(_structure(max_depth, early_returns))
+def programs(
+    draw,
+    max_depth: int = 3,
+    early_returns: bool = False,
+    dynamic: bool = False,
+):
+    """A random, terminating, verifiable Program with entry ``main``.
+
+    With ``dynamic=True`` the program carries loadable templates and
+    the tree may draw LOADFN / REPLACEFN / TRY-THROW leaves."""
+    tree = draw(_structure(max_depth, early_returns, dynamic))
     seed = draw(st.integers(min_value=0, max_value=0xFFFF))
 
     b = BytecodeBuilder("main", num_params=0)
@@ -163,14 +272,27 @@ def programs(draw, max_depth: int = 3, early_returns: bool = False):
     _Emitter(b, acc, scratch).emit_block(tree)
     b.load(acc).ret()
 
-    program = Program(
-        [b.build(), _leaf_helper("h0", 3), _leaf_helper("h1", 5)],
-        entry="main",
-    )
+    functions = [b.build(), _leaf_helper("h0", 3), _leaf_helper("h1", 5)]
+    loadables = []
+    if dynamic:
+        functions.append(_thrower_helper())
+        loadables = [
+            _dynamic_helper("d0", 3, 7),
+            _dynamic_helper("d0_alt", 5, 1),
+            _self_catching_helper(),
+        ]
+    program = Program(functions, entry="main", loadables=loadables)
     # Stamp transform-stable call-site ids, like the compiler does,
     # so call-edge profile keys match across duplicated copies.
     assign_call_site_ids(program)
     return program
+
+
+def dynamic_programs(max_depth: int = 3):
+    """Programs exercising the dynamic-code opcodes: dynamic loads,
+    replaces (including mid-loop), and guest exceptions unwinding
+    across frames — alongside the plain control-flow shapes."""
+    return programs(max_depth=max_depth, early_returns=True, dynamic=True)
 
 
 def control_flow_programs(max_depth: int = 4):

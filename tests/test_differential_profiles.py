@@ -33,6 +33,7 @@ from hypothesis import given, settings
 
 from tests.generators import (
     control_flow_programs,
+    dynamic_programs,
     nested_loop_program,
     programs,
 )
@@ -140,6 +141,50 @@ class TestDifferentialProfiles:
             totals.append(sampled.total())
         assert totals[0] == exhaustive.total()
         assert totals[0] >= totals[1] >= totals[2]
+
+
+class TestDynamicDifferentialProfiles:
+    """Sampled ⊆ exhaustive holds through load/replace/throw events:
+    code instrumented at load time observes the same events under
+    sampling as under exhaustive instrumentation."""
+
+    @pytest.mark.parametrize("strategy", SAMPLED_STRATEGIES)
+    @settings(max_examples=15, deadline=None)
+    @given(program=dynamic_programs())
+    def test_sampled_profile_is_subset(self, strategy, program):
+        exhaustive, _ = _exhaustive_profile(program)
+        for interval in (3, 17):
+            sampled, _ = _profile(program, strategy, interval)
+            _assert_subset_with_consistent_ratios(
+                sampled, exhaustive, f"dynamic:{strategy.value}@{interval}"
+            )
+
+    @pytest.mark.parametrize("strategy", SAMPLED_STRATEGIES)
+    @settings(max_examples=10, deadline=None)
+    @given(program=dynamic_programs())
+    def test_interval_one_equals_exhaustive(self, strategy, program):
+        exhaustive, _ = _exhaustive_profile(program)
+        sampled, _ = _profile(program, strategy, 1)
+        assert sampled.counts == exhaustive.counts
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [Strategy.FULL_DUPLICATION, Strategy.PARTIAL_DUPLICATION],
+    )
+    @settings(max_examples=25, deadline=None)
+    @given(program=dynamic_programs())
+    def test_dynamic_programs_respect_property1(self, strategy, program):
+        """Property 1 with exact counters across load/replace/throw:
+        checks executed never exceed the baseline's entries+backedges
+        budget, even as the function table changes mid-run."""
+        baseline = run_program(program)
+        for interval in (1, 7, 64):
+            _, result = _profile(program, strategy, interval)
+            assert property1_vs_baseline(result.stats, baseline.stats), (
+                f"dynamic:{strategy.value}@{interval}: "
+                f"checks={result.stats.checks_executed} > "
+                f"entries+backedges bound"
+            )
 
 
 class TestProperty1Fuzz:

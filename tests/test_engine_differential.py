@@ -30,7 +30,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings
 
-from tests.generators import nested_loop_program, programs
+from tests.generators import dynamic_programs, nested_loop_program, programs
 from repro.instrument import BlockCountInstrumentation
 from repro.sampling import (
     CounterTrigger,
@@ -116,6 +116,27 @@ class TestGeneratedPrograms:
         for strategy in DUPLICATION_STRATEGIES:
             for interval in INTERVALS:
                 _assert_sampled_identical(program, strategy, interval)
+
+
+class TestDynamicPrograms:
+    """Fuzz bit-identity over programs that load, replace, and throw:
+    LOADFN/REPLACEFN arriving mid-run (lazy compilation in the fast
+    engine), replaces inside loops, and guest exceptions unwinding
+    across frames and duplicated/checking copies."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=dynamic_programs())
+    def test_bare_execution_identical(self, program):
+        _assert_bare_identical(program)
+
+    @pytest.mark.parametrize("strategy", DUPLICATION_STRATEGIES)
+    @settings(max_examples=10, deadline=None)
+    @given(program=dynamic_programs())
+    def test_sampled_execution_identical(self, strategy, program):
+        for interval in INTERVALS:
+            _assert_sampled_identical(
+                program, strategy, interval, context="dynamic:"
+            )
 
 
 class TestWorkloads:

@@ -12,11 +12,12 @@ from repro.workloads import all_workloads, get_workload, workload_names
 EXPECTED_NAMES = [
     "compress", "jess", "db", "javac", "mpegaudio",
     "mtrt", "jack", "optcompiler", "pbob", "volano",
+    "dynload", "osr",
 ]
 
 
 class TestSuiteRegistry:
-    def test_all_ten_registered(self):
+    def test_all_registered(self):
         assert workload_names() == EXPECTED_NAMES
 
     def test_unknown_workload(self):
@@ -27,7 +28,15 @@ class TestSuiteRegistry:
         for workload in all_workloads():
             assert workload.paper_name
             assert workload.description
-            assert "__SCALE__" in workload.source
+            if workload.builder is not None:
+                assert not workload.source
+            else:
+                assert "__SCALE__" in workload.source
+
+    def test_builder_workloads_have_no_source(self):
+        for name in ("dynload", "osr"):
+            with pytest.raises(HarnessError, match="no MiniJ source"):
+                get_workload(name).render_source()
 
     def test_bad_scale_rejected(self):
         with pytest.raises(HarnessError, match="scale"):
@@ -118,3 +127,21 @@ class TestWorkloadCharacters:
         small = run_program(get_workload("jack").compile(scale=1)).stats
         large = run_program(get_workload("jack").compile(scale=3)).stats
         assert large.instructions > 2 * small.instructions
+
+    def test_dynload_loads_and_throws(self):
+        stats = run_program(get_workload("dynload").compile()).stats
+        assert stats.functions_loaded > 0
+        assert stats.functions_replaced > 0
+        assert stats.throws > 0
+        assert stats.frames_unwound > 0
+
+    def test_osr_replaces_live_frames(self):
+        stats = run_program(get_workload("osr").compile()).stats
+        assert stats.functions_replaced > 0
+        assert stats.osr_remaps > 0
+
+    def test_dynamic_scale_increases_work(self):
+        for name in ("dynload", "osr"):
+            small = run_program(get_workload(name).compile(scale=1)).stats
+            large = run_program(get_workload(name).compile(scale=3)).stats
+            assert large.instructions > 2 * small.instructions, name
