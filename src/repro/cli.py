@@ -617,8 +617,8 @@ def _add_engine_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--engine",
         default=None,
-        choices=["fast", "reference"],
-        help="VM execution engine (default $REPRO_ENGINE or fast); both "
+        choices=["fast", "reference", "compiled"],
+        help="VM execution engine (default $REPRO_ENGINE or fast); all "
         "produce bit-identical results",
     )
 

@@ -193,10 +193,11 @@ class ExperimentRunner:
             disk side effects.
         jobs: default worker count for :meth:`run_many`; None defers to
             ``$REPRO_JOBS`` (else 1), <=0 means all cores.
-        engine: VM execution engine for every cell ("fast" or
-            "reference"); None defers to ``$REPRO_ENGINE``, else the
-            process default ("fast"). Both engines produce bit-identical
-            results, so the choice never appears in cache keys.
+        engine: VM execution engine for every cell ("fast",
+            "reference", or "compiled"); None defers to
+            ``$REPRO_ENGINE``, else the process default ("fast"). All
+            engines produce bit-identical results, so the choice never
+            appears in cache keys.
         telemetry: attach a :class:`TelemetryRecorder` to every
             configured run and emit a :class:`RunManifest` per computed
             cell (collected in :attr:`manifests`, including cells

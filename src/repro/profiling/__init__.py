@@ -5,7 +5,7 @@ interpreters themselves:
 
 * :mod:`repro.profiling.profiler` — :class:`OverheadProfiler`, sampling
   at the engines' observer boundaries and attributing wall time to cost
-  components (dispatch / check / dup / trampoline / payload / poll /
+  components (dispatch / compiled / check / dup / trampoline / payload / poll /
   runtime), plus heat maps and calling-context stack samples;
 * :mod:`repro.profiling.decomposition` — per-cell overhead-decomposition
   reports whose component sum reconciles against measured wall time;

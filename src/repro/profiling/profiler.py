@@ -15,6 +15,9 @@ to the *component* the VM was executing:
 component  meaning
 ========== =================================================================
 dispatch   plain bytecode execution (checking/original code)
+compiled   plain execution inside compiled-tier generated regions
+           (``engine="compiled"``), so transpiled code never inflates
+           ``dispatch``
 check      an unfired CHECK or GUARDED_INSTR: check evaluation plus its
            trigger poll
 dup        plain dispatch while the thread is resident in duplicated code
@@ -54,6 +57,7 @@ from repro.sampling.triggers import CounterTrigger
 #: Attribution components, in rendering order.
 COMPONENTS: Tuple[str, ...] = (
     "dispatch",
+    "compiled",
     "check",
     "dup",
     "trampoline",
@@ -178,7 +182,9 @@ class OverheadProfiler:
         )
 
     def _take(self, component, function, pc, op, frames, tid) -> None:
-        if component == "dispatch" and tid in self._dup:
+        if tid in self._dup and (
+            component == "dispatch" or component == "compiled"
+        ):
             component = "dup"
         now = self._clock()
         last = self._last

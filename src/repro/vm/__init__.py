@@ -1,5 +1,6 @@
 """The virtual machine: engines, cost model, values, threads, stats."""
 
+from repro.vm.compiler import CompiledEngine
 from repro.vm.cost_model import CostModel, powerpc_ctr_model
 from repro.vm.engine import ENGINE_ENV, ENGINES, FastEngine, resolve_engine
 from repro.vm.frame import Frame, GreenThread
@@ -12,6 +13,7 @@ __all__ = [
     "VMResult",
     "run_program",
     "FastEngine",
+    "CompiledEngine",
     "resolve_engine",
     "ENGINE_ENV",
     "ENGINES",

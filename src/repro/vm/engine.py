@@ -44,9 +44,11 @@ entry), and the fuel check fires at segment granularity (every loop
 passes a segment head, so runaway programs still trip it).  Trap
 messages, functions and pcs are identical.
 
-Engine selection: ``VM(engine="fast"|"reference")``, the CLI
-``--engine`` flag, or the ``REPRO_ENGINE`` environment variable; the
-process-wide default is "fast".  See docs/VM_PERF.md.
+Engine selection: ``VM(engine="fast"|"reference"|"compiled")``, the
+CLI ``--engine`` flag, or the ``REPRO_ENGINE`` environment variable;
+the process-wide default is "fast".  The "compiled" tier
+(:mod:`repro.vm.compiler`) subclasses this engine and lowers whole
+functions into single generated Python regions.  See docs/VM_PERF.md.
 """
 
 from __future__ import annotations
@@ -71,7 +73,7 @@ from repro.vm.values import RArray, RObject
 ENGINE_ENV = "REPRO_ENGINE"
 
 #: Valid engine names.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "reference", "compiled")
 
 #: Process-wide default when neither argument nor environment chooses.
 DEFAULT_ENGINE = "fast"

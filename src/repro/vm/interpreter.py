@@ -223,6 +223,10 @@ class VM:
         try:
             if self.engine == "fast":
                 run_one = FastEngine(self).run_thread
+            elif self.engine == "compiled":
+                from repro.vm.compiler import CompiledEngine
+
+                run_one = CompiledEngine(self).run_thread
             else:
                 run_one = self._run_thread
             rec = self.recorder

@@ -1,15 +1,20 @@
-"""Differential tests: fast engine vs reference interpreter.
+"""Differential tests: fast and compiled engines vs reference interpreter.
 
 The fast engine (``repro.vm.engine``) pre-compiles each function into a
 direct-threaded handler list whose straight-line segments are fused
 into generated Python superinstructions, with per-segment cycle
-accounting and monomorphic inline field caches. Its correctness
-contract is *bit-identity*: for any program, trigger, and duplication
-strategy, both engines must produce the same result value, the same
-output, the same :class:`ExecStats` counters (cycles, instructions,
-checks, samples, ticks, GC pauses — everything in ``as_dict()``), and
-the same instrumentation profiles. Not "statistically equivalent" —
-equal, cell for cell.
+accounting and monomorphic inline field caches. The compiled engine
+(``repro.vm.compiler``) goes one tier further and transpiles whole
+functions into generated Python regions (guest locals as host locals,
+operand stack as SSA temporaries, eligible leaf calls outlined into
+frameless helpers), falling back to the fast tier per function when a
+region is unprovable. The correctness contract for both tiers is
+*bit-identity*: for any program, trigger, and duplication strategy,
+every engine must produce the same result value, the same output, the
+same :class:`ExecStats` counters (cycles, instructions, checks,
+samples, ticks, GC pauses — everything in ``as_dict()``), and the same
+instrumentation profiles as the reference interpreter. Not
+"statistically equivalent" — equal, cell for cell.
 
 Coverage here is three-pronged:
 
@@ -70,17 +75,23 @@ def _run(program, engine, trigger=None, record_opcode_counts=False):
     ).run()
 
 
+#: The full engine ladder; every differential assertion compares the
+#: fast and compiled tiers cell-for-cell against the reference.
+ENGINES_UNDER_TEST = ("reference", "fast", "compiled")
+
+
 def _assert_bare_identical(program):
-    ref = _run(program, "reference", record_opcode_counts=True)
-    fast = _run(program, "fast", record_opcode_counts=True)
-    assert _snapshot(fast) == _snapshot(ref)
+    ref = _snapshot(_run(program, "reference", record_opcode_counts=True))
+    for engine in ENGINES_UNDER_TEST[1:]:
+        got = _snapshot(_run(program, engine, record_opcode_counts=True))
+        assert got == ref, engine
 
 
 def _assert_sampled_identical(program, strategy, interval, context=""):
-    """Transform + run on both engines; compare run and profile."""
+    """Transform + run on all three engines; compare run and profile."""
     snapshots = {}
     profiles = {}
-    for engine in ("reference", "fast"):
+    for engine in ENGINES_UNDER_TEST:
         instrumentation = BlockCountInstrumentation()
         transformed = SamplingFramework(strategy).transform(
             program, instrumentation
@@ -91,8 +102,9 @@ def _assert_sampled_identical(program, strategy, interval, context=""):
         snapshots[engine] = _snapshot(_run(transformed, engine, trigger))
         profiles[engine] = dict(instrumentation.profile.counts)
     label = f"{context}{strategy.value}@{interval}"
-    assert snapshots["fast"] == snapshots["reference"], label
-    assert profiles["fast"] == profiles["reference"], label
+    for engine in ENGINES_UNDER_TEST[1:]:
+        assert snapshots[engine] == snapshots["reference"], (engine, label)
+        assert profiles[engine] == profiles["reference"], (engine, label)
 
 
 class TestGeneratedPrograms:
