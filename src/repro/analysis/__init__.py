@@ -13,7 +13,8 @@ Entry points:
 * :func:`build_certificate` — the static cost bound (usually taken from
   the :class:`AuditReport` returned by :func:`audit_program`).
 * :func:`reconcile` / :func:`reconcile_manifest` — validate dynamic
-  ExecStats against a certificate.
+  ExecStats against a certificate; :func:`reconcile_stream` — validate
+  a (compacted) telemetry stream against the run's counters.
 * ``repro lint`` / ``repro audit`` — the CLI surfaces (see
   docs/ANALYSIS.md for the rule catalog and suppression syntax).
 """
@@ -38,6 +39,7 @@ from repro.analysis.reconcile import (
     reconcile,
     reconcile_manifest,
     reconcile_profile,
+    reconcile_stream,
 )
 from repro.analysis.rules import (
     Rule,
@@ -69,5 +71,6 @@ __all__ = [
     "reconcile",
     "reconcile_manifest",
     "reconcile_profile",
+    "reconcile_stream",
     "run_rules",
 ]

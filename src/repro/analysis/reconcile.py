@@ -113,6 +113,56 @@ def reconcile_profile(snapshot: Mapping[str, Any]) -> ReconcileVerdict:
     )
 
 
+def reconcile_stream(
+    stats: Union[Mapping[str, Any], Any],
+    records,
+    dropped_events: int = 0,
+) -> ReconcileVerdict:
+    """Check a (possibly compacted, possibly truncated) telemetry stream
+    against the run's counters.
+
+    Every sample the VM counted emits exactly one ``sample.fired``
+    event, so the stream's sample weight can never exceed
+    ``samples_taken``, and can fall short only by what ring evictions
+    discarded — *dropped_events* is the eviction loss **in original
+    events** (:attr:`CompactingRecorder.dropped_events`; a plain
+    recorder's ``ring.dropped``). *records* may mix plain events and
+    :class:`~repro.telemetry.compaction.SuppressedRun` entries; runs
+    count with their full weight.
+    """
+    from repro.telemetry.compaction import record_weight
+    from repro.telemetry.events import SAMPLE_FIRED, Event
+
+    stream_samples = sum(
+        record_weight(rec)
+        for rec in records
+        if (rec.kind if isinstance(rec, Event) else rec.first.kind)
+        == SAMPLE_FIRED
+    )
+    taken = _stat(stats, "checks_taken") + _stat(
+        stats, "guarded_checks_taken"
+    )
+    violations = []
+    if stream_samples > taken:
+        violations.append(
+            f"stream carries {stream_samples} samples but the run "
+            f"took only {taken}"
+        )
+    if taken - dropped_events > stream_samples:
+        violations.append(
+            f"stream carries {stream_samples} samples; the run took "
+            f"{taken} and only {dropped_events} were evicted — "
+            f"{taken - dropped_events - stream_samples} unaccounted for"
+        )
+    return ReconcileVerdict(
+        ok=not violations,
+        bound=taken,
+        observed=stream_samples,
+        formula="samples_taken - dropped <= stream samples <= samples_taken",
+        violations=violations,
+    )
+
+
 def reconcile_manifest(manifest) -> ReconcileVerdict:
     """Re-validate an archived :class:`RunManifest` offline.
 

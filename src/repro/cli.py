@@ -63,7 +63,11 @@ from repro.harness import (
     table4,
     table5,
 )
-from repro.harness.experiment import make_instrumentations
+from repro.harness.experiment import (
+    COMPACTION_MATRIX_STRATEGIES,
+    RunSpec,
+    make_instrumentations,
+)
 from repro.profiles import profile_summary
 from repro.profiling import (
     DEFAULT_INTERVAL as DEFAULT_PROFILE_INTERVAL,
@@ -79,11 +83,14 @@ from repro.profiling import (
 )
 from repro.sampling import SamplingFramework, Strategy, make_trigger
 from repro.telemetry import (
+    CompactingRecorder,
     TelemetryRecorder,
     events_to_chrome_trace,
     events_to_jsonl,
     quantile_from_buckets,
+    records_to_compact_jsonl,
     write_chrome_trace,
+    write_compact_jsonl,
     write_jsonl,
 )
 from repro.vm import VM, run_program
@@ -346,7 +353,11 @@ def _telemetry_run(args: argparse.Namespace, profiler=None):
         trigger = make_trigger("never")
     else:
         trigger = make_trigger(args.trigger, args.interval)
-    recorder = TelemetryRecorder(capacity=args.capacity)
+    recorder = (
+        CompactingRecorder(capacity=args.capacity)
+        if getattr(args, "compact", False)
+        else TelemetryRecorder(capacity=args.capacity)
+    )
     certifier = None
     if transformed.is_dynamic():
         certifier = IncrementalCertifier.from_program(
@@ -366,21 +377,66 @@ def _telemetry_run(args: argparse.Namespace, profiler=None):
     started = time.perf_counter()
     result = vm.run()
     measured_wall = time.perf_counter() - started
+    # Ring/compaction state becomes metrics before anyone snapshots them.
+    recorder.sync_metrics()
     return recorder, result, label, transformed, strategy, measured_wall, \
         certifier
 
 
+def _render_trace_stats(label, summary, stats) -> List[str]:
+    """Human-readable recorder accounting for ``trace --stats``."""
+    lines = [
+        f"{label}: {stats.cycles} cycles, {stats.samples_taken} samples",
+        f"  events retained: {summary['events']}"
+        + (
+            f" in {summary['records']} record(s)"
+            if "records" in summary
+            else ""
+        ),
+        f"  ring: capacity={summary['capacity']} "
+        f"evicted={summary['dropped']} "
+        f"events_lost={summary.get('dropped_events', summary['dropped'])}",
+    ]
+    compaction = summary.get("compaction")
+    if compaction is not None and compaction["enabled"]:
+        lines.append(
+            f"  compaction: {compaction['events_in']} event(s) in, "
+            f"{compaction['suppressed']} suppressed, "
+            f"max_run={compaction['max_run']}, "
+            f"record ratio={compaction['ratio']}x"
+        )
+    else:
+        lines.append("  compaction: disabled")
+    return lines
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.format == "compact":
+        # The compact codec encodes records; make sure we collect them.
+        args.compact = True
     recorder, result, label, _transformed, _strategy, _wall, _certifier = (
         _telemetry_run(args)
     )
+    # events() inflates compacted records, so every export format sees
+    # the exact stream a plain recorder would have retained.
     events = recorder.events()
+    records = (
+        recorder.records()
+        if isinstance(recorder, CompactingRecorder)
+        else events
+    )
+    summary = recorder.summary()
+    if args.stats:
+        print("\n".join(_render_trace_stats(label, summary, result.stats)))
+        if args.out is None:
+            return 0
     if args.out is not None:
         if args.format == "jsonl":
             write_jsonl(events, args.out)
+        elif args.format == "compact":
+            write_compact_jsonl(records, args.out)
         else:
             write_chrome_trace(events, args.out, label=label)
-        summary = recorder.summary()
         print(
             f"{label}: {summary['events']} event(s) "
             f"({summary['dropped']} dropped), {result.stats.cycles} cycles "
@@ -388,7 +444,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
         )
     elif args.format == "jsonl":
         sys.stdout.write(events_to_jsonl(events))
-    else:
+    elif args.format == "compact":
+        sys.stdout.write(records_to_compact_jsonl(records))
+    elif not args.stats:
         json.dump(events_to_chrome_trace(events, label=label), sys.stdout,
                   indent=1)
         sys.stdout.write("\n")
@@ -396,12 +454,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _quantile_suffix(payload) -> str:
-    """p50/p90/p99 rendering for a histogram snapshot payload."""
+    """p50/p90/p99 rendering for a histogram snapshot payload.
+
+    Tolerates sparse payloads (delta snapshots may omit min/max or carry
+    no samples at all): a quantile that cannot be estimated renders as
+    ``-`` instead of raising."""
     parts = []
     for q, tag in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
         value = quantile_from_buckets(
-            payload["bounds"], payload["buckets"], payload["count"], q,
-            observed_min=payload["min"], observed_max=payload["max"],
+            payload.get("bounds", ()), payload.get("buckets", ()),
+            payload.get("count", 0), q,
+            observed_min=payload.get("min"),
+            observed_max=payload.get("max"),
         )
         parts.append(f"{tag}={value:.1f}" if value is not None else f"{tag}=-")
     return " ".join(parts)
@@ -462,6 +526,99 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         print(decompose(prof_snapshot, measured_wall=measured_wall).render())
         print(f"sample bound: {prof_verdict.summary()}")
     return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Measure trace compaction: byte reduction + §4.4 overlap accuracy,
+    per cell, with CI-gateable thresholds."""
+    from dataclasses import replace
+
+    runner = ExperimentRunner(
+        telemetry=True, compaction=True, engine=args.engine, jobs=args.jobs,
+        telemetry_capacity=args.capacity,
+    )
+    instrumentation = tuple(
+        k.strip() for k in args.instrument.split(",") if k.strip()
+    )
+    if args.matrix:
+        workloads = [w.name for w in all_workloads()]
+        strategies = list(COMPACTION_MATRIX_STRATEGIES)
+    elif args.workload is not None:
+        workloads = [args.workload]
+        strategies = [_resolve_strategy(args.strategy)]
+    else:
+        raise ReproError("compact needs --workload NAME or --matrix")
+    specs = [
+        RunSpec(
+            workload=workload,
+            strategy=strategy,
+            instrumentation=instrumentation,
+            trigger="counter",
+            interval=args.interval,
+            scale=args.scale,
+        )
+        for workload in workloads
+        for strategy in strategies
+    ]
+    # Warm the memo in parallel (each accuracy cell needs its sampled
+    # run and its perfect-interval twin).
+    runner.prefetch(
+        specs
+        + [replace(s, interval=args.perfect_interval) for s in specs]
+    )
+    failed = 0
+    reports = []
+    for spec in specs:
+        report = runner.compaction_accuracy(
+            spec, perfect_interval=args.perfect_interval
+        )
+        problems = []
+        if not report["roundtrip_ok"]:
+            problems.append("roundtrip")
+        if not report["stream_ok"]:
+            problems.append("stream")
+        if report["overlap_percentage"] < args.min_overlap:
+            problems.append(f"overlap<{args.min_overlap}")
+        if report["compaction_ratio"] < args.min_ratio:
+            problems.append(f"ratio<{args.min_ratio}")
+        report["ok"] = not problems
+        report["failures"] = problems
+        failed += bool(problems)
+        reports.append(report)
+    document = {
+        "interval": args.interval,
+        "perfect_interval": args.perfect_interval,
+        "engine": runner.engine,
+        "min_overlap": args.min_overlap,
+        "min_ratio": args.min_ratio,
+        "cells": reports,
+        "ok": failed == 0,
+    }
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for report in reports:
+            status = (
+                "ok" if report["ok"]
+                else "FAIL[" + ",".join(report["failures"]) + "]"
+            )
+            print(
+                f"{report['label']}: {report['events']} event(s) -> "
+                f"{report['records']} record(s), {report['raw_bytes']}B -> "
+                f"{report['compact_bytes']}B "
+                f"({report['compaction_ratio']}x), "
+                f"overlap {report['overlap_percentage']}% [{status}]"
+            )
+        print(
+            f"{len(reports)} cell(s), {failed} failing; gates: "
+            f"ratio >= {args.min_ratio}x, overlap >= {args.min_overlap}%"
+        )
+    return 1 if failed else 0
 
 
 def _lint_cells(args: argparse.Namespace):
@@ -809,9 +966,21 @@ def build_parser() -> argparse.ArgumentParser:
         _add_engine_arg(p)
         if name == "trace":
             p.add_argument("--format", default="chrome",
-                           choices=["chrome", "jsonl"])
+                           choices=["chrome", "jsonl", "compact"])
             p.add_argument("--out", default=None,
                            help="write to a file instead of stdout")
+            p.add_argument(
+                "--compact", action="store_true",
+                help="record through suppression windows (runs of "
+                "identical events collapse into single records; "
+                "implied by --format compact)",
+            )
+            p.add_argument(
+                "--stats", action="store_true",
+                help="print recorder accounting (ring occupancy, "
+                "evictions, compaction ratio) instead of the trace; "
+                "combine with --out to also export",
+            )
         elif name == "audit":
             p.add_argument("--json", action="store_true",
                            help="emit report + verdict as JSON")
@@ -831,6 +1000,55 @@ def build_parser() -> argparse.ArgumentParser:
                 help="observer boundaries per self-profiler sample",
             )
         p.set_defaults(func=fn)
+
+    p = sub.add_parser(
+        "compact",
+        help="measure trace compaction: byte reduction and overlap "
+        "accuracy, with CI-gateable thresholds",
+    )
+    p.add_argument("--workload", default=None,
+                   help="single benchmark-suite member to measure")
+    p.add_argument(
+        "--matrix", action="store_true",
+        help="run the full workload x duplication-strategy matrix",
+    )
+    p.add_argument(
+        "--strategy", default="full-duplication",
+        help="transform strategy for --workload mode; canonical names "
+        "or shorthands (full, partial, none, entry, backedge)",
+    )
+    p.add_argument("--instrument", default="call-edge")
+    p.add_argument("--interval", type=int, default=1000,
+                   help="counter-trigger sample interval for the "
+                   "measured cell")
+    p.add_argument(
+        "--perfect-interval", type=int, default=1,
+        help="interval of the exact (perfect-profile) reference run",
+    )
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument(
+        "--capacity", type=int, default=262144,
+        help="event-ring capacity per run; the perfect-interval "
+        "reference stream must fit (suppressed records count as one)",
+    )
+    p.add_argument(
+        "--min-overlap", type=float, default=0.0,
+        help="fail any cell whose overlap percentage is below this",
+    )
+    p.add_argument(
+        "--min-ratio", type=float, default=0.0,
+        help="fail any cell whose byte compaction ratio is below this",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to a file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON on stdout")
+    _add_engine_arg(p)
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser(
         "ledger",

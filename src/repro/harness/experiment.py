@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import (
@@ -21,6 +21,7 @@ from repro.analysis import (
     audit_program,
     reconcile,
     reconcile_profile,
+    reconcile_stream,
 )
 from repro.bytecode.program import Program
 from repro.errors import HarnessError
@@ -59,6 +60,18 @@ from repro.profiling.profiler import (
 from repro.sampling.framework import SamplingFramework, Strategy, TransformReport
 from repro.sampling.properties import property1_vs_baseline
 from repro.sampling.triggers import make_trigger
+from repro.profiles.overlap import overlap_percentage
+from repro.telemetry.compaction import (
+    CompactingRecorder,
+    Record,
+    inflate,
+    sample_site_profile,
+)
+from repro.telemetry.exporters import (
+    compact_jsonl_to_records,
+    events_to_jsonl,
+    records_to_compact_jsonl,
+)
 from repro.telemetry.manifest import RunManifest, spec_as_dict
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.recorder import TelemetryRecorder
@@ -151,6 +164,10 @@ class RunResult:
     #: self-profiling payload when the runner has profiling enabled:
     #: {"snapshot", "decomposition", "bound"} — plain dicts, picklable
     profile: Optional[Dict[str, object]] = None
+    #: retained (compacted) telemetry stream when the runner has
+    #: compaction enabled — a tuple of Events and SuppressedRuns;
+    #: NamedTuples, so pool workers ship it back with the result
+    records: Optional[Tuple[Record, ...]] = None
 
 
 @dataclass
@@ -205,6 +222,14 @@ class ExperimentRunner:
             ExecStats/profiles — the differential test in
             tests/test_telemetry.py pins this on every workload.
         telemetry_capacity: per-run flight-recorder ring size.
+        compaction: (with telemetry on) attach a
+            :class:`~repro.telemetry.compaction.CompactingRecorder`
+            instead of a plain recorder: runs of identical events
+            collapse into suppression windows, the retained stream rides
+            on :attr:`RunResult.records`, and every cell's manifest
+            carries ``vm.telemetry.compaction.*`` metrics. The inflated
+            stream is bit-equal to what a plain recorder retains, so no
+            downstream consumer changes (docs/OBSERVABILITY.md).
         profile: attach an :class:`OverheadProfiler` to every configured
             run: each cell's manifest and :class:`RunResult` carry an
             overhead-decomposition report reconciled against the cell's
@@ -240,6 +265,7 @@ class ExperimentRunner:
         engine: Optional[str] = None,
         telemetry: bool = False,
         telemetry_capacity: int = 65536,
+        compaction: bool = False,
         profile: bool = False,
         profile_interval: int = DEFAULT_PROFILE_INTERVAL,
         ledger: Union[PerfLedger, str, bool, None] = None,
@@ -254,6 +280,7 @@ class ExperimentRunner:
         self.engine = resolve_engine(engine)
         self.telemetry = bool(telemetry)
         self.telemetry_capacity = telemetry_capacity
+        self.compaction = bool(compaction)
         self.profile = bool(profile)
         self.profile_interval = profile_interval
         self.ledger = resolve_ledger(ledger)
@@ -466,11 +493,13 @@ class ExperimentRunner:
             trigger = make_trigger(spec.trigger, spec.interval, seed=seed_used)
         else:
             trigger = make_trigger(spec.trigger, spec.interval)
-        recorder = (
-            TelemetryRecorder(capacity=self.telemetry_capacity)
-            if self.telemetry
-            else None
-        )
+        recorder: Optional[TelemetryRecorder] = None
+        if self.telemetry:
+            recorder = (
+                CompactingRecorder(capacity=self.telemetry_capacity)
+                if self.compaction
+                else TelemetryRecorder(capacity=self.telemetry_capacity)
+            )
         profiler = (
             OverheadProfiler(interval=self.profile_interval)
             if self.profile
@@ -579,6 +608,12 @@ class ExperimentRunner:
         )
         cell_seconds = time.perf_counter() - cell_started
         if recorder is not None:
+            # Ring occupancy / eviction / compaction counters become
+            # first-class metrics before the snapshot is frozen into the
+            # manifest.
+            recorder.sync_metrics()
+            if isinstance(recorder, CompactingRecorder):
+                run_result.records = recorder.records()
             run_result.manifest = RunManifest(
                 spec=spec_as_dict(spec),
                 engine=self.engine,
@@ -794,6 +829,131 @@ class ExperimentRunner:
             )
         )
         return result.profiles
+
+    # -- compaction accuracy -------------------------------------------------
+
+    def compaction_accuracy(
+        self, spec: RunSpec, perfect_interval: int = 1
+    ) -> Dict[str, object]:
+        """Measure what suppression + compact encoding cost in accuracy
+        and bought in bytes for one cell.
+
+        Runs *spec* with the compacting recorder, plus the same cell at
+        ``perfect_interval`` (the §4.4 perfect-profile configuration),
+        and reports:
+
+        * ``overlap_percentage`` — §4.4 overlap between the sample-site
+          profile of the suppressed stream and of the exact
+          (interval-``perfect_interval``) stream;
+        * ``compaction_ratio`` — plain-JSONL bytes of the inflated
+          stream over compact-JSONL bytes of the suppressed stream;
+        * ``roundtrip_ok`` — the compact encoding re-inflated
+          bit-equal to the original events;
+        * ``stream_ok`` — the stream reconciles against the run's
+          ExecStats sample counters (:func:`reconcile_stream`).
+
+        The report also lands in the cell manifest's
+        ``telemetry["compaction_accuracy"]`` section, so archived runs
+        carry their own accuracy evidence.
+        """
+        if not (self.telemetry and self.compaction):
+            raise HarnessError(
+                "compaction_accuracy needs ExperimentRunner("
+                "telemetry=True, compaction=True)"
+            )
+        result = self.run(spec)
+        records = result.records or ()
+        perfect = self.run(
+            replace(
+                spec, trigger="counter", interval=perfect_interval,
+                phase=0, seed=None,
+            )
+        )
+        exact_profile = sample_site_profile(
+            perfect.records or (), name="exact"
+        )
+        sampled_profile = sample_site_profile(records, name="suppressed")
+        events = inflate(records)
+        raw_bytes = len(events_to_jsonl(events).encode("utf-8"))
+        compact_text = records_to_compact_jsonl(records)
+        compact_bytes = len(compact_text.encode("utf-8"))
+        roundtrip_ok = (
+            inflate(compact_jsonl_to_records(compact_text)) == events
+        )
+        telemetry = (
+            result.manifest.telemetry if result.manifest is not None else {}
+        )
+        dropped_events = int(telemetry.get("dropped_events", 0))
+        stream_verdict = reconcile_stream(
+            result.stats, records, dropped_events=dropped_events
+        )
+        report: Dict[str, object] = {
+            "label": spec.describe(),
+            "engine": self.engine,
+            "interval": spec.interval,
+            "perfect_interval": perfect_interval,
+            "events": len(events),
+            "records": len(records),
+            "dropped_events": dropped_events,
+            "raw_bytes": raw_bytes,
+            "compact_bytes": compact_bytes,
+            "compaction_ratio": (
+                round(raw_bytes / compact_bytes, 3) if compact_bytes else 1.0
+            ),
+            "overlap_percentage": round(
+                overlap_percentage(exact_profile, sampled_profile), 3
+            ),
+            "roundtrip_ok": roundtrip_ok,
+            "stream_ok": stream_verdict.ok,
+        }
+        self.metrics.counter("harness.compaction.cells").inc()
+        if result.manifest is not None:
+            result.manifest.telemetry["compaction_accuracy"] = report
+        return report
+
+    def compaction_matrix(
+        self,
+        workloads: Optional[Sequence[str]] = None,
+        strategies: Optional[Sequence[Strategy]] = None,
+        instrumentation: Tuple[str, ...] = ("call-edge",),
+        interval: int = 1000,
+        scale: Optional[int] = None,
+        perfect_interval: int = 1,
+    ) -> List[Dict[str, object]]:
+        """The workload × duplication-strategy accuracy matrix: one
+        :meth:`compaction_accuracy` report per cell, full suite by
+        default."""
+        if workloads is None:
+            from repro.workloads import all_workloads
+
+            workloads = [w.name for w in all_workloads()]
+        if strategies is None:
+            strategies = COMPACTION_MATRIX_STRATEGIES
+        return [
+            self.compaction_accuracy(
+                RunSpec(
+                    workload=name,
+                    strategy=strategy,
+                    instrumentation=instrumentation,
+                    trigger="counter",
+                    interval=interval,
+                    scale=scale,
+                ),
+                perfect_interval=perfect_interval,
+            )
+            for name in workloads
+            for strategy in strategies
+        ]
+
+
+#: Strategies covered by the compaction accuracy matrix: the three
+#: sampled code-duplication variants (exhaustive runs never sample, and
+#: checks-only strategies are covered by the per-cell CLI path).
+COMPACTION_MATRIX_STRATEGIES: Tuple[Strategy, ...] = (
+    Strategy.FULL_DUPLICATION,
+    Strategy.PARTIAL_DUPLICATION,
+    Strategy.NO_DUPLICATION,
+)
 
 
 def _resolve_cache(

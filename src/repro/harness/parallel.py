@@ -103,6 +103,7 @@ class RunnerConfig:
     engine: str = "fast"
     telemetry: bool = False
     telemetry_capacity: int = 65536
+    compaction: bool = False
     #: self-profiling travels to workers; the perf ledger deliberately
     #: does not — cells computed in a pool are appended by the parent
     #: (see ExperimentRunner._ledger_append), keeping the append-only
@@ -123,6 +124,7 @@ class RunnerConfig:
             engine=runner.engine,
             telemetry=runner.telemetry,
             telemetry_capacity=runner.telemetry_capacity,
+            compaction=runner.compaction,
             profile=runner.profile,
             profile_interval=runner.profile_interval,
         )
@@ -141,6 +143,7 @@ class RunnerConfig:
             engine=self.engine,
             telemetry=self.telemetry,
             telemetry_capacity=self.telemetry_capacity,
+            compaction=self.compaction,
             profile=self.profile,
             profile_interval=self.profile_interval,
             ledger=False,

@@ -47,6 +47,21 @@ def overlap_percentage(perfect: Profile, sampled: Profile) -> float:
     return 100.0 * acc
 
 
+def overlap_report(perfect: Profile, sampled: Profile) -> Dict[str, object]:
+    """One-call accuracy summary for manifests and the compaction gate:
+    the §4.4 overlap plus the support sizes that explain it."""
+    return {
+        "overlap_percentage": round(overlap_percentage(perfect, sampled), 3),
+        "perfect_keys": len(perfect),
+        "sampled_keys": len(sampled),
+        "shared_keys": len(
+            set(perfect.counts) & set(sampled.counts)
+        ),
+        "perfect_total": perfect.total(),
+        "sampled_total": sampled.total(),
+    }
+
+
 def per_key_overlap(
     perfect: Profile, sampled: Profile
 ) -> Dict[Hashable, float]:

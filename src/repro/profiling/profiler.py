@@ -92,6 +92,14 @@ class OverheadProfiler:
             single predictable branch to the reference ladder.
         clock: injectable time source (tests substitute a fake clock to
             make wall attribution deterministic).
+        suppress: batch consecutive samples that land on the same
+            (component, function, pc, op, stack) into one pending run,
+            folded into the aggregate tables on the first differing
+            sample (or on :meth:`stop`/:meth:`snapshot`). Totals are
+            unchanged — only the per-sample dict churn moves off the hot
+            path — but tables lag until a flush, so suppression is
+            opt-in and callers that poke ``sample_counts`` mid-run must
+            leave it off.
 
     The hot surface is three methods the engines call at boundaries —
     :meth:`boundary`, :meth:`check_boundary`, :meth:`guarded_boundary` —
@@ -103,11 +111,19 @@ class OverheadProfiler:
         interval: int = DEFAULT_INTERVAL,
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
+        suppress: bool = False,
     ):
         self.interval = interval
         self.enabled = enabled
         self.trigger = CounterTrigger(interval)
         self._clock = clock
+        self.suppress = suppress
+        #: open run: [key, n, wall] where key = (component, function,
+        #: pc, op, stack); None when no run is open
+        self._pending: Optional[list] = None
+        self.suppression_samples = 0
+        self.suppression_flushes = 0
+        self.suppression_max_run = 0
         self.wall: Dict[str, float] = {c: 0.0 for c in COMPONENTS}
         self.sample_counts: Dict[str, int] = {c: 0 for c in COMPONENTS}
         #: (function name, pc) -> samples landing on that block head
@@ -145,6 +161,7 @@ class OverheadProfiler:
         to ``runtime`` so the component sum keeps partitioning the span."""
         if self._run_started is None:
             return
+        self._flush_run()
         now = self._clock()
         if self._last is not None:
             self.wall["runtime"] += now - self._last
@@ -190,20 +207,47 @@ class OverheadProfiler:
         last = self._last
         delta = now - last if last is not None else 0.0
         self._last = now
-        self.wall[component] += delta
-        self.sample_counts[component] += 1
+        stack = tuple(f.function.name for f in frames)
+        if self.suppress:
+            self.suppression_samples += 1
+            key = (component, function, pc, op, stack)
+            pending = self._pending
+            if pending is not None and pending[0] == key:
+                pending[1] += 1
+                pending[2] += delta
+                return
+            self._flush_run()
+            self._pending = [key, 1, delta]
+            return
+        self._apply(component, function, pc, op, stack, 1, delta)
+
+    def _apply(self, component, function, pc, op, stack, n, wall) -> None:
+        """Fold *n* samples worth *wall* seconds into the aggregate
+        tables — the single write path for both eager and batched takes."""
+        self.wall[component] += wall
+        self.sample_counts[component] += n
         key = (function, pc)
         heat = self.heat
-        heat[key] = heat.get(key, 0) + 1
+        heat[key] = heat.get(key, 0) + n
         op_heat = self.op_heat
-        op_heat[op] = op_heat.get(op, 0) + 1
-        stack = tuple(f.function.name for f in frames)
+        op_heat[op] = op_heat.get(op, 0) + n
         cell = self.stacks.get(stack)
         if cell is None:
-            self.stacks[stack] = [1, delta]
+            self.stacks[stack] = [n, wall]
         else:
-            cell[0] += 1
-            cell[1] += delta
+            cell[0] += n
+            cell[1] += wall
+
+    def _flush_run(self) -> None:
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        (component, function, pc, op, stack), n, wall = pending
+        self._apply(component, function, pc, op, stack, n, wall)
+        self.suppression_flushes += 1
+        if n > self.suppression_max_run:
+            self.suppression_max_run = n
 
     # -- cold read side ------------------------------------------------------
 
@@ -229,10 +273,11 @@ class OverheadProfiler:
         ``heat`` keys render as ``function@pc`` and ``op_heat`` keys as
         opcode names so snapshots are self-describing in manifests.
         """
+        self._flush_run()
         elapsed = self.elapsed_seconds
         if self._run_started is not None:  # span still open
             elapsed += self._clock() - self._run_started
-        return {
+        snap = {
             "version": SNAPSHOT_VERSION,
             "interval": self.interval,
             "runs": self.runs,
@@ -253,6 +298,15 @@ class OverheadProfiler:
                 for stack, (n, wall) in sorted(self.stacks.items())
             },
         }
+        if self.suppress:
+            # Gated: absent unless suppression is on, so eager-profile
+            # snapshots (and their merges) are byte-for-byte unchanged.
+            snap["suppression"] = {
+                "samples": self.suppression_samples,
+                "flushes": self.suppression_flushes,
+                "max_run": self.suppression_max_run,
+            }
+        return snap
 
 
 def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
@@ -307,4 +361,14 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             else:
                 cell[0] += n
                 cell[1] += wall
+        supp = snap.get("suppression")
+        if supp is not None:
+            # Present in the merge iff present in any input; samples and
+            # flushes add, max_run takes the max — associative either way.
+            cell = merged.setdefault(
+                "suppression", {"samples": 0, "flushes": 0, "max_run": 0}
+            )
+            cell["samples"] += supp.get("samples", 0)
+            cell["flushes"] += supp.get("flushes", 0)
+            cell["max_run"] = max(cell["max_run"], supp.get("max_run", 0))
     return merged

@@ -9,9 +9,30 @@ The observability subsystem for the reproduction (docs/OBSERVABILITY.md):
   overhead gating);
 * :mod:`repro.telemetry.metrics` — counters / gauges / histograms;
 * :mod:`repro.telemetry.manifest` — per-run provenance JSON;
-* :mod:`repro.telemetry.exporters` — JSONL and Chrome trace_event.
+* :mod:`repro.telemetry.exporters` — JSONL, compact JSONL, and Chrome
+  trace_event;
+* :mod:`repro.telemetry.compaction` — trace-aware redundancy
+  suppression: suppression windows, delta-encoded snapshots, and the
+  compacting recorder.
 """
 
+from repro.telemetry.compaction import (
+    CompactingRecorder,
+    DeltaSnapshotStream,
+    StreamCompactor,
+    SuppressedRun,
+    diff_metrics_snapshot,
+    diff_profile_snapshot,
+    inflate,
+    read_records_jsonl,
+    reconstruct_metrics_snapshots,
+    record_weight,
+    records_from_jsonl,
+    records_to_jsonl,
+    sample_site_profile,
+    total_event_weight,
+    write_records_jsonl,
+)
 from repro.telemetry.events import (
     CHECK_TAKEN,
     DUP_ENTER,
@@ -27,10 +48,16 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.exporters import (
     HARNESS_TID,
+    compact_jsonl_to_records,
     events_to_chrome_trace,
     events_to_jsonl,
+    read_compact_jsonl,
     read_jsonl,
+    records_to_chrome_trace,
+    records_to_compact_jsonl,
     write_chrome_trace,
+    write_chrome_trace_from_records,
+    write_compact_jsonl,
     write_jsonl,
 )
 from repro.telemetry.manifest import (
@@ -68,7 +95,9 @@ __all__ = [
     "THREAD_SWITCH",
     "TIMER_TICK",
     "DEFAULT_BUCKETS",
+    "CompactingRecorder",
     "Counter",
+    "DeltaSnapshotStream",
     "Event",
     "EventRing",
     "Gauge",
@@ -76,18 +105,36 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "RunManifest",
+    "StreamCompactor",
+    "SuppressedRun",
     "TelemetryRecorder",
     "aggregate_manifests",
+    "compact_jsonl_to_records",
+    "diff_metrics_snapshot",
+    "diff_profile_snapshot",
     "event_from_dict",
     "events_to_chrome_trace",
     "events_to_jsonl",
+    "inflate",
     "load_manifest",
     "metric_key",
     "quantile_from_buckets",
+    "read_compact_jsonl",
     "read_jsonl",
+    "read_records_jsonl",
     "recompile_decision",
+    "reconstruct_metrics_snapshots",
+    "record_weight",
+    "records_from_jsonl",
+    "records_to_chrome_trace",
+    "records_to_compact_jsonl",
+    "records_to_jsonl",
+    "sample_site_profile",
     "spec_as_dict",
     "write_aggregate",
     "write_chrome_trace",
+    "write_chrome_trace_from_records",
+    "write_compact_jsonl",
     "write_jsonl",
+    "write_records_jsonl",
 ]

@@ -1,8 +1,17 @@
-"""Trace exporters: JSONL and Chrome ``trace_event`` JSON.
+"""Trace exporters: JSONL, compact JSONL, and Chrome ``trace_event``.
 
 JSONL is the machine-diffable format — one :meth:`Event.as_dict` per
 line, loadable with any log tooling and round-trippable through
 :func:`~repro.telemetry.events.event_from_dict`.
+
+The *compact* JSONL format (:func:`write_compact_jsonl`) is the
+compacting-exporter half of ``repro.telemetry.compaction``: it consumes
+suppressed record streams and packs them with a template dictionary +
+integer delta encoding (see the format notes on
+:class:`_CompactEncoder`), re-inflating bit-equivalently through
+:func:`read_compact_jsonl`. On steady-state sampling streams it is an
+order of magnitude smaller than plain JSONL (the CI compaction gate
+pins >= 10x on javac/osr).
 
 The Chrome format targets ``chrome://tracing`` / Perfetto: a JSON
 object with a ``traceEvents`` array. Simulated cycles map onto the
@@ -211,6 +220,431 @@ def write_chrome_trace(
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         json.dumps(events_to_chrome_trace(events, label=label), indent=1)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+# -- compact JSONL -----------------------------------------------------------
+#
+# A line-oriented lossless packing of (possibly suppressed) record
+# streams. Two passes: a planning pass chooses per-field predictors,
+# an encoding pass writes one JSON value per line:
+#
+# * JSON objects — a header ({"repro-compact": 2}), a suppressed run
+#   ({"run": ...}, the compaction module's rendering, kept only for
+#   runs long enough that one run line beats per-event delta lines),
+#   or a *template line* ({"g": [event dicts...], "m": [modes...]})
+#   introducing an event-group template. Consecutive events with the
+#   same tid + cycle stamp and adjacent seqs form a *group* (a fired
+#   check emits sample.fired + check.taken + dup.enter at one stamp; a
+#   dup.exit landing on the same check boundary joins too), and the
+#   group's per-member (kind, function, pc, data keys, which-fields-
+#   are-ints) vector is the template. Template ids are assigned in
+#   order of first appearance; the decoder mirrors the assignment, so
+#   ids never travel on the wire.
+# * JSON arrays — a delta line referencing a known template:
+#
+#     [id]                 everything advances by the deltas remembered
+#                          from this template's previous delta line
+#     [id, dc]             cycles gap is dc; seq gap + field residuals
+#                          repeat the remembered values
+#     [id, ds, dc]         seq and cycles gaps explicit, residuals
+#                          remembered
+#     [id, ds, dc, r1..rk] every int field's residual explicit
+#
+#   (Shapes are distinguished by length; k is the template's int-field
+#   count, so the k=0 degenerate case makes the last two identical.)
+#   ``ds`` is the seq gap to the previous group line's last event minus
+#   one (0 when the stream is contiguous) and ``dc`` the cycle gap to
+#   the previous group line — *global* baselines, so both stay small no
+#   matter how sample sites rotate. Int-field residuals are taken
+#   against a per-field predictor declared on the template line:
+#   mode 0 predicts the field's previous value (counters, constants),
+#   mode 1 predicts previous value + elapsed cycles (clock-tracking
+#   fields like dup.exit's enter_cycles). Non-integer payload fields
+#   (mechanism strings, bools) must match the template's remembered
+#   values — when one changes, the encoder re-emits the template line
+#   (same id), which also resets the stride memory.
+#
+# On steady sampling streams almost every line is `[id, dc]` — about a
+# tenth the bytes of the three-to-four plain JSONL lines it stands for.
+
+_COMPACT_HEADER_KEY = "repro-compact"
+_COMPACT_VERSION = 2
+
+#: Upper bound on events folded into one group; bursts at a single
+#: check boundary are at most 4 events (dup.exit + sample.fired +
+#: check.taken + dup.enter), the slack tolerates future kinds.
+_MAX_GROUP = 8
+
+#: Runs shorter than this re-inflate before packing: their events pack
+#: tighter as delta lines (and re-join their same-stamp burst groups)
+#: than as a standalone run object. Longer runs keep the one-line-per-
+#: run rendering, which beats any per-event encoding.
+_RUN_LINE_MIN = 64
+
+
+def _is_int(value) -> bool:
+    # bool is an int subclass; keep it on the non-arithmetic side.
+    return type(value) is int
+
+
+def _group_shape(tid: int, events: List[Event]):
+    return (
+        tid,
+        tuple(
+            (
+                e.kind,
+                e.function,
+                e.pc,
+                tuple(k for k, _ in e.data),
+                tuple(_is_int(v) for _, v in e.data),
+            )
+            for e in events
+        ),
+    )
+
+
+def _iter_groups(events: Iterable[Event]):
+    """Split a seq-sorted event stream into same-stamp groups."""
+    pending: List[Event] = []
+    for event in events:
+        if pending:
+            last = pending[-1]
+            if (
+                len(pending) < _MAX_GROUP
+                and event.tid == last.tid
+                and event.cycles == last.cycles
+                and event.seq == last.seq + 1
+            ):
+                pending.append(event)
+                continue
+            yield pending
+            pending = []
+        pending.append(event)
+    if pending:
+        yield pending
+
+
+def _split_values(events: List[Event]):
+    ints: List[int] = []
+    nonints: List[object] = []
+    for e in events:
+        for _, v in e.data:
+            (ints if _is_int(v) else nonints).append(v)
+    return ints, nonints
+
+
+def _int_field_keys(shape) -> List[str]:
+    """Flattened data-key names of a shape's int fields, in field order
+    (the per-field identity mode 2 predicts against)."""
+    return [
+        key
+        for (_kind, _fn, _pc, keys, mask) in shape[1]
+        for key, is_int in zip(keys, mask)
+        if is_int
+    ]
+
+
+class _TemplateState:
+    __slots__ = ("index", "shape", "modes", "int_keys", "cycles", "ints",
+                 "nonints", "dseq", "dcycles", "dints")
+
+    def __init__(self, index, shape, modes):
+        self.index = index
+        self.shape = shape
+        self.modes = modes
+        self.int_keys = _int_field_keys(shape)
+        self.cycles = 0
+        self.ints: List[int] = []
+        self.nonints: List[object] = []
+        self.dseq = None
+        self.dcycles = None
+        self.dints = None
+
+    def remember(self, cycles, ints, nonints) -> None:
+        self.cycles = cycles
+        self.ints = ints
+        self.nonints = nonints
+        self.dseq = self.dcycles = self.dints = None
+
+    def _predict(self, mode, prev, elapsed, key, global_last):
+        if mode == 1:
+            return prev + elapsed
+        if mode == 2:
+            return global_last[key]
+        return prev
+
+    def residuals(self, cycles, ints, global_last) -> List[int]:
+        """Per-field residuals against the declared predictors. Updates
+        *global_last* field-by-field, mirroring the decoder."""
+        elapsed = cycles - self.cycles
+        out = []
+        for v, p, mode, key in zip(ints, self.ints, self.modes,
+                                   self.int_keys):
+            out.append(v - self._predict(mode, p, elapsed, key,
+                                         global_last))
+            global_last[key] = v
+        return out
+
+    def advance(self, cycles, residuals, global_last) -> List[int]:
+        elapsed = cycles - self.cycles
+        out = []
+        for p, r, mode, key in zip(self.ints, residuals, self.modes,
+                                   self.int_keys):
+            v = r + self._predict(mode, p, elapsed, key, global_last)
+            out.append(v)
+            global_last[key] = v
+        return out
+
+
+#: Planning cost of a predictor with no baseline available yet.
+_NO_BASELINE_COST = 24
+
+
+def _plan_modes(groups):
+    """Per-template, per-int-field predictor modes, chosen by replaying
+    the stream and summing residual digit counts:
+
+    * mode 0 — previous value of this template's field (constants,
+      per-site counters);
+    * mode 1 — previous value + elapsed cycles (clock-tracking fields
+      like dup.exit's enter_cycles);
+    * mode 2 — last value of the same data key *anywhere* (globally
+      advancing counters like gc.pause's alloc_count, which otherwise
+      shear across the many per-site templates they appear under).
+
+    Declared on template lines, so the decoder never has to guess."""
+    per_tmpl_prev: Dict[tuple, tuple] = {}
+    costs: Dict[tuple, List[List[int]]] = {}
+    keys_by_shape: Dict[tuple, List[str]] = {}
+    global_last: Dict[str, int] = {}
+    for group in groups:
+        shape = _group_shape(group[0].tid, group)
+        ints, _ = _split_values(group)
+        keys = keys_by_shape.get(shape)
+        if keys is None:
+            keys = keys_by_shape[shape] = _int_field_keys(shape)
+        cycles = group[0].cycles
+        prev = per_tmpl_prev.get(shape)
+        if prev is None:
+            costs[shape] = [[0, 0, 0] for _ in ints]
+        else:
+            prev_cycles, prev_ints = prev
+            elapsed = cycles - prev_cycles
+            cost = costs[shape]
+            for j, v in enumerate(ints):
+                cost[j][0] += len(str(v - prev_ints[j]))
+                cost[j][1] += len(str(v - prev_ints[j] - elapsed))
+                baseline = global_last.get(keys[j])
+                cost[j][2] += (
+                    len(str(v - baseline)) if baseline is not None
+                    else _NO_BASELINE_COST
+                )
+        per_tmpl_prev[shape] = (cycles, ints)
+        for j, v in enumerate(ints):
+            global_last[keys[j]] = v
+    modes: Dict[tuple, List[int]] = {}
+    for shape, cost in costs.items():
+        modes[shape] = [
+            min(range(3), key=lambda m: (field[m], m)) for field in cost
+        ]
+    return modes
+
+
+def records_to_compact_jsonl(records) -> str:
+    """Pack a record stream into the compact JSONL format."""
+    from repro.telemetry.compaction import SuppressedRun, record_as_dict
+
+    big_runs = []
+    events: List[Event] = []
+    for record in records:
+        if isinstance(record, SuppressedRun):
+            if record.count >= _RUN_LINE_MIN:
+                big_runs.append(record)
+            else:
+                events.extend(record.events())
+        else:
+            events.append(record)
+    events.sort(key=lambda e: e.seq)
+    big_runs.sort(key=lambda r: r.first.seq, reverse=True)
+    groups = list(_iter_groups(events))
+    modes = _plan_modes(groups)
+
+    dumps = json.dumps
+    lines = [dumps({_COMPACT_HEADER_KEY: _COMPACT_VERSION},
+                   separators=(",", ":"))]
+    templates: Dict[tuple, _TemplateState] = {}
+    global_last: Dict[str, int] = {}
+    last_seq = -1
+    last_cycles = 0
+    for group in groups:
+        # Keep the file roughly seq-ordered: flush any big run that
+        # starts before this group.
+        while big_runs and big_runs[-1].first.seq < group[0].seq:
+            lines.append(dumps(record_as_dict(big_runs.pop()),
+                               separators=(",", ":")))
+        shape = _group_shape(group[0].tid, group)
+        ints, nonints = _split_values(group)
+        state = templates.get(shape)
+        if state is None or nonints != state.nonints:
+            if state is None:
+                state = _TemplateState(len(templates), shape, modes[shape])
+                templates[shape] = state
+            payload: Dict[str, object] = {
+                "g": [e.as_dict() for e in group]
+            }
+            if any(state.modes):
+                payload["m"] = state.modes
+            lines.append(dumps(payload, separators=(",", ":")))
+            state.remember(group[0].cycles, ints, nonints)
+            for key, value in zip(state.int_keys, ints):
+                global_last[key] = value
+        else:
+            ds = group[0].seq - last_seq - 1
+            dc = group[0].cycles - last_cycles
+            dints = state.residuals(group[0].cycles, ints, global_last)
+            if (dints == state.dints and ds == state.dseq
+                    and dc == state.dcycles):
+                line: List[int] = [state.index]
+            elif dints == state.dints and ds == state.dseq:
+                line = [state.index, dc]
+            elif dints == state.dints:
+                line = [state.index, ds, dc]
+            else:
+                line = [state.index, ds, dc, *dints]
+            lines.append(dumps(line, separators=(",", ":")))
+            state.cycles = group[0].cycles
+            state.ints = ints
+            state.dseq, state.dcycles, state.dints = ds, dc, dints
+        last_seq = group[-1].seq
+        last_cycles = group[0].cycles
+    while big_runs:
+        lines.append(dumps(record_as_dict(big_runs.pop()),
+                           separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def _decode_group(state: _TemplateState, seq, cycles, ints) -> List[Event]:
+    events = []
+    cursor_int = 0
+    cursor_non = 0
+    tid, members = state.shape
+    for offset, (kind, function, pc, keys, int_mask) in enumerate(members):
+        data = []
+        for key, is_int in zip(keys, int_mask):
+            if is_int:
+                data.append((key, ints[cursor_int]))
+                cursor_int += 1
+            else:
+                data.append((key, state.nonints[cursor_non]))
+                cursor_non += 1
+        events.append(
+            Event(seq + offset, kind, cycles, tid, function, pc, tuple(data))
+        )
+    return events
+
+
+def compact_jsonl_to_records(text: str):
+    """Inverse of :func:`records_to_compact_jsonl`. Also accepts the
+    plain record-per-line format (no header), so readers can sniff."""
+    from repro.telemetry.compaction import record_from_dict
+
+    records = []
+    templates: List[_TemplateState] = []
+    global_last: Dict[str, int] = {}
+    last_seq = -1
+    last_cycles = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if isinstance(obj, list):
+            state = templates[obj[0]]
+            n = len(obj)
+            if n == 1:
+                ds, dc, dints = state.dseq, state.dcycles, state.dints
+            elif n == 2:
+                ds, dc, dints = state.dseq, obj[1], state.dints
+            elif n == 3:
+                ds, dc = obj[1], obj[2]
+                dints = state.dints if state.ints else []
+            else:
+                ds, dc, dints = obj[1], obj[2], list(obj[3:])
+            seq = last_seq + 1 + ds
+            cycles = last_cycles + dc
+            ints = state.advance(cycles, dints, global_last)
+            group = _decode_group(state, seq, cycles, ints)
+            records.extend(group)
+            state.cycles = cycles
+            state.ints = ints
+            state.dseq, state.dcycles, state.dints = ds, dc, dints
+            last_seq = group[-1].seq
+            last_cycles = cycles
+            continue
+        if _COMPACT_HEADER_KEY in obj:
+            continue
+        if "g" in obj:
+            group = [event_from_dict(d) for d in obj["g"]]
+            shape = _group_shape(group[0].tid, group)
+            ints, nonints = _split_values(group)
+            # Match on shape alone: a re-emitted template line carries
+            # this template's new non-int values (and resets strides),
+            # it never mints a fresh id.
+            for known in templates:
+                if known.shape == shape:
+                    state = known
+                    break
+            else:
+                state = _TemplateState(
+                    len(templates), shape,
+                    list(obj.get("m") or [0] * len(ints)),
+                )
+                templates.append(state)
+            state.remember(group[0].cycles, ints, nonints)
+            for key, value in zip(state.int_keys, ints):
+                global_last[key] = value
+            records.extend(group)
+            last_seq = group[-1].seq
+            last_cycles = group[0].cycles
+            continue
+        records.append(record_from_dict(obj))
+    return records
+
+
+def write_compact_jsonl(records, path: Union[str, pathlib.Path],
+                        ) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(records_to_compact_jsonl(records), encoding="utf-8")
+    return path
+
+
+def read_compact_jsonl(path: Union[str, pathlib.Path]):
+    """Read a compact (or plain record-per-line) JSONL stream."""
+    return compact_jsonl_to_records(
+        pathlib.Path(path).read_text(encoding="utf-8")
+    )
+
+
+def records_to_chrome_trace(records, label: str = "repro"):
+    """Chrome document for a compacted stream: re-inflates first, so
+    the output is bit-identical to exporting the uncompacted events."""
+    from repro.telemetry.compaction import inflate
+
+    return events_to_chrome_trace(inflate(records), label=label)
+
+
+def write_chrome_trace_from_records(
+    records, path: Union[str, pathlib.Path], label: str = "repro"
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(records_to_chrome_trace(records, label=label), indent=1)
         + "\n",
         encoding="utf-8",
     )

@@ -299,12 +299,14 @@ class MetricsRegistry:
                     raise ReproError(
                         f"histogram {key!r}: bucket bounds disagree"
                     )
-                hist.count += int(payload["count"])
-                hist.sum += payload["sum"]
-                for i, n in enumerate(payload["buckets"]):
+                hist.count += int(payload.get("count", 0))
+                hist.sum += payload.get("sum", 0)
+                for i, n in enumerate(payload.get("buckets", ())):
                     hist.bucket_counts[i] += int(n)
+                # Tolerate payloads without min/max (empty or compacted
+                # delta snapshots): absent observations tighten nothing.
                 for attr, pick in (("min", min), ("max", max)):
-                    theirs = payload[attr]
+                    theirs = payload.get(attr)
                     if theirs is None:
                         continue
                     ours = getattr(hist, attr)

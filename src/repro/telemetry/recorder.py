@@ -88,6 +88,10 @@ class NullRecorder:
     def summary(self) -> Dict[str, Any]:
         return {"active": False, "events": 0, "dropped": 0, "capacity": 0}
 
+    def sync_metrics(self) -> None:
+        """Publish recorder-internal state (ring occupancy, drops) to the
+        metrics registry. No-op here: a null recorder has no registry."""
+
 
 class TelemetryRecorder(NullRecorder):
     """Flight recorder + metrics for one (or more) VM runs.
@@ -98,7 +102,8 @@ class TelemetryRecorder(NullRecorder):
         metrics: registry to update; a private one by default.
     """
 
-    __slots__ = ("ring", "metrics", "_seq", "_dup_enter", "_last_tick")
+    __slots__ = ("ring", "metrics", "_seq", "_dup_enter", "_last_tick",
+                 "_marks")
 
     active = True
 
@@ -113,6 +118,8 @@ class TelemetryRecorder(NullRecorder):
         #: tid -> cycles at the last un-exited dup.enter
         self._dup_enter: Dict[int, int] = {}
         self._last_tick: Optional[int] = None
+        #: counter name -> total already published by sync_metrics
+        self._marks: Dict[str, int] = {}
 
     # -- internals ---------------------------------------------------------
 
@@ -198,6 +205,23 @@ class TelemetryRecorder(NullRecorder):
             "dropped": self.ring.dropped,
             "capacity": self.ring.capacity,
         }
+
+    def _bump(self, name: str, total: int) -> None:
+        """Advance counter *name* to cumulative *total* (sync pattern:
+        safe to call repeatedly, never double-counts)."""
+        mark = self._marks.get(name, 0)
+        if total > mark:
+            self.metrics.counter(name).inc(total - mark)
+            self._marks[name] = total
+
+    def sync_metrics(self) -> None:
+        """Publish ring occupancy and eviction counts as first-class
+        ``vm.telemetry.ring.*`` metrics (satellite of the compaction
+        work: drops used to be visible only on the ring object)."""
+        metrics = self.metrics
+        metrics.gauge("vm.telemetry.ring.events").set(len(self.ring))
+        metrics.gauge("vm.telemetry.ring.capacity").set(self.ring.capacity)
+        self._bump("vm.telemetry.ring.dropped", self.ring.dropped)
 
 
 def recompile_decision(recorder, cycles, **data) -> None:

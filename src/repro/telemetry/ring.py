@@ -28,15 +28,24 @@ class EventRing:
         self._buf: List[Event] = []
         self._head = 0  # index of the oldest event once the ring is full
 
-    def append(self, event: Event) -> None:
+    def append(self, event: Event):
+        """Append, returning the evicted oldest entry (or None).
+
+        The return value lets callers weigh what a full ring is losing —
+        a compacted record can stand for hundreds of original events, so
+        ``dropped`` (entries evicted) and events lost are not the same
+        number.
+        """
         buf = self._buf
         if len(buf) < self.capacity:
             buf.append(event)
-            return
+            return None
         head = self._head
+        evicted = buf[head]
         buf[head] = event
         self._head = (head + 1) % self.capacity
         self.dropped += 1
+        return evicted
 
     def __len__(self) -> int:
         return len(self._buf)
