@@ -128,6 +128,13 @@ class AdaptiveVMSimulation:
         hot_site_threshold: share for profile-directed inlining.
         max_epochs: stop even if decisions keep appearing.
         cost_model: VM cycle model.
+        plan: optional :class:`~repro.analysis.planner.StrategyPlan`
+            (or a ``{function: strategy}`` mapping) feeding the static
+            planner's per-function strategy choices forward into the
+            online system: each epoch's profiling image is built with
+            :func:`~repro.sampling.framework.transform_planned` instead
+            of uniform Full-Duplication, so cold/unreachable methods
+            skip the duplication cost from epoch 0 onward.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class AdaptiveVMSimulation:
         hot_site_threshold: float = 0.05,
         max_epochs: int = 6,
         cost_model: Optional[CostModel] = None,
+        plan: Optional[object] = None,
     ):
         self.source = source
         self.interval = interval
@@ -145,6 +153,7 @@ class AdaptiveVMSimulation:
         self.hot_site_threshold = hot_site_threshold
         self.max_epochs = max_epochs
         self.cost_model = cost_model or CostModel()
+        self.plan_assignments = _plan_assignments(plan)
 
     # -- compilation model ---------------------------------------------------
 
@@ -200,6 +209,26 @@ class AdaptiveVMSimulation:
         epoch.compile_cycles += cost
         epoch.promoted.append(name)
 
+    def _profiling_image(self, program: Program, instr) -> Program:
+        """Transform *program* for one profiling epoch.
+
+        With a feed-forward plan, functions the static planner marked
+        cheap (cold, unreachable, loop-light) get their planned
+        strategy; methods the plan never saw — e.g. created by later
+        recompilation — fall back to Full-Duplication.
+        """
+        if self.plan_assignments:
+            from repro.sampling.framework import transform_planned
+
+            return transform_planned(
+                program,
+                instr,
+                self.plan_assignments,
+                default=Strategy.FULL_DUPLICATION,
+            )
+        framework = SamplingFramework(Strategy.FULL_DUPLICATION)
+        return framework.transform(program, instr)
+
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -221,8 +250,7 @@ class AdaptiveVMSimulation:
                 epoch.compile_cycles += initial_compile
 
             instr = CallEdgeInstrumentation()
-            framework = SamplingFramework(Strategy.FULL_DUPLICATION)
-            profiled = framework.transform(program, instr)
+            profiled = self._profiling_image(program, instr)
             run = VM(
                 profiled,
                 cost_model=self.cost_model,
@@ -280,6 +308,16 @@ class AdaptiveVMSimulation:
             final_program=program,
             baseline_epoch_cycles=epochs[0].run_cycles if epochs else 0,
         )
+
+
+def _plan_assignments(plan) -> Dict[str, str]:
+    """Normalize a feed-forward plan to ``{function: strategy-value}``."""
+    if plan is None:
+        return {}
+    assignments = getattr(plan, "assignments", None)
+    if callable(assignments):
+        return dict(assignments())
+    return {str(name): str(value) for name, value in dict(plan).items()}
 
 
 def _with_conventions(program: Program) -> Program:

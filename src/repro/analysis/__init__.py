@@ -15,8 +15,12 @@ Entry points:
 * :func:`reconcile` / :func:`reconcile_manifest` — validate dynamic
   ExecStats against a certificate; :func:`reconcile_stream` — validate
   a (compacted) telemetry stream against the run's counters.
-* ``repro lint`` / ``repro audit`` — the CLI surfaces (see
-  docs/ANALYSIS.md for the rule catalog and suppression syntax).
+* :func:`analyze_program` — interprocedural cost analysis (call graph,
+  trip counts, summary polynomials); :func:`plan_program` — the static
+  strategy planner built on it; :func:`reconcile_plan` — per-function
+  validation of a planned run.
+* ``repro lint`` / ``repro audit`` / ``repro plan`` — the CLI surfaces
+  (see docs/ANALYSIS.md for the rule catalog and suppression syntax).
 """
 
 from repro.analysis.auditor import (
@@ -33,23 +37,78 @@ from repro.analysis.cost import (
     build_certificate,
     function_cost_bound,
 )
-from repro.analysis.findings import Finding, Severity
+from repro.analysis.findings import (
+    FINDINGS_SCHEMA_VERSION,
+    Finding,
+    Severity,
+    findings_document,
+    findings_ok,
+    tally,
+)
+from repro.analysis.interproc import (
+    CallGraph,
+    CallSite,
+    CostPoly,
+    FunctionLoopInfo,
+    FunctionSummary,
+    LoopBound,
+    ProgramAnalysis,
+    analyze_program,
+    unreachable_functions,
+)
+from repro.analysis.planner import (
+    BUDGETS,
+    FunctionPlan,
+    PlanBudget,
+    StrategyPlan,
+    plan_program,
+)
 from repro.analysis.reconcile import (
     ReconcileVerdict,
+    measured_function_checks,
     reconcile,
     reconcile_manifest,
+    reconcile_plan,
     reconcile_profile,
     reconcile_stream,
 )
 from repro.analysis.rules import (
+    ProgramRule,
     Rule,
     Suppressions,
+    all_program_rules,
     all_rules,
     get_rule,
+    program_rule,
+    run_program_rules,
     run_rules,
 )
 
 __all__ = [
+    "BUDGETS",
+    "CallGraph",
+    "CallSite",
+    "CostPoly",
+    "FINDINGS_SCHEMA_VERSION",
+    "FunctionLoopInfo",
+    "FunctionPlan",
+    "FunctionSummary",
+    "LoopBound",
+    "PlanBudget",
+    "ProgramAnalysis",
+    "ProgramRule",
+    "StrategyPlan",
+    "all_program_rules",
+    "analyze_program",
+    "findings_document",
+    "findings_ok",
+    "measured_function_checks",
+    "plan_program",
+    "program_rule",
+    "reconcile_plan",
+    "run_program_rules",
+    "tally",
+    "unreachable_functions",
     "AuditContext",
     "AuditReport",
     "CostCertificate",

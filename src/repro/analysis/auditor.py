@@ -24,7 +24,7 @@ from repro.analysis.cost import (
     function_cost_bound,
 )
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.rules import Suppressions, run_rules
+from repro.analysis.rules import Suppressions, run_program_rules, run_rules
 from repro.bytecode.function import Function
 from repro.bytecode.program import Program
 
@@ -116,11 +116,16 @@ def audit_program(
     suppressions: Optional[Suppressions] = None,
     functions: Optional[Iterable[str]] = None,
     label: Optional[str] = None,
+    program_rules: bool = False,
 ) -> AuditReport:
     """Audit every (or the named) function of *program*.
 
     Returns an :class:`AuditReport` whose certificate covers exactly
     the audited functions; ``report.ok`` is the audit verdict.
+    *program_rules* additionally runs the whole-program rules (LNT004
+    unreachable-function analysis over the interprocedural call graph);
+    ``repro lint``/``repro audit`` enable it, the per-cell harness audit
+    keeps the per-function invariant set.
     """
     names = (
         list(functions) if functions is not None else program.function_names()
@@ -158,6 +163,8 @@ def audit_program(
         ctx = AuditContext(fn, strategy=effective)
         contexts.append(ctx)
         all_findings.extend(run_rules(ctx))
+    if program_rules:
+        all_findings.extend(run_program_rules(program))
     if suppressions is not None:
         all_findings, report.suppressed = suppressions.apply(all_findings)
     report.findings = all_findings

@@ -80,6 +80,45 @@ class FunctionCostBound:
     loops: int
     max_checks_per_iteration: int
 
+    # -- per-function coefficients (satellite of the plan reconciler) ----
+
+    @property
+    def checks_per_entry(self) -> int:
+        """This function's own cpe coefficient: 1 iff it carries entry
+        or residual checks. Its activations are a subset of the run's
+        counted CALL/SPAWN opportunities, so charging the *global*
+        entry total against a per-function coefficient stays an upper
+        bound."""
+        return 1 if self.entry_checks or self.residual_checks else 0
+
+    @property
+    def checks_per_backedge(self) -> int:
+        return 1 if self.backedge_checks or self.residual_checks else 0
+
+    @property
+    def formula(self) -> str:
+        return (
+            f"checks_executed[{self.function}] <= "
+            f"{self.checks_per_entry}*(calls + threads_spawned + 1) + "
+            f"{self.checks_per_backedge}*(backward_jumps + checks_taken)"
+        )
+
+    def bound_against(self, stats: Union[Mapping[str, Any], Any]) -> int:
+        """Evaluate this function's certified bound over one run's
+        counters. With both coefficients zero (no-duplication,
+        exhaustive, or a check-free body) the bound is exactly 0: the
+        function must never execute a CHECK."""
+        entries = (
+            _stat(stats, "calls") + _stat(stats, "threads_spawned") + 1
+        )
+        backedges = (
+            _stat(stats, "backward_jumps") + _stat(stats, "checks_taken")
+        )
+        return (
+            self.checks_per_entry * entries
+            + self.checks_per_backedge * backedges
+        )
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "function": self.function,
@@ -96,6 +135,11 @@ class FunctionCostBound:
             "dup_residency": self.dup_residency,
             "loops": self.loops,
             "max_checks_per_iteration": self.max_checks_per_iteration,
+            # Derived coefficients ride along so archived manifests and
+            # ``repro plan --diff`` can attribute a miss to a function
+            # without re-deriving the transform.
+            "checks_per_entry": self.checks_per_entry,
+            "checks_per_backedge": self.checks_per_backedge,
         }
 
     @classmethod
@@ -153,6 +197,22 @@ class CostCertificate:
             f"threads_spawned + 1) + {self.checks_per_backedge}*"
             f"(backward_jumps + checks_taken)"
         )
+
+    def function_bound(self, name: str) -> Optional[FunctionCostBound]:
+        for f in self.functions:
+            if f.function == name:
+                return f
+        return None
+
+    def function_bounds_against(
+        self, stats: Union[Mapping[str, Any], Any]
+    ) -> Dict[str, int]:
+        """Per-function certified bounds over one run's counters —
+        the reference the plan reconciler checks measured per-function
+        check counts against."""
+        return {
+            f.function: f.bound_against(stats) for f in self.functions
+        }
 
     # -- dynamic validation ----------------------------------------------
 

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Version stamp of the shared findings-document schema emitted by
+#: ``repro lint --format json`` and ``repro audit --format json``
+#: (:func:`findings_document`). CI parses exactly this shape.
+FINDINGS_SCHEMA_VERSION = 1
 
 
 class Severity(enum.IntEnum):
@@ -72,3 +77,77 @@ class Finding:
             message=payload["message"],
             block=payload.get("block"),
         )
+
+
+# ---------------------------------------------------------------------------
+# shared CLI/CI document schema
+#
+# ``repro lint`` and ``repro audit`` historically emitted differently
+# shaped JSON; CI jobs now parse one schema for both. A *findings
+# document* is::
+#
+#     {
+#       "schema": 1,
+#       "tool": "lint" | "audit" | "plan",
+#       "ok": bool,                 # drives the process exit code
+#       "strict": bool,
+#       "errors": int, "warnings": int, "infos": int,
+#       "findings": [Finding.as_dict(), ...],   # across all reports
+#       "reports": [...],           # tool-specific payloads, in order
+#     }
+
+
+def tally(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Severity tallies over *findings* (keys: errors/warnings/infos)."""
+    counts = {"errors": 0, "warnings": 0, "infos": 0}
+    for finding in findings:
+        if finding.severity >= Severity.ERROR:
+            counts["errors"] += 1
+        elif finding.severity >= Severity.WARNING:
+            counts["warnings"] += 1
+        else:
+            counts["infos"] += 1
+    return counts
+
+
+def findings_ok(
+    findings: Iterable[Finding],
+    strict: bool = False,
+    extra_failures: int = 0,
+) -> bool:
+    """The unified pass/fail bar: errors always fail; ``--strict``
+    lowers the bar to any finding at all; *extra_failures* folds in
+    tool-specific failures (reconcile violations, failed verdicts)."""
+    counts = tally(findings)
+    if extra_failures:
+        return False
+    if counts["errors"]:
+        return False
+    if strict and (counts["warnings"] or counts["infos"]):
+        return False
+    return True
+
+
+def findings_document(
+    tool: str,
+    findings: Iterable[Finding],
+    reports: Optional[List[Dict[str, Any]]] = None,
+    strict: bool = False,
+    extra_failures: int = 0,
+) -> Dict[str, Any]:
+    """Assemble the shared JSON document (see module schema comment).
+
+    ``document["ok"]`` is exactly ``exit code == 0`` for the emitting
+    command, so CI can gate on one field regardless of the tool.
+    """
+    listed = list(findings)
+    document: Dict[str, Any] = {
+        "schema": FINDINGS_SCHEMA_VERSION,
+        "tool": tool,
+        "strict": bool(strict),
+        "ok": findings_ok(listed, strict, extra_failures),
+        "findings": [f.as_dict() for f in listed],
+        "reports": reports or [],
+    }
+    document.update(tally(listed))
+    return document

@@ -1,0 +1,1208 @@
+"""Whole-program interprocedural cost analysis.
+
+Three layers, each usable on its own and composed by the strategy
+planner (:mod:`repro.analysis.planner`):
+
+1. **Call graph** (:class:`CallGraph`) — direct ``CALL``/``SPAWN``
+   edges, plus conservative *open-table* edges for dynamic code:
+   ``LOADFN caller -> template`` (the template becomes callable once
+   loaded) and ``REPLACEFN`` both as ``caller -> template`` and as an
+   *alias* edge ``target -> template`` (every existing call to the
+   target may execute the template's body after replacement). Tarjan
+   SCC condensation yields a bottom-up (callee-first) summary order;
+   :meth:`CallGraph.reachable` drives the LNT004 unreachable-function
+   lint.
+
+2. **Trip counts** (:func:`analyze_loops`) — a forward constant/
+   parameter propagation dataflow over local slots (built on
+   :mod:`repro.cfg.dataflow`) feeds a counted-loop classifier that
+   labels every natural loop *constant* (trip count is a compile-time
+   integer), *parameter* (bounded by a function parameter — linear in
+   the caller's argument), or *unknown*. Two canonical shapes are
+   recognised, matching what the MiniJ compiler and the test
+   generators emit: a counter decremented to zero and tested with
+   ``JZ``/``JNZ``, and a counter compared against a loop-invariant
+   limit (``LT``/``LE``/``GT``/``GE``/``NE``).
+
+3. **Cost polynomials** (:class:`CostPoly`) — per-block execution
+   frequencies as polynomials in an abstract workload scale ``n``:
+   a block nested in loops executes the *product* of the surrounding
+   trip bounds per activation (constant bounds multiply coefficients,
+   parameter/unknown bounds raise the degree). Summaries compose
+   bottom-up through the SCC condensation: ``total(f) = local(f) +
+   sum(callsite_frequency * total(callee))`` with fixpoint *widening*
+   on recursive SCCs (degree bumped, flagged unknown), and per-function
+   activation counts propagate top-down from the entry the same way.
+
+The polynomials are *predictions* used to rank strategies; soundness of
+a planned run is enforced separately by the per-function certificate
+bound (:mod:`repro.analysis.cost`) and the plan reconciler
+(:func:`repro.analysis.reconcile.reconcile_plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.bytecode.function import Function
+from repro.bytecode.opcodes import (
+    FUNCTION_REF_OPS,
+    STACK_EFFECTS,
+    Op,
+)
+from repro.bytecode.program import Program
+from repro.cfg.basic_block import CondBranch
+from repro.cfg.dataflow import DataflowProblem, solve
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.graph import CFG
+from repro.cfg.loops import NaturalLoop, natural_loops
+
+# ---------------------------------------------------------------------------
+# abstract values
+#
+# The evaluator works over small hashable tuples:
+#   ("top",)              -- unknown
+#   ("const", c)          -- the integer c
+#   ("param", i, d)       -- function parameter i plus delta d
+#   ("slot", s, d)        -- block-entry value of local s plus delta d
+#                            (relative mode only; induction detection)
+#   ("cmp", op, lhs, rhs) -- boolean result of a comparison
+
+TOP = ("top",)
+
+_CMP_OPS = {Op.LT, Op.LE, Op.GT, Op.GE, Op.EQ, Op.NE}
+_CMP_NEGATE = {
+    Op.LT: Op.GE, Op.GE: Op.LT,
+    Op.LE: Op.GT, Op.GT: Op.LE,
+    Op.EQ: Op.NE, Op.NE: Op.EQ,
+}
+_CMP_SWAP = {
+    Op.LT: Op.GT, Op.GT: Op.LT,
+    Op.LE: Op.GE, Op.GE: Op.LE,
+    Op.EQ: Op.EQ, Op.NE: Op.NE,
+}
+
+
+def _is_const(v) -> bool:
+    return v[0] == "const"
+
+
+def _add_delta(v, d: int):
+    """v + d for const/param/slot values; TOP otherwise."""
+    if v[0] == "const":
+        return ("const", v[1] + d)
+    if v[0] in ("param", "slot"):
+        return (v[0], v[1], v[2] + d)
+    return TOP
+
+
+def _fold_binary(op: Op, a, b):
+    """Abstract fold of ``a <op> b`` (both already popped, a below b)."""
+    if op == Op.ADD:
+        if _is_const(b):
+            return _add_delta(a, b[1])
+        if _is_const(a):
+            return _add_delta(b, a[1])
+        return TOP
+    if op == Op.SUB:
+        if _is_const(b):
+            return _add_delta(a, -b[1])
+        if _is_const(a) and _is_const(b):
+            return ("const", a[1] - b[1])
+        return TOP
+    if op == Op.MUL:
+        if _is_const(a) and _is_const(b):
+            return ("const", a[1] * b[1])
+        return TOP
+    if op in _CMP_OPS:
+        if a == TOP or b == TOP:
+            return TOP
+        return ("cmp", op, a, b)
+    return TOP
+
+
+def _callee_arity(program: Optional[Program], name) -> Optional[int]:
+    if program is None or not isinstance(name, str):
+        return None
+    fn = program.resolve_callable(name)
+    return fn.num_params if fn is not None else None
+
+
+def eval_block(
+    block,
+    lookup,
+    program: Optional[Program] = None,
+) -> Tuple[Dict[int, Any], List[Tuple[int, Any]], Any]:
+    """Abstractly execute *block*.
+
+    *lookup(slot)* provides the value of a local at block entry.
+    Returns ``(env, stores, condition)``: the slot environment at block
+    exit, the ordered ``(slot, value)`` stores the block performed, and
+    the abstract value a conditional terminator tests (None for
+    unconditional terminators). Stack underflow (operands produced by a
+    predecessor block) yields TOP — sound, merely imprecise.
+    """
+    env: Dict[int, Any] = {}
+    stores: List[Tuple[int, Any]] = []
+    stack: List[Any] = []
+
+    def pop():
+        return stack.pop() if stack else TOP
+
+    for ins in block.instructions:
+        op = ins.op
+        if op == Op.PUSH:
+            stack.append(("const", ins.arg))
+        elif op == Op.LOAD:
+            slot = ins.arg
+            stack.append(env[slot] if slot in env else lookup(slot))
+        elif op == Op.STORE:
+            value = pop()
+            env[ins.arg] = value
+            stores.append((ins.arg, value))
+        elif op == Op.DUP:
+            value = pop()
+            stack.append(value)
+            stack.append(value)
+        elif op == Op.SWAP:
+            b, a = pop(), pop()
+            stack.append(b)
+            stack.append(a)
+        elif op == Op.NEG:
+            value = pop()
+            stack.append(
+                ("const", -value[1]) if _is_const(value) else TOP
+            )
+        elif op == Op.NOT:
+            value = pop()
+            if _is_const(value):
+                stack.append(("const", int(value[1] == 0)))
+            elif value[0] == "cmp":
+                stack.append(
+                    ("cmp", _CMP_NEGATE[value[1]], value[2], value[3])
+                )
+            else:
+                stack.append(TOP)
+        elif op in FUNCTION_REF_OPS:
+            arity = _callee_arity(program, ins.arg)
+            if arity is None:
+                # Unknown callee arity desynchronises the stack model;
+                # drop everything to stay sound.
+                stack = []
+            else:
+                for _ in range(arity):
+                    pop()
+            stack.append(TOP)
+        else:
+            effect = STACK_EFFECTS.get(op)
+            if effect is None:
+                stack = []
+                stack.append(TOP)
+                continue
+            pops, pushes = effect
+            operands = [pop() for _ in range(pops)]
+            operands.reverse()
+            if pops == 2 and pushes == 1:
+                stack.append(_fold_binary(op, operands[0], operands[1]))
+            else:
+                stack.extend([TOP] * pushes)
+
+    condition = pop() if isinstance(block.terminator, CondBranch) else None
+    return env, stores, condition
+
+
+# ---------------------------------------------------------------------------
+# constant/parameter propagation dataflow
+
+_Fact = FrozenSet[Tuple[int, Any]]
+
+
+class ConstParamProblem(DataflowProblem[Optional[_Fact]]):
+    """Forward must-analysis: which locals hold a known constant or a
+    known (parameter + delta) value at block entry.
+
+    Facts are frozensets of ``(slot, value)`` pairs; ``None`` is the
+    optimistic "unvisited" initial fact (meet identity), so the meet is
+    agreement (intersection) over *visited* predecessors only.
+    """
+
+    direction = "forward"
+
+    def __init__(self, cfg: CFG, program: Optional[Program] = None):
+        self._cfg = cfg
+        self._program = program
+
+    def boundary(self, cfg: CFG) -> _Fact:
+        entry: Set[Tuple[int, Any]] = set()
+        for slot in range(cfg.num_locals):
+            if slot < cfg.num_params:
+                entry.add((slot, ("param", slot, 0)))
+            else:
+                entry.add((slot, ("const", 0)))  # frames zero-init locals
+        return frozenset(entry)
+
+    def initial(self, cfg: CFG) -> Optional[_Fact]:
+        return None
+
+    def meet(self, facts: Iterable[Optional[_Fact]]) -> Optional[_Fact]:
+        result: Optional[Set[Tuple[int, Any]]] = None
+        for fact in facts:
+            if fact is None:
+                continue
+            if result is None:
+                result = set(fact)
+            else:
+                result &= fact
+        return frozenset(result) if result is not None else None
+
+    def transfer(
+        self, block, fact: Optional[_Fact]
+    ) -> Optional[_Fact]:
+        if fact is None:
+            return None
+        known = dict(fact)
+        env, _, _ = eval_block(
+            block, lambda s: known.get(s, TOP), self._program
+        )
+        for slot, value in env.items():
+            if value[0] in ("const", "param"):
+                known[slot] = value
+            else:
+                known.pop(slot, None)
+        return frozenset(known.items())
+
+
+# ---------------------------------------------------------------------------
+# trip-count classification
+
+
+@dataclass(frozen=True)
+class LoopBound:
+    """Classified trip-count bound for one natural loop."""
+
+    kind: str  # "constant" | "parameter" | "unknown"
+    value: Optional[int] = None  # constant trip count
+    param: Optional[int] = None  # bounding parameter slot
+
+    CONSTANT = "constant"
+    PARAMETER = "parameter"
+    UNKNOWN = "unknown"
+
+    def describe(self) -> str:
+        if self.kind == self.CONSTANT:
+            return f"{self.value} iterations"
+        if self.kind == self.PARAMETER:
+            return f"bounded by parameter {self.param}"
+        return "unknown trip count"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value, "param": self.param}
+
+
+_UNKNOWN_BOUND = LoopBound(LoopBound.UNKNOWN)
+
+
+def _loop_exit_test(
+    cfg: CFG, loop: NaturalLoop
+) -> Optional[Tuple[int, CondBranch, int]]:
+    """The loop's single conditional exit ``(bid, terminator,
+    exit_successor)``, or None when the shape is not canonical."""
+    exits = []
+    for bid in sorted(loop.body):
+        term = cfg.block(bid).terminator
+        if not isinstance(term, CondBranch):
+            continue
+        outside = [s for s in term.successors() if s not in loop.body]
+        if outside:
+            exits.append((bid, term, outside[0]))
+    return exits[0] if len(exits) == 1 else None
+
+
+def _induction_step(
+    cfg: CFG,
+    loop: NaturalLoop,
+    slot: int,
+    program: Optional[Program],
+    dom: DominatorTree,
+) -> Optional[int]:
+    """The loop's per-iteration increment of *slot*, when it provably
+    updates by a constant exactly once per iteration.
+
+    Requires a single body block storing to the slot, that block to
+    dominate every backedge source (so no iteration skips the update),
+    and the stored value to be ``slot + step`` relative to block entry.
+    """
+    update_block: Optional[int] = None
+    step: Optional[int] = None
+    for bid in sorted(loop.body):
+        block = cfg.block(bid)
+        _, stores, _ = eval_block(block, lambda s: ("slot", s, 0), program)
+        slot_stores = [value for s, value in stores if s == slot]
+        if not slot_stores:
+            continue
+        if update_block is not None or len(slot_stores) > 1:
+            return None
+        value = slot_stores[0]
+        if value[0] != "slot" or value[1] != slot or value[2] == 0:
+            return None
+        update_block, step = bid, value[2]
+    if update_block is None:
+        return None
+    for src in loop.backedge_sources:
+        if not dom.dominates(update_block, src):
+            return None
+    return step
+
+
+def _bound_from_limit(
+    init, limit, op: Op, step: int
+) -> LoopBound:
+    """Trip bound for ``while (counter <op> limit)`` with *step*."""
+    ascending = step > 0
+    if op == Op.NE:
+        # while counter != limit: must step toward the limit and hit it.
+        if _is_const(init) and _is_const(limit):
+            distance = limit[1] - init[1]
+            if distance == 0:
+                return LoopBound(LoopBound.CONSTANT, value=0)
+            if distance % step == 0 and (distance > 0) == ascending:
+                return LoopBound(LoopBound.CONSTANT, value=distance // step)
+            return _UNKNOWN_BOUND
+        if init[0] == "param" or limit[0] == "param":
+            param = init[1] if init[0] == "param" else limit[1]
+            return LoopBound(LoopBound.PARAMETER, param=param)
+        return _UNKNOWN_BOUND
+    if op in (Op.LT, Op.LE):
+        if not ascending:
+            return _UNKNOWN_BOUND
+    elif op in (Op.GT, Op.GE):
+        if ascending:
+            return _UNKNOWN_BOUND
+    else:
+        return _UNKNOWN_BOUND
+    if _is_const(init) and _is_const(limit):
+        distance = (
+            limit[1] - init[1] if ascending else init[1] - limit[1]
+        )
+        if op in (Op.LE, Op.GE):
+            distance += 1
+        if distance <= 0:
+            return LoopBound(LoopBound.CONSTANT, value=0)
+        magnitude = abs(step)
+        return LoopBound(
+            LoopBound.CONSTANT,
+            value=(distance + magnitude - 1) // magnitude,
+        )
+    if init[0] == "param" or limit[0] == "param":
+        param = limit[1] if limit[0] == "param" else init[1]
+        return LoopBound(LoopBound.PARAMETER, param=param)
+    return _UNKNOWN_BOUND
+
+
+def classify_loop(
+    cfg: CFG,
+    loop: NaturalLoop,
+    out_facts: Mapping[int, Optional[_Fact]],
+    program: Optional[Program] = None,
+    dom: Optional[DominatorTree] = None,
+) -> LoopBound:
+    """Classify one natural loop's trip count."""
+    shape = _loop_exit_test(cfg, loop)
+    if shape is None:
+        return _UNKNOWN_BOUND
+    exit_bid, term, exit_succ = shape
+
+    # Abstract value the exit test branches on, relative to block entry.
+    _, _, condition = eval_block(
+        cfg.block(exit_bid), lambda s: ("slot", s, 0), program
+    )
+    if condition is None or condition == TOP:
+        return _UNKNOWN_BOUND
+
+    # Normalize to "loop continues while <predicate true>".
+    # JZ jumps (to `taken`) when the value is zero/false.
+    exits_when_true = (
+        term.taken == exit_succ if term.op == Op.JNZ
+        else term.fallthrough == exit_succ
+    )
+
+    # Initial counter values: agreement over the non-loop predecessors
+    # of the header (the preheader side).
+    preds = cfg.predecessors_map()
+    entry_facts = [
+        out_facts.get(p)
+        for p in preds.get(loop.header, [])
+        if p not in loop.body
+    ]
+    init_env: Dict[int, Any] = {}
+    known = [f for f in entry_facts if f is not None]
+    if known:
+        agreed = set(known[0])
+        for fact in known[1:]:
+            agreed &= fact
+        init_env = dict(agreed)
+
+    def init_of(slot: int):
+        return init_env.get(slot, TOP)
+
+    if condition[0] == "slot" and condition[2] == 0:
+        # Direct test of a counter slot: loop while slot != 0 (or the
+        # degenerate "while slot == 0", which we cannot bound).
+        if exits_when_true:
+            return _UNKNOWN_BOUND
+        slot = condition[1]
+        step = _induction_step(
+            cfg, loop, slot, program, dom or DominatorTree(cfg)
+        )
+        if step is None:
+            return _UNKNOWN_BOUND
+        return _bound_from_limit(init_of(slot), ("const", 0), Op.NE, step)
+
+    if condition[0] == "cmp":
+        op, lhs, rhs = condition[1], condition[2], condition[3]
+        if exits_when_true:
+            op = _CMP_NEGATE[op]
+        # Orient as counter <op> limit.
+        if lhs[0] == "slot" and lhs[2] == 0 and rhs[0] != "slot":
+            counter, limit = lhs, rhs
+        elif rhs[0] == "slot" and rhs[2] == 0 and lhs[0] != "slot":
+            counter, limit = rhs, lhs
+            op = _CMP_SWAP[op]
+        else:
+            return _UNKNOWN_BOUND
+        if limit[0] not in ("const", "param"):
+            return _UNKNOWN_BOUND
+        slot = counter[1]
+        step = _induction_step(
+            cfg, loop, slot, program, dom or DominatorTree(cfg)
+        )
+        if step is None:
+            return _UNKNOWN_BOUND
+        return _bound_from_limit(init_of(slot), limit, op, step)
+
+    return _UNKNOWN_BOUND
+
+
+# ---------------------------------------------------------------------------
+# cost polynomials
+
+
+class CostPoly:
+    """A polynomial in the abstract workload scale ``n``.
+
+    ``coeffs`` maps degree -> coefficient. ``unknown`` marks results
+    that passed through a widened (unknown trip count / recursive)
+    factor: such factors still raise the degree — pessimistic for
+    ranking — but the flag keeps the uncertainty visible in rationales
+    and reports.
+    """
+
+    __slots__ = ("coeffs", "unknown")
+
+    def __init__(
+        self,
+        coeffs: Optional[Mapping[int, float]] = None,
+        unknown: bool = False,
+    ):
+        self.coeffs: Dict[int, float] = {
+            int(d): float(c) for d, c in (coeffs or {}).items() if c
+        }
+        self.unknown = bool(unknown)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "CostPoly":
+        return cls()
+
+    @classmethod
+    def constant(cls, value: float) -> "CostPoly":
+        return cls({0: value})
+
+    # -- algebra ---------------------------------------------------------
+
+    def add(self, other: "CostPoly") -> "CostPoly":
+        coeffs = dict(self.coeffs)
+        for d, c in other.coeffs.items():
+            coeffs[d] = coeffs.get(d, 0.0) + c
+        return CostPoly(coeffs, self.unknown or other.unknown)
+
+    def scale(self, factor: float) -> "CostPoly":
+        if not factor:
+            return CostPoly(unknown=self.unknown)
+        return CostPoly(
+            {d: c * factor for d, c in self.coeffs.items()}, self.unknown
+        )
+
+    def raise_degree(self, by: int = 1) -> "CostPoly":
+        return CostPoly(
+            {d + by: c for d, c in self.coeffs.items()}, self.unknown
+        )
+
+    def times_bound(self, bound: LoopBound) -> "CostPoly":
+        """Multiply by one loop's trip bound."""
+        if bound.kind == LoopBound.CONSTANT:
+            return self.scale(bound.value or 0)
+        widened = self.raise_degree(1)
+        if bound.kind == LoopBound.UNKNOWN:
+            widened.unknown = True
+        return widened
+
+    def multiply(self, other: "CostPoly") -> "CostPoly":
+        coeffs: Dict[int, float] = {}
+        for da, ca in self.coeffs.items():
+            for db, cb in other.coeffs.items():
+                coeffs[da + db] = coeffs.get(da + db, 0.0) + ca * cb
+        return CostPoly(coeffs, self.unknown or other.unknown)
+
+    def join(self, other: "CostPoly") -> "CostPoly":
+        """Coefficient-wise max — the least poly dominating both."""
+        coeffs = dict(self.coeffs)
+        for d, c in other.coeffs.items():
+            coeffs[d] = max(coeffs.get(d, 0.0), c)
+        return CostPoly(coeffs, self.unknown or other.unknown)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def degree(self) -> int:
+        return max(self.coeffs, default=0)
+
+    def evaluate(self, n: float) -> float:
+        return sum(c * (n ** d) for d, c in self.coeffs.items())
+
+    def describe(self) -> str:
+        if not self.coeffs:
+            return "0"
+        terms = []
+        for d in sorted(self.coeffs):
+            c = self.coeffs[d]
+            text = f"{c:g}"
+            if d == 1:
+                text = f"{c:g}*n" if c != 1 else "n"
+            elif d > 1:
+                text = f"{c:g}*n^{d}" if c != 1 else f"n^{d}"
+            terms.append(text)
+        body = " + ".join(terms)
+        return f"~{body} (unknown factors widened)" if self.unknown else body
+
+    def degree_label(self) -> str:
+        if self.is_zero:
+            return "O(0)"
+        label = "O(1)" if self.degree() == 0 else (
+            "O(n)" if self.degree() == 1 else f"O(n^{self.degree()})"
+        )
+        return f"{label}?" if self.unknown else label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostPoly({self.describe()})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CostPoly)
+            and self.coeffs == other.coeffs
+            and self.unknown == other.unknown
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.coeffs.items()), self.unknown))
+
+    # -- serialization ---------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "coeffs": {str(d): c for d, c in sorted(self.coeffs.items())},
+            "unknown": self.unknown,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CostPoly":
+        return cls(
+            {int(d): c for d, c in payload.get("coeffs", {}).items()},
+            payload.get("unknown", False),
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-function loop facts
+
+
+@dataclass
+class FunctionLoopInfo:
+    """Trip-classified loops of one CFG plus per-block frequencies."""
+
+    function: str
+    loops: List[NaturalLoop]
+    bounds: List[LoopBound]
+
+    @classmethod
+    def from_cfg(
+        cls,
+        cfg: CFG,
+        name: Optional[str] = None,
+        program: Optional[Program] = None,
+    ) -> "FunctionLoopInfo":
+        loops = natural_loops(cfg)
+        bounds: List[LoopBound] = []
+        if loops:
+            _, out_facts = solve(ConstParamProblem(cfg, program), cfg)
+            dom = DominatorTree(cfg)
+            bounds = [
+                classify_loop(cfg, loop, out_facts, program, dom)
+                for loop in loops
+            ]
+        return cls(name or cfg.name, loops, bounds)
+
+    @classmethod
+    def from_function(
+        cls, fn: Function, program: Optional[Program] = None
+    ) -> "FunctionLoopInfo":
+        return cls.from_cfg(CFG.from_function(fn), fn.name, program)
+
+    def block_weight(self, bid: int) -> CostPoly:
+        """Executions of block *bid* per activation: the product of the
+        trip bounds of every loop whose body contains it."""
+        weight = CostPoly.constant(1)
+        for loop, bound in zip(self.loops, self.bounds):
+            if bid in loop.body:
+                weight = weight.times_bound(bound)
+        return weight
+
+    @property
+    def iterations_poly(self) -> CostPoly:
+        """Total loop iterations per activation (sum over loops of the
+        header's execution frequency — which already folds in the
+        loop's own bound and every enclosing bound)."""
+        total = CostPoly.zero()
+        for loop in self.loops:
+            total = total.add(self.block_weight(loop.header))
+        return total
+
+    def classify_counts(self) -> Dict[str, int]:
+        counts = {
+            LoopBound.CONSTANT: 0,
+            LoopBound.PARAMETER: 0,
+            LoopBound.UNKNOWN: 0,
+        }
+        for bound in self.bounds:
+            counts[bound.kind] += 1
+        return counts
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "function": self.function,
+            "loops": [
+                {
+                    "header": loop.header,
+                    "blocks": len(loop.body),
+                    "bound": bound.as_dict(),
+                }
+                for loop, bound in zip(self.loops, self.bounds)
+            ],
+            "iterations": self.iterations_poly.as_dict(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# call graph
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One static edge occurrence in a caller's code."""
+
+    caller: str
+    callee: str
+    kind: str  # "call" | "spawn" | "load" | "replace" | "alias"
+    pc: int
+
+    CALL = "call"
+    SPAWN = "spawn"
+    LOAD = "load"
+    REPLACE = "replace"
+    ALIAS = "alias"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "caller": self.caller,
+            "callee": self.callee,
+            "kind": self.kind,
+            "pc": self.pc,
+        }
+
+
+#: Edge kinds that transfer control into the callee's body when the
+#: caller executes the site (frequency-weighted in summaries).
+INVOKE_KINDS = frozenset({CallSite.CALL, CallSite.SPAWN})
+
+
+class CallGraph:
+    """Static call graph with conservative open-table edges.
+
+    Nodes are every statically-known function *and* every loadable
+    template (templates are bodies that may run once loaded). Edges:
+
+    * ``call``/``spawn`` — a direct invocation site;
+    * ``load`` — ``LOADFN template``: the template becomes reachable;
+    * ``replace`` — ``REPLACEFN (target, template)``: the caller makes
+      the template's body live;
+    * ``alias`` — synthesized ``target -> template`` for every
+      REPLACEFN: any call to the target may thereafter execute the
+      template, so the target's summary must absorb the template's.
+    """
+
+    def __init__(self, entry: str):
+        self.entry = entry
+        self._sites: Dict[str, List[CallSite]] = {}
+        self._nodes: Set[str] = set()
+        self.replacements: Dict[str, Tuple[str, ...]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_program(cls, program: Program) -> "CallGraph":
+        graph = cls(program.entry)
+        bodies: Dict[str, Function] = dict(program.functions)
+        for name, template in program.loadables.items():
+            bodies.setdefault(name, template)
+        graph._nodes = set(bodies)
+        replaced: Dict[str, List[str]] = {}
+        for name, fn in sorted(bodies.items()):
+            sites = graph._sites.setdefault(name, [])
+            for pc, ins in enumerate(fn.code):
+                if ins.op in FUNCTION_REF_OPS:
+                    kind = (
+                        CallSite.SPAWN
+                        if ins.op == Op.SPAWN
+                        else CallSite.CALL
+                    )
+                    sites.append(CallSite(name, ins.arg, kind, pc))
+                elif ins.op == Op.LOADFN:
+                    sites.append(
+                        CallSite(name, ins.arg, CallSite.LOAD, pc)
+                    )
+                elif ins.op == Op.REPLACEFN:
+                    target, template = ins.arg
+                    sites.append(
+                        CallSite(name, template, CallSite.REPLACE, pc)
+                    )
+                    replaced.setdefault(target, []).append(template)
+        for target, templates in sorted(replaced.items()):
+            uniq = tuple(dict.fromkeys(templates))
+            graph.replacements[target] = uniq
+            alias_sites = graph._sites.setdefault(target, [])
+            for template in uniq:
+                alias_sites.append(
+                    CallSite(target, template, CallSite.ALIAS, -1)
+                )
+        return graph
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def sites(self, name: str) -> Tuple[CallSite, ...]:
+        return tuple(self._sites.get(name, ()))
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for site in self._sites.get(name, ()):
+            if site.callee in self._nodes:
+                seen.setdefault(site.callee, None)
+        return tuple(seen)
+
+    def edges(self) -> List[CallSite]:
+        return [
+            site
+            for name in sorted(self._sites)
+            for site in self._sites[name]
+        ]
+
+    def reachable(self) -> FrozenSet[str]:
+        """Nodes reachable from the entry over every edge kind."""
+        if self.entry not in self._nodes:
+            return frozenset()
+        seen: Set[str] = set()
+        stack = [self.entry]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(
+                succ for succ in self.successors(name) if succ not in seen
+            )
+        return frozenset(seen)
+
+    def unreachable(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes - self.reachable()))
+
+    # -- SCC condensation ------------------------------------------------
+
+    def sccs(self) -> List[Tuple[str, ...]]:
+        """Strongly connected components, callee-first (Tarjan's output
+        order is a reverse topological sort of the condensation, which
+        is exactly bottom-up summary order)."""
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        result: List[Tuple[str, ...]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, succ_idx = work.pop()
+                if succ_idx == 0:
+                    index[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                succs = self.successors(node)
+                advanced = False
+                for i in range(succ_idx, len(succs)):
+                    succ = succs[i]
+                    if succ not in index:
+                        work.append((node, i + 1))
+                        work.append((succ, 0))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(tuple(sorted(component)))
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+        for name in self.nodes:
+            if name not in index:
+                strongconnect(name)
+        return result
+
+    def condensation(
+        self,
+    ) -> Tuple[List[Tuple[str, ...]], Dict[int, Set[int]]]:
+        """(components, dag) with dag edges on component indices."""
+        components = self.sccs()
+        component_of = {
+            name: idx
+            for idx, comp in enumerate(components)
+            for name in comp
+        }
+        dag: Dict[int, Set[int]] = {i: set() for i in range(len(components))}
+        for name in self.nodes:
+            for succ in self.successors(name):
+                a, b = component_of[name], component_of[succ]
+                if a != b:
+                    dag[a].add(b)
+        return components, dag
+
+    def recursive_components(self) -> List[Tuple[str, ...]]:
+        """SCCs that actually cycle (size > 1, or a self edge)."""
+        return [
+            comp
+            for comp in self.sccs()
+            if len(comp) > 1 or comp[0] in self.successors(comp[0])
+        ]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "entry": self.entry,
+            "nodes": list(self.nodes),
+            "edges": [site.as_dict() for site in self.edges()],
+            "unreachable": list(self.unreachable()),
+            "recursive": [list(c) for c in self.recursive_components()],
+        }
+
+
+# ---------------------------------------------------------------------------
+# interprocedural summaries
+
+
+@dataclass
+class FunctionSummary:
+    """Composed cost facts for one function."""
+
+    function: str
+    local: CostPoly  # per-activation cost of the body alone
+    total: CostPoly  # body + transitively-called bodies
+    activations: CostPoly  # predicted activations per program run
+    recursive: bool = False
+    loop_counts: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "function": self.function,
+            "local": self.local.as_dict(),
+            "total": self.total.as_dict(),
+            "activations": self.activations.as_dict(),
+            "recursive": self.recursive,
+            "loop_counts": dict(self.loop_counts),
+            "degree": self.total.degree_label(),
+        }
+
+
+def call_frequencies(
+    graph: CallGraph,
+    loop_info: Mapping[str, FunctionLoopInfo],
+    cfgs: Mapping[str, CFG],
+) -> Dict[str, Dict[str, CostPoly]]:
+    """Per caller: predicted invocations of each callee per activation.
+
+    Each CALL/SPAWN site contributes its containing block's execution
+    frequency (the caller's loop-nest weight); sites the CFG decoder
+    finds unreachable contribute nothing."""
+    freq: Dict[str, Dict[str, CostPoly]] = {}
+    for name in graph.nodes:
+        info = loop_info.get(name)
+        cfg = cfgs.get(name)
+        out: Dict[str, CostPoly] = {}
+        if cfg is not None:
+            for bid in sorted(cfg.reachable()):
+                weight: Optional[CostPoly] = None
+                for ins in cfg.block(bid).instructions:
+                    if ins.op not in FUNCTION_REF_OPS:
+                        continue
+                    if weight is None:
+                        weight = (
+                            info.block_weight(bid)
+                            if info is not None
+                            else CostPoly.constant(1)
+                        )
+                    existing = out.get(ins.arg)
+                    out[ins.arg] = (
+                        weight
+                        if existing is None
+                        else existing.add(weight)
+                    )
+        freq[name] = out
+    return freq
+
+
+def compose_summaries(
+    graph: CallGraph,
+    local: Mapping[str, CostPoly],
+    freq: Mapping[str, Mapping[str, CostPoly]],
+) -> Tuple[Dict[str, CostPoly], Set[str]]:
+    """Bottom-up total-cost composition over the SCC condensation.
+
+    ``total(f) = local(f) + sum(freq(f, g) * total(g))`` processed
+    callee-first; members of a recursive SCC are *widened* — their
+    degree rises by one and they are flagged unknown, the polynomial
+    analogue of "the recursion depth is not statically bounded".
+    REPLACEFN alias edges join (coefficient-wise max) the template's
+    total into the target's, since post-replacement calls may execute
+    either body. Returns ``(totals, recursive_names)``.
+    """
+    totals: Dict[str, CostPoly] = {}
+    recursive: Set[str] = set()
+    for component in graph.sccs():
+        cyclic = len(component) > 1 or (
+            component[0] in graph.successors(component[0])
+        )
+        for name in component:
+            total = local.get(name, CostPoly.zero())
+            for callee, weight in freq.get(name, {}).items():
+                if callee in component:
+                    continue  # handled by widening below
+                callee_total = totals.get(callee)
+                if callee_total is not None:
+                    total = total.add(weight.multiply(callee_total))
+            for site in graph.sites(name):
+                if site.kind == CallSite.ALIAS:
+                    template_total = totals.get(site.callee)
+                    if template_total is not None:
+                        total = total.join(template_total)
+                    else:
+                        cyclic = True
+            totals[name] = total
+        if cyclic:
+            widened: Dict[str, CostPoly] = {}
+            for name in component:
+                poly = totals[name]
+                for other in component:
+                    if other != name:
+                        poly = poly.join(totals[other])
+                poly = poly.raise_degree(1)
+                poly.unknown = True
+                widened[name] = poly
+                recursive.add(name)
+            totals.update(widened)
+    return totals, recursive
+
+
+def activation_counts(
+    graph: CallGraph, freq: Mapping[str, Mapping[str, CostPoly]]
+) -> Dict[str, CostPoly]:
+    """Predicted activations per program run, top-down from the entry.
+
+    The entry activates once; each call site contributes the caller's
+    activations times the site's per-activation frequency. Recursive
+    SCCs are widened the same way as summaries. Unreachable functions
+    report zero activations.
+    """
+    components, dag = graph.condensation()
+    component_of = {
+        name: idx for idx, comp in enumerate(components) for name in comp
+    }
+    acts: Dict[str, CostPoly] = {
+        name: CostPoly.zero() for name in graph.nodes
+    }
+    if graph.entry in acts:
+        acts[graph.entry] = CostPoly.constant(1)
+    # Process callers before callees: reverse of Tarjan's callee-first
+    # output order.
+    for idx in range(len(components) - 1, -1, -1):
+        component = components[idx]
+        cyclic = len(component) > 1 or (
+            component[0] in graph.successors(component[0])
+        )
+        if cyclic:
+            pooled = CostPoly.zero()
+            for name in component:
+                pooled = pooled.join(acts[name])
+            pooled = pooled.raise_degree(1)
+            pooled.unknown = True
+            for name in component:
+                acts[name] = pooled
+        for name in component:
+            for callee, weight in freq.get(name, {}).items():
+                if callee not in acts or callee in component:
+                    continue
+                acts[callee] = acts[callee].add(
+                    acts[name].multiply(weight)
+                )
+        # Alias targets lend their activation count to the template
+        # (post-replacement calls hit the template's body).
+        for name in component:
+            for site in graph.sites(name):
+                if (
+                    site.kind in (CallSite.ALIAS, CallSite.LOAD)
+                    and site.callee in acts
+                    and site.callee not in component
+                ):
+                    acts[site.callee] = acts[site.callee].join(acts[name])
+    return acts
+
+
+# ---------------------------------------------------------------------------
+# program-level driver
+
+
+@dataclass
+class ProgramAnalysis:
+    """Everything the planner consumes, in one pass over the program."""
+
+    program: Program
+    graph: CallGraph
+    cfgs: Dict[str, CFG]
+    loop_info: Dict[str, FunctionLoopInfo]
+    freq: Dict[str, Dict[str, CostPoly]]
+    summaries: Dict[str, FunctionSummary]
+
+    def summary(self, name: str) -> Optional[FunctionSummary]:
+        return self.summaries.get(name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "entry": self.graph.entry,
+            "call_graph": self.graph.as_dict(),
+            "loops": {
+                name: info.as_dict()
+                for name, info in sorted(self.loop_info.items())
+            },
+            "summaries": {
+                name: summary.as_dict()
+                for name, summary in sorted(self.summaries.items())
+            },
+        }
+
+
+def analyze_program(program: Program) -> ProgramAnalysis:
+    """Run the full interprocedural pipeline on (untransformed or
+    transformed) guest code.
+
+    The per-function *local* polynomial here counts the function's
+    sampling opportunities per activation — one entry plus the
+    predicted loop iterations (the paper's check sites under
+    Full-Duplication). The planner recomputes locals per candidate
+    strategy from each candidate's checking projection; this driver's
+    summaries are the strategy-independent hotness skeleton.
+    """
+    graph = CallGraph.from_program(program)
+    bodies: Dict[str, Function] = dict(program.functions)
+    for name, template in program.loadables.items():
+        bodies.setdefault(name, template)
+    cfgs: Dict[str, CFG] = {}
+    loop_info: Dict[str, FunctionLoopInfo] = {}
+    for name, fn in bodies.items():
+        cfg = CFG.from_function(fn)
+        cfgs[name] = cfg
+        loop_info[name] = FunctionLoopInfo.from_cfg(cfg, name, program)
+    freq = call_frequencies(graph, loop_info, cfgs)
+    local: Dict[str, CostPoly] = {
+        name: CostPoly.constant(1).add(info.iterations_poly)
+        for name, info in loop_info.items()
+    }
+    totals, recursive = compose_summaries(graph, local, freq)
+    acts = activation_counts(graph, freq)
+    summaries = {
+        name: FunctionSummary(
+            function=name,
+            local=local.get(name, CostPoly.zero()),
+            total=totals.get(name, CostPoly.zero()),
+            activations=acts.get(name, CostPoly.zero()),
+            recursive=name in recursive,
+            loop_counts=loop_info[name].classify_counts(),
+        )
+        for name in graph.nodes
+    }
+    return ProgramAnalysis(
+        program=program,
+        graph=graph,
+        cfgs=cfgs,
+        loop_info=loop_info,
+        freq=freq,
+        summaries=summaries,
+    )
+
+
+def unreachable_functions(program: Program) -> Tuple[str, ...]:
+    """Statically-unreachable function names (LNT004's fact source):
+    never reached from the entry over call, spawn, load, replace or
+    alias edges. Loadable templates are excluded — an uninstalled
+    template costs nothing until something LOADFNs it, and then the
+    load edge makes it reachable."""
+    graph = CallGraph.from_program(program)
+    return tuple(
+        name
+        for name in graph.unreachable()
+        if name in program.functions
+    )

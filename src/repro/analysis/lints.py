@@ -17,7 +17,12 @@ from repro.analysis.context import (
 )
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import Rule, rule
+from repro.analysis.rules import ProgramRule, program_rule
+from repro.bytecode.opcodes import PSEUDO_OPS, Op
 from repro.cfg.basic_block import CheckBranch
+
+#: Ops whose presence means the function pays instrumentation cost.
+_COST_OPS = frozenset(PSEUDO_OPS - {Op.YIELDPOINT})
 
 
 @rule("LNT001", Severity.WARNING, "unreachable blocks")
@@ -70,6 +75,40 @@ def degenerate_checks(r: Rule, ctx: AuditContext) -> List[Finding]:
                     f"check's taken and not-taken targets are both "
                     f"B{term.taken}",
                     block=bid,
+                )
+            )
+    return findings
+
+
+@program_rule(
+    "LNT004",
+    Severity.WARNING,
+    "unreachable function carries instrumentation cost",
+)
+def unreachable_instrumented_functions(
+    r: ProgramRule, program
+) -> List[Finding]:
+    """A function the entry can never reach — not called, not spawned,
+    not a LOADFN target, not a REPLACEFN template — that was still
+    instrumented is pure space and transform-time waste: its checks can
+    never execute, so duplicating it buys nothing. Detected over the
+    interprocedural call graph (conservative open-table edges keep
+    dynamic workloads out of this lint); fires only when the dead
+    function actually carries CHECK/INSTR/GUARDED_INSTR sites, so
+    untransformed programs stay clean."""
+    from repro.analysis.interproc import unreachable_functions
+
+    findings = []
+    for name in unreachable_functions(program):
+        fn = program.function(name)
+        if any(ins.op in _COST_OPS for ins in fn.code):
+            findings.append(
+                r.finding(
+                    name,
+                    "function is unreachable from "
+                    f"{program.entry!r} (no call/spawn/load/replace "
+                    "path) but carries instrumentation; plan it as "
+                    "no-duplication or drop the dead code",
                 )
             )
     return findings

@@ -13,7 +13,7 @@ the stats so archived runs can be re-checked offline
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.analysis.cost import CostCertificate, _stat
 from repro.errors import AnalysisError
@@ -159,6 +159,86 @@ def reconcile_stream(
         bound=taken,
         observed=stream_samples,
         formula="samples_taken - dropped <= stream samples <= samples_taken",
+        violations=violations,
+    )
+
+
+#: Labelled counter the plan reconciler reads measured per-function
+#: check counts from (maintained by TelemetryRecorder.check on every
+#: executed CHECK, so it is engine-identical by construction).
+PLAN_CHECKS_METRIC = "vm.checks.by_function"
+
+
+def measured_function_checks(
+    snapshot: Mapping[str, Any]
+) -> Dict[str, int]:
+    """Extract per-function executed-check counts from a metrics
+    snapshot (``{"vm.checks.by_function{function=main}": {...}}``)."""
+    prefix = PLAN_CHECKS_METRIC + "{function="
+    out: Dict[str, int] = {}
+    for key, payload in snapshot.items():
+        if not key.startswith(prefix) or not key.endswith("}"):
+            continue
+        name = key[len(prefix):-1]
+        value = (
+            payload.get("value", 0)
+            if isinstance(payload, Mapping)
+            else payload
+        )
+        out[name] = int(value)
+    return out
+
+
+def reconcile_plan(
+    certificate: CostCertificate,
+    stats: Union[Mapping[str, Any], Any],
+    metrics: Optional[Mapping[str, Any]] = None,
+) -> ReconcileVerdict:
+    """Validate a (possibly mixed-strategy) run *per function*.
+
+    Two layers, both hard bounds rather than planner predictions:
+
+    * the whole-program certificate bound (same as :func:`reconcile`);
+    * when a metrics snapshot is supplied, each function's measured
+      executed-check count against its own certified bound
+      (:meth:`FunctionCostBound.bound_against`) — in particular a
+      function planned as no-duplication or left exhaustive has bound
+      **0** and must never execute a CHECK. Per-function counts are
+      charged against the run's *global* entry/backedge opportunity
+      totals, which over-approximates each function's own share, so
+      the per-function checks stay sound for any strategy mix and for
+      code loaded mid-run (the dynamic certificate's function table
+      covers arrivals). A function that executed checks but appears in
+      no certificate is itself a violation.
+    """
+    violations = list(certificate.violations(stats))
+    if metrics:
+        measured = measured_function_checks(metrics)
+        bounds = certificate.function_bounds_against(stats)
+        covered = {f.function for f in certificate.functions}
+        for name in sorted(measured):
+            observed = measured[name]
+            if name not in covered:
+                violations.append(
+                    f"function {name!r} executed {observed} check(s) "
+                    "but the certificate does not cover it"
+                )
+                continue
+            bound = bounds[name]
+            if observed > bound:
+                violations.append(
+                    f"function {name!r} executed {observed} check(s), "
+                    f"exceeding its certified bound {bound} "
+                    f"({certificate.function_bound(name).formula})"
+                )
+    return ReconcileVerdict(
+        ok=not violations,
+        bound=certificate.bound_against(stats),
+        observed=_stat(stats, "checks_executed"),
+        formula=(
+            "per function: checks_executed[f] <= cpe_f*(calls + "
+            "threads_spawned + 1) + cpb_f*(backward_jumps + checks_taken)"
+        ),
         violations=violations,
     )
 

@@ -15,7 +15,17 @@ command line: ``repro lint --suppress LNT001,AUD007@main``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.context import AuditContext
 from repro.analysis.findings import Finding, Severity
@@ -50,7 +60,36 @@ class Rule:
         )
 
 
+#: Program-level checker signature: (rule, program) -> findings. These
+#: rules see the whole :class:`~repro.bytecode.program.Program` (call
+#: graph facts, cross-function structure) rather than one function's
+#: AuditContext.
+ProgramChecker = Callable[["ProgramRule", Any], List[Finding]]
+
+
+@dataclass(frozen=True)
+class ProgramRule:
+    """One registered whole-program auditor rule."""
+
+    rule_id: str
+    severity: Severity
+    title: str
+    checker: ProgramChecker
+
+    def finding(
+        self, function: str, message: str, block: Optional[int] = None
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            function=function,
+            message=message,
+            block=block,
+        )
+
+
 _REGISTRY: Dict[str, Rule] = {}
+_PROGRAM_REGISTRY: Dict[str, ProgramRule] = {}
 
 
 def rule(
@@ -69,6 +108,27 @@ def rule(
             severity=severity,
             title=title,
             strategies=frozenset(strategies) if strategies is not None else None,
+            checker=checker,
+        )
+        return checker
+
+    return register
+
+
+def program_rule(
+    rule_id: str,
+    severity: Severity,
+    title: str,
+) -> Callable[[ProgramChecker], ProgramChecker]:
+    """Register a checker that audits a whole program."""
+
+    def register(checker: ProgramChecker) -> ProgramChecker:
+        if rule_id in _REGISTRY or rule_id in _PROGRAM_REGISTRY:
+            raise AnalysisError(f"duplicate rule id {rule_id!r}")
+        _PROGRAM_REGISTRY[rule_id] = ProgramRule(
+            rule_id=rule_id,
+            severity=severity,
+            title=title,
             checker=checker,
         )
         return checker
@@ -110,6 +170,20 @@ def run_rules(
     for r in selected:
         if r.applies_to(ctx.strategy):
             findings.extend(r.checker(r, ctx))
+    return findings
+
+
+def all_program_rules() -> List[ProgramRule]:
+    """Every registered whole-program rule, ordered by id."""
+    _ensure_rules_loaded()
+    return [_PROGRAM_REGISTRY[rid] for rid in sorted(_PROGRAM_REGISTRY)]
+
+
+def run_program_rules(program) -> List[Finding]:
+    """Run every whole-program rule over *program*; deterministic order."""
+    findings: List[Finding] = []
+    for r in all_program_rules():
+        findings.extend(r.checker(r, program))
     return findings
 
 

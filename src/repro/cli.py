@@ -25,6 +25,10 @@ Commands:
   (docs/ANALYSIS.md has the rule catalog).
 * ``audit``          — transform, audit, run, and reconcile the dynamic
   counters against the static cost certificate.
+* ``plan``           — interprocedural cost analysis + static strategy
+  planner: pick the cheapest sound duplication strategy per function
+  under a budget, emit the plan artifact, and (``--check``) execute
+  the planned program and reconcile per-function check counts.
 * ``ledger``         — show or trend-check the continuous
   perf-regression ledger (``BENCH_history.jsonl``).
 
@@ -41,10 +45,14 @@ from typing import List, Optional, Sequence
 
 from repro.adaptive import AdaptiveController
 from repro.analysis import (
+    BUDGETS,
     IncrementalCertifier,
     Severity,
+    StrategyPlan,
     Suppressions,
     audit_program,
+    findings_document,
+    plan_program,
     reconcile,
     reconcile_profile,
 )
@@ -645,6 +653,13 @@ def _lint_cells(args: argparse.Namespace):
             yield label, strategy, program
 
 
+def _wants_json(args: argparse.Namespace) -> bool:
+    """``--format json`` or the legacy ``--json`` alias."""
+    return bool(getattr(args, "json", False)) or (
+        getattr(args, "format", "text") == "json"
+    )
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     suppressions = (
         Suppressions.parse(args.suppress) if args.suppress else None
@@ -662,29 +677,35 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 strategy=strategy.value,
                 suppressions=suppressions,
                 label=f"{label}/{strategy.value}",
+                program_rules=True,
             )
         )
-    if args.json:
-        json.dump([r.as_dict() for r in reports], sys.stdout, indent=2,
-                  sort_keys=True)
+    findings = [f for report in reports for f in report.findings]
+    document = findings_document(
+        "lint",
+        findings,
+        reports=[r.as_dict() for r in reports],
+        strict=args.strict,
+    )
+    if _wants_json(args):
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     else:
         for report in reports:
             for finding in report.findings:
                 print(finding.format())
             print(f"{report.label}: {report.summary()}")
-    errors = sum(r.count(Severity.ERROR) for r in reports)
-    total = sum(len(r.findings) for r in reports)
-    if errors or (args.strict and total):
-        return 1
-    return 0
+    return 0 if document["ok"] else 1
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
     recorder, result, label, transformed, strategy, _wall, certifier = (
         _telemetry_run(args)
     )
-    report = audit_program(transformed, strategy=strategy.value, label=label)
+    report = audit_program(
+        transformed, strategy=strategy.value, label=label,
+        program_rules=True,
+    )
     if certifier is not None:
         # Dynamic target: validate against the incrementally maintained
         # certificate — loaded code may carry checks the pre-run audit
@@ -700,12 +721,21 @@ def cmd_audit(args: argparse.Namespace) -> int:
             certifier.as_dict() if certifier is not None else None
         ),
     }
+    extra_failures = int(not verdict.ok)
+    if certifier is not None and not certifier.ok:
+        extra_failures += 1
+    document = findings_document(
+        "audit",
+        report.findings,
+        reports=[payload],
+        extra_failures=extra_failures,
+    )
     if args.out is not None:
         with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+            json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
-    if args.json:
-        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    if _wants_json(args):
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     else:
         print(report.render())
@@ -721,10 +751,129 @@ def cmd_audit(args: argparse.Namespace) -> int:
         print(f"reconcile: {verdict.summary()}")
         if args.out is not None:
             print(f"wrote {args.out}")
-    ok = report.ok and verdict.ok
-    if certifier is not None:
-        ok = ok and certifier.ok
-    return 0 if ok else 1
+    return 0 if document["ok"] else 1
+
+
+def _plan_targets(args: argparse.Namespace):
+    """Resolve (label, program) planning targets from the CLI args."""
+    if args.workload is not None:
+        if args.workload == "all":
+            return [(w.name, w.compile(args.scale)) for w in all_workloads()]
+        workload = get_workload(args.workload)
+        return [(workload.name, workload.compile(args.scale))]
+    if args.file is not None:
+        return [(args.file, compile_baseline(_read_source(args.file)))]
+    raise ReproError("plan needs a FILE or --workload NAME|all")
+
+
+def _previous_plans(path: str):
+    """Load plans from an earlier ``repro plan`` artifact: either a
+    bare StrategyPlan dict or a findings document holding several."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    plans = {}
+    if "functions" in payload:
+        plan = StrategyPlan.from_dict(payload)
+        plans[plan.label] = plan
+    else:
+        for entry in payload.get("reports", []):
+            plan = StrategyPlan.from_dict(entry["plan"])
+            plans[plan.label] = plan
+    return plans
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    kinds = tuple(k.strip() for k in args.instrument.split(",") if k.strip())
+    plans = [
+        plan_program(
+            program,
+            instrumentation=kinds,
+            budget=args.budget,
+            interval=args.interval,
+            label=label,
+        )
+        for label, program in _plan_targets(args)
+    ]
+    previous = _previous_plans(args.diff) if args.diff else None
+    reports = []
+    failures = 0
+    for plan in plans:
+        entry = {"label": plan.label, "plan": plan.as_dict()}
+        if previous is not None:
+            old = previous.get(plan.label)
+            entry["diff"] = plan.diff(old) if old is not None else None
+        reports.append(entry)
+    if args.check:
+        if args.workload is None:
+            raise ReproError("plan --check needs --workload NAME|all")
+        for entry, plan in zip(reports, plans):
+            # One planned cell per workload; a reconciler violation
+            # (measured per-function checks over the certified bound)
+            # surfaces as a HarnessError and fails the command.
+            runner = ExperimentRunner(
+                telemetry=True, cache=False, engine=args.engine, plan=plan,
+            )
+            spec = RunSpec(
+                workload=entry["label"],
+                strategy=Strategy.FULL_DUPLICATION,
+                instrumentation=kinds,
+                trigger="counter",
+                interval=args.interval,
+                scale=args.scale,
+            )
+            try:
+                result = runner.run(spec)
+            except ReproError as exc:
+                entry["check"] = {"ok": False, "error": str(exc)}
+                failures += 1
+            else:
+                manifest = result.manifest
+                analysis = manifest.analysis if manifest is not None else {}
+                entry["check"] = {
+                    "ok": True,
+                    "cycles": result.cycles,
+                    "verdict": analysis.get("verdict"),
+                    "strategies": plan.strategy_counts(),
+                }
+    document = findings_document(
+        "plan", [], reports=reports, extra_failures=failures
+    )
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if _wants_json(args):
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for entry, plan in zip(reports, plans):
+            print(plan.explain() if args.explain else plan.summary())
+            if previous is not None:
+                changes = entry.get("diff")
+                if changes is None:
+                    print(f"  diff: no previous plan for {plan.label!r}")
+                elif not changes:
+                    print("  diff: no strategy changes")
+                else:
+                    for change in changes:
+                        print(
+                            f"  diff: {change['function']}: "
+                            f"{change['before']} -> {change['after']}"
+                        )
+            check = entry.get("check")
+            if check is not None:
+                if check["ok"]:
+                    print(
+                        f"  check: ok ({check['cycles']} cycles, "
+                        f"reconciled per function)"
+                    )
+                else:
+                    print(f"  check: FAILED — {check['error']}")
+        if failures:
+            print(f"{failures} check failure(s)")
+        if args.out is not None:
+            print(f"wrote {args.out}")
+    return 0 if document["ok"] else 1
 
 
 def cmd_ledger(args: argparse.Namespace) -> int:
@@ -930,9 +1079,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule suppressions, e.g. "
         "'LNT001,AUD007@main'",
     )
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="output format (json = the shared findings "
+                   "document; docs/ANALYSIS.md)")
     p.add_argument("--json", action="store_true",
-                   help="emit the audit reports as JSON")
+                   help="alias for --format json")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "plan",
+        help="statically plan per-function duplication strategies "
+        "under a cost budget (no execution unless --check)",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="MiniJ source file, or - for stdin")
+    p.add_argument("--workload", default=None,
+                   help="benchmark-suite member, or 'all' for the suite")
+    p.add_argument("--scale", type=int, default=None)
+    p.add_argument(
+        "--budget", default="default", choices=sorted(BUDGETS),
+        help="code-growth budget weighing duplication cost against "
+        "predicted check savings",
+    )
+    p.add_argument(
+        "--instrument", default="call-edge,block-count",
+        help="comma-separated instrumentation kinds the plan is for",
+    )
+    p.add_argument(
+        "--interval", type=int, default=1000,
+        help="sample interval recorded in the plan and used by --check",
+    )
+    p.add_argument("--explain", action="store_true",
+                   help="print per-function rationale and rule citations")
+    p.add_argument(
+        "--diff", default=None, metavar="PLAN_JSON",
+        help="compare against a previous plan artifact and report "
+        "per-function strategy changes",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="execute each planned workload and reconcile measured "
+        "per-function check counts against the certified bounds",
+    )
+    p.add_argument("--out", default=None,
+                   help="write the plan document (JSON) to a file")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--json", action="store_true",
+                   help="alias for --format json")
+    _add_engine_arg(p)
+    p.set_defaults(func=cmd_plan)
 
     for name, helptext, fn in (
         ("trace", "run with telemetry and export the event trace",
@@ -982,8 +1177,12 @@ def build_parser() -> argparse.ArgumentParser:
                 "combine with --out to also export",
             )
         elif name == "audit":
+            p.add_argument("--format", default="text",
+                           choices=["text", "json"],
+                           help="output format (json = the shared "
+                           "findings document; docs/ANALYSIS.md)")
             p.add_argument("--json", action="store_true",
-                           help="emit report + verdict as JSON")
+                           help="alias for --format json")
             p.add_argument("--out", default=None,
                            help="also write the JSON document to a file")
         else:

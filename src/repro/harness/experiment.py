@@ -20,6 +20,7 @@ from repro.analysis import (
     Severity,
     audit_program,
     reconcile,
+    reconcile_plan,
     reconcile_profile,
     reconcile_stream,
 )
@@ -127,9 +128,20 @@ class RunSpec:
     #: randomized-trigger seed; None derives a deterministic per-cell
     #: seed from the spec content (see :func:`repro.harness.parallel.cell_seed`)
     seed: Optional[int] = None
+    #: per-function strategy assignment — sorted (function, strategy
+    #: value) pairs, the hashable form a
+    #: :meth:`~repro.analysis.planner.StrategyPlan.key` produces. When
+    #: set, the program is transformed by
+    #: :func:`~repro.sampling.framework.transform_planned` with
+    #: ``strategy`` as the default for unplanned functions, audited
+    #: under the per-function stamps, and reconciled per function
+    #: (:func:`~repro.analysis.reconcile.reconcile_plan`).
+    plan: Optional[Tuple[Tuple[str, str], ...]] = None
 
     def describe(self) -> str:
         parts = [self.workload, self.strategy.value]
+        if self.plan is not None:
+            parts[1] = f"planned[{len(self.plan)}]/{self.strategy.value}"
         parts.append("+".join(self.instrumentation) or "none")
         if self.trigger != "never":
             parts.append(
@@ -269,6 +281,7 @@ class ExperimentRunner:
         profile: bool = False,
         profile_interval: int = DEFAULT_PROFILE_INTERVAL,
         ledger: Union[PerfLedger, str, bool, None] = None,
+        plan: Union["object", None] = None,
     ):
         self.cost_model = cost_model or CostModel()
         self.fuel = fuel
@@ -284,6 +297,7 @@ class ExperimentRunner:
         self.profile = bool(profile)
         self.profile_interval = profile_interval
         self.ledger = resolve_ledger(ledger)
+        self.plan = _plan_key(plan)
         self.metrics = MetricsRegistry()
         self.manifests: List[RunManifest] = []
         self.profile_snapshots: List[Dict[str, object]] = []
@@ -424,12 +438,20 @@ class ExperimentRunner:
 
     # -- configured runs ----------------------------------------------------------
 
+    def _apply_plan(self, spec: RunSpec) -> RunSpec:
+        """Fold the runner-level strategy plan into *spec* (a spec's own
+        plan always wins; a planless runner leaves specs untouched)."""
+        if self.plan is not None and spec.plan is None:
+            return replace(spec, plan=self.plan)
+        return spec
+
     def run(self, spec: RunSpec) -> RunResult:
         """Transform per *spec*, execute, verify, and measure.
 
         Results are memoized: cells are deterministic, so a repeated
         spec returns the first computation's result unchanged.
         """
+        spec = self._apply_plan(spec)
         memoized = self._run_memo.get(spec)
         if memoized is not None:
             self.memo_hits += 1
@@ -446,16 +468,36 @@ class ExperimentRunner:
             Strategy.CHECKS_ONLY_BACKEDGE,
         )
         t0 = time.perf_counter()
-        transformed = framework.transform(
-            program, None if checks_only else instrumentations
-        )
+        if spec.plan is not None:
+            from repro.sampling.framework import transform_planned
+
+            # Mixed-strategy transform: each function under its planned
+            # strategy, spec.strategy as the default, and a PlannedLoader
+            # keeping dynamically arriving code on plan.
+            transformed = transform_planned(
+                program,
+                instrumentations,
+                dict(spec.plan),
+                default=spec.strategy,
+                yieldpoint_opt=spec.yieldpoint_opt,
+            )
+        else:
+            transformed = framework.transform(
+                program, None if checks_only else instrumentations
+            )
         transform_seconds = time.perf_counter() - t0
 
+        # Planned programs mix strategies, so the per-function
+        # ``notes["sampling"]`` stamps are authoritative for the audit
+        # (a single expected strategy would raise AUD009 mismatches).
+        expected_strategy = (
+            None if spec.plan is not None else spec.strategy.value
+        )
         audit_report: Optional[AuditReport] = None
         if self.audit:
             audit_report = audit_program(
                 transformed,
-                strategy=spec.strategy.value,
+                strategy=expected_strategy,
                 label=spec.describe(),
             )
             self.metrics.counter("harness.audit.cells").inc()
@@ -477,7 +519,7 @@ class ExperimentRunner:
         if self.audit and transformed.is_dynamic():
             certifier = IncrementalCertifier.from_program(
                 transformed,
-                strategy=spec.strategy.value,
+                strategy=expected_strategy,
                 label=spec.describe(),
             )
 
@@ -529,10 +571,20 @@ class ExperimentRunner:
                     f"{spec.describe()}: transformed program diverged "
                     f"(value {result.value} vs {base_result.value})"
                 )
-        if self.check_property1 and spec.strategy in (
+        duplicating = spec.strategy in (
             Strategy.FULL_DUPLICATION,
             Strategy.PARTIAL_DUPLICATION,
-        ):
+        )
+        if spec.plan is not None:
+            duplicating = duplicating or any(
+                value
+                in (
+                    Strategy.FULL_DUPLICATION.value,
+                    Strategy.PARTIAL_DUPLICATION.value,
+                )
+                for _, value in spec.plan
+            )
+        if self.check_property1 and duplicating:
             if not property1_vs_baseline(result.stats, base_result.stats):
                 raise HarnessError(
                     f"{spec.describe()}: Property 1 violated "
@@ -540,6 +592,16 @@ class ExperimentRunner:
                     f"bound={base_result.stats.check_opportunities})"
                 )
         verdict = None
+        # Planned (mixed-strategy) runs reconcile per function: with
+        # telemetry on, each function's measured check count is held to
+        # its own certified bound (a no-duplication function must never
+        # execute a CHECK); without telemetry the whole-program bound
+        # still applies.
+        plan_metrics = (
+            recorder.metrics.snapshot()
+            if spec.plan is not None and recorder is not None
+            else None
+        )
         if certifier is not None:
             # Dynamic programs are reconciled against the incrementally
             # maintained certificate: code loaded mid-run can introduce
@@ -550,7 +612,12 @@ class ExperimentRunner:
                     f"its audit ({certifier.loads} load(s), "
                     f"{certifier.replaces} replace(s))"
                 )
-            verdict = reconcile(certifier.dynamic_certificate(), result.stats)
+            certificate = certifier.dynamic_certificate()
+            verdict = (
+                reconcile_plan(certificate, result.stats, plan_metrics)
+                if spec.plan is not None
+                else reconcile(certificate, result.stats)
+            )
             self.metrics.counter("harness.audit.reconciled").inc()
             if not verdict.ok:
                 self.metrics.counter(
@@ -561,7 +628,13 @@ class ExperimentRunner:
                     f"cost certificate: " + "; ".join(verdict.violations)
                 )
         elif audit_report is not None and audit_report.certificate is not None:
-            verdict = reconcile(audit_report.certificate, result.stats)
+            verdict = (
+                reconcile_plan(
+                    audit_report.certificate, result.stats, plan_metrics
+                )
+                if spec.plan is not None
+                else reconcile(audit_report.certificate, result.stats)
+            )
             self.metrics.counter("harness.audit.reconciled").inc()
             if not verdict.ok:
                 self.metrics.counter(
@@ -649,6 +722,7 @@ class ExperimentRunner:
                     else {}
                 ),
                 profiling=profile_payload or {},
+                plan=_plan_section(spec),
             )
             self._absorb_manifest(run_result.manifest)
         self._run_memo[spec] = run_result
@@ -674,7 +748,7 @@ class ExperimentRunner:
         deterministic, so the outcome is bit-identical to a serial
         loop regardless of the worker count; only wall time changes.
         """
-        specs = list(specs)
+        specs = [self._apply_plan(spec) for spec in specs]
         jobs = effective_jobs(jobs if jobs is not None else self.jobs)
         pending: List[RunSpec] = []
         seen = set()
@@ -954,6 +1028,38 @@ COMPACTION_MATRIX_STRATEGIES: Tuple[Strategy, ...] = (
     Strategy.PARTIAL_DUPLICATION,
     Strategy.NO_DUPLICATION,
 )
+
+
+def _plan_section(spec: RunSpec) -> Dict[str, object]:
+    """The manifest's ``plan`` section for one cell (empty when the
+    spec carries no per-function assignment)."""
+    if spec.plan is None:
+        return {}
+    assignments = dict(spec.plan)
+    counts: Dict[str, int] = {}
+    for value in assignments.values():
+        counts[value] = counts.get(value, 0) + 1
+    return {
+        "default": spec.strategy.value,
+        "assignments": assignments,
+        "strategies": counts,
+    }
+
+
+def _plan_key(
+    plan: Union["object", None]
+) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """Normalize a runner-level plan argument to ``RunSpec.plan`` form:
+    a StrategyPlan (via ``.key()``), a mapping, an iterable of pairs,
+    or None."""
+    if plan is None:
+        return None
+    key = getattr(plan, "key", None)
+    if callable(key):
+        plan = key()
+    if isinstance(plan, dict):
+        plan = plan.items()
+    return tuple(sorted((str(f), str(s)) for f, s in plan))
 
 
 def _resolve_cache(

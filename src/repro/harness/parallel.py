@@ -81,6 +81,10 @@ def cell_seed(spec: "RunSpec") -> int:
             str(spec.phase),
             str(spec.yieldpoint_opt),
         ]
+        # Planned cells mix per-function strategies, so the assignment
+        # is part of the cell's identity; planless specs keep their
+        # historical seeds.
+        + ([str(spec.plan)] if spec.plan is not None else [])
     )
     digest = hashlib.sha256(payload.encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")

@@ -12,9 +12,11 @@ from repro.sampling.duplication import (
     full_duplicate,
 )
 from repro.sampling.framework import (
+    PlannedLoader,
     SamplingFramework,
     Strategy,
     TransformReport,
+    transform_planned,
     transform_program,
 )
 from repro.sampling.no_duplication import no_duplicate
@@ -50,6 +52,8 @@ __all__ = [
     "Strategy",
     "TransformReport",
     "transform_program",
+    "transform_planned",
+    "PlannedLoader",
     "full_duplicate",
     "partial_duplicate",
     "no_duplicate",

@@ -284,3 +284,107 @@ def transform_program(
     """Functional shorthand for one-off transforms."""
     framework = SamplingFramework(strategy, yieldpoint_opt, verify)
     return framework.transform(program, instrumentation, functions)
+
+
+class PlannedLoader:
+    """Instrument-at-load dispatch for mixed-strategy programs.
+
+    The per-strategy :class:`RuntimeLoader` applies one framework to
+    every arriving function; a planned program instead carries a
+    function→strategy map (a :class:`~repro.analysis.planner`
+    ``StrategyPlan``), so code loaded mid-run must be transformed under
+    the strategy *planned for its install name* — falling back to the
+    template's name (the planner plans loadables by template) and then
+    to the plan's default. Frameworks are created lazily per strategy
+    and shared with :func:`transform_planned`'s static pass, so static
+    and dynamic code of the same function are transformed identically.
+    """
+
+    def __init__(
+        self,
+        assignments: Dict[str, Strategy],
+        default: Strategy,
+        instrumentation: Optional[Instrumentation],
+        yieldpoint_opt: bool = False,
+        verify: bool = True,
+    ):
+        self.assignments = dict(assignments)
+        self.default = default
+        self.instrumentation = instrumentation
+        self.yieldpoint_opt = yieldpoint_opt
+        self.verify = verify
+        self._frameworks: Dict[Strategy, SamplingFramework] = {}
+
+    def strategy_for(
+        self, name: str, template_name: Optional[str] = None
+    ) -> Strategy:
+        if name in self.assignments:
+            return self.assignments[name]
+        if template_name is not None and template_name in self.assignments:
+            return self.assignments[template_name]
+        return self.default
+
+    def framework(self, strategy: Strategy) -> SamplingFramework:
+        framework = self._frameworks.get(strategy)
+        if framework is None:
+            # The yieldpoint optimization is only legal on duplication
+            # strategies; a plan mixing strategies drops it elsewhere.
+            opt = self.yieldpoint_opt and strategy in (
+                Strategy.FULL_DUPLICATION,
+                Strategy.PARTIAL_DUPLICATION,
+            )
+            framework = SamplingFramework(
+                strategy, yieldpoint_opt=opt, verify=self.verify
+            )
+            self._frameworks[strategy] = framework
+        return framework
+
+    def load(self, template: Function, name: str, program: Program) -> Function:
+        framework = self.framework(self.strategy_for(name, template.name))
+        fn = template.copy(name=name)
+        transformed = framework.transform_function(
+            fn, program, self.instrumentation
+        )
+        if self.verify:
+            from repro.bytecode.verifier import verify_function
+
+            verify_function(transformed, program)
+        return transformed
+
+
+def transform_planned(
+    program: Program,
+    instrumentation: Union[Instrumentation, Sequence[Instrumentation], None],
+    assignments: Dict[str, Union[Strategy, str]],
+    default: Strategy = Strategy.FULL_DUPLICATION,
+    yieldpoint_opt: bool = False,
+    verify: bool = True,
+) -> Program:
+    """Transform *program* under a per-function strategy assignment.
+
+    *assignments* maps function (or loadable-template) names to
+    strategies — :class:`Strategy` members or their string values, as a
+    ``StrategyPlan`` serializes them; unnamed functions fall back to
+    *default*. Each function is stamped ``fn.notes["sampling"]`` by its
+    own framework, so ``audit_program(strategy=None)`` audits the mix
+    under the per-function rules with no auditor changes, and the
+    attached :class:`PlannedLoader` keeps dynamically arriving code on
+    plan.
+    """
+    instr = SamplingFramework._normalize_instrumentation(instrumentation)
+    normalized = {
+        name: (value if isinstance(value, Strategy) else Strategy(value))
+        for name, value in assignments.items()
+    }
+    loader = PlannedLoader(normalized, default, instr, yieldpoint_opt, verify)
+    result = program.copy()
+    for name in result.function_names():
+        framework = loader.framework(loader.strategy_for(name))
+        transformed = framework.transform_function(
+            result.function(name), result, instr
+        )
+        result.replace_function(transformed)
+    result.loader = loader
+    if verify:
+        verify_program(result)
+    return result

@@ -54,6 +54,11 @@ class RunManifest:
     #: decomposition report, and the sample-bound verdict (empty when
     #: the producing runner had profiling disabled; docs/PROFILING.md)
     profiling: Dict[str, Any] = field(default_factory=dict)
+    #: strategy-plan section for planned (mixed-strategy) cells: the
+    #: default strategy, the per-function assignments the run actually
+    #: applied, and per-strategy counts (empty for unplanned cells;
+    #: see :mod:`repro.analysis.planner`)
+    plan: Dict[str, Any] = field(default_factory=dict)
     source: str = "serial"
     version: int = MANIFEST_VERSION
 

@@ -146,6 +146,13 @@ class TelemetryRecorder(NullRecorder):
     # -- VM hooks ----------------------------------------------------------
 
     def check(self, cycles, tid, function, pc, fired, target=None) -> None:
+        # Per-function executed-check counts are what the plan
+        # reconciler compares against each function's certified bound;
+        # every engine reports every executed CHECK through this hook,
+        # so the labelled counter is engine-identical by construction.
+        self.metrics.counter(
+            "vm.checks.by_function", {"function": function}
+        ).inc()
         enter = self._dup_enter.pop(tid, None)
         if enter is not None:
             # First check boundary after a sample transfer: execution

@@ -351,3 +351,53 @@ def nested_loop_program(trip_outer: int = 6, trip_inner: int = 5) -> Program:
     )
     assign_call_site_ids(program)
     return program
+
+
+# ---------------------------------------------------------------------------
+# call-graph shapes (static analysis only — these are never executed)
+
+
+def _caller_function(name: str, callees: List[str]) -> Function:
+    """A 0-param function that calls each *callee* once and returns.
+
+    Bodies like this can be mutually or self recursive; they exist for
+    the call-graph/SCC machinery, which never runs them."""
+    b = BytecodeBuilder(name, num_params=0)
+    for callee in callees:
+        b.call(callee)
+        b.emit(Op.POP)
+    b.push(1).ret()
+    return b.build()
+
+
+def adjacency_program(adjacency) -> Program:
+    """Build a Program realizing *adjacency* (``{name: [callees]}``)
+    as literal CALL edges. ``main`` must be a key; it is the entry."""
+    functions = [
+        _caller_function(name, list(callees))
+        for name, callees in adjacency.items()
+    ]
+    program = Program(functions, entry="main")
+    assign_call_site_ids(program)
+    return program
+
+
+@st.composite
+def call_graph_adjacencies(draw, max_functions: int = 7):
+    """A random directed call graph as ``{name: [callees]}``.
+
+    Cycles, self loops and mutual recursion are all fair game, as are
+    functions unreachable from ``main`` — exactly the shapes Tarjan's
+    SCC condensation and the reachability analysis must handle."""
+    count = draw(st.integers(min_value=1, max_value=max_functions))
+    names = ["main"] + [f"f{i}" for i in range(1, count)]
+    adjacency = {}
+    for name in names:
+        adjacency[name] = draw(
+            st.lists(
+                st.sampled_from(names),
+                max_size=min(3, count),
+                unique=True,
+            )
+        )
+    return adjacency

@@ -774,26 +774,56 @@ class TestCliLint:
                          "no-duplication"):
             assert f"/{strategy}:" in out
 
-    def test_lint_json_reports(self, capsys):
+    def test_lint_json_findings_document(self, capsys):
         from repro.cli import main
 
         rc = main(["lint", "--workload", "db", "--strategy",
                    "full,partial", "--json"])
         assert rc == 0
-        reports = json.loads(capsys.readouterr().out)
-        assert len(reports) == 2
-        for r in reports:
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        assert doc["tool"] == "lint"
+        assert doc["ok"] is True
+        assert doc["errors"] == 0
+        assert doc["findings"] == []
+        assert len(doc["reports"]) == 2
+        for r in doc["reports"]:
             assert r["ok"] is True
             assert r["findings"] == []
             assert r["certificate"]["formula"].startswith(
                 "checks_executed <="
             )
 
+    def test_lint_format_json_matches_alias(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "--workload", "db", "--strategy", "full",
+                   "--format", "json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "lint" and doc["ok"] is True
+
     def test_lint_strict_passes_when_clean(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "--workload", "db",
+                   "--strategy", "full", "--strict"])
+        assert rc == 0
+
+    def test_lint_strict_flags_unreachable_instrumentation(self, capsys):
+        # compress carries a statically dead function (lcgNext); the
+        # LNT004 program rule warns, which --strict turns into a
+        # nonzero exit — unless suppressed.
         from repro.cli import main
 
         rc = main(["lint", "--workload", "compress",
                    "--strategy", "full", "--strict"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "LNT004" in out
+        rc = main(["lint", "--workload", "compress",
+                   "--strategy", "full", "--strict",
+                   "--suppress", "LNT004"])
         assert rc == 0
 
     def test_lint_bad_suppression_is_a_clean_error(self, capsys):
@@ -833,10 +863,15 @@ class TestCliAudit:
                    "--out", str(out_path)])
         assert rc == 0
         doc = json.loads(out_path.read_text(encoding="utf-8"))
-        assert doc["report"]["ok"] is True
-        assert doc["verdict"]["ok"] is True
+        assert doc["schema"] == 1
+        assert doc["tool"] == "audit"
+        assert doc["ok"] is True
+        payload = doc["reports"][0]
+        assert payload["report"]["ok"] is True
+        assert payload["verdict"]["ok"] is True
         assert (
-            doc["stats"]["checks_executed"] <= doc["verdict"]["bound"]
+            payload["stats"]["checks_executed"]
+            <= payload["verdict"]["bound"]
         )
 
     def test_audit_json_stdout(self, capsys):
@@ -846,7 +881,9 @@ class TestCliAudit:
                    "--strategy", "full", "--interval", "100", "--json"])
         assert rc == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["report"]["certificate"]["checks_per_entry"] == 1
+        assert doc["tool"] == "audit" and doc["ok"] is True
+        report = doc["reports"][0]["report"]
+        assert report["certificate"]["checks_per_entry"] == 1
 
 
 class TestCliMetrics:

@@ -1,0 +1,403 @@
+"""Interprocedural cost analysis: call graph + SCC condensation, trip
+counts, cost polynomials, and the program-level summary driver.
+
+Covers the satellite suite the planner rests on:
+
+* Tarjan SCC condensation on hand-pinned and randomly generated call
+  graphs — including mutual recursion and self loops
+  (``tests/generators.py`` grows the graphs);
+* ``repro.cfg.loops`` facts on irreducible / multi-entry loops (the
+  sampling transforms fall back to retreating edges there, and the
+  trip-count analysis must degrade to "unknown" without crashing);
+* CostPoly algebra and JSON round-trips;
+* ``analyze_program`` summaries on real workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from tests.generators import (
+    adjacency_program,
+    call_graph_adjacencies,
+    nested_loop_program,
+)
+from repro.analysis import (
+    CallGraph,
+    CallSite,
+    CostPoly,
+    FunctionLoopInfo,
+    LoopBound,
+    analyze_program,
+    audit_program,
+    unreachable_functions,
+)
+from repro.bytecode import BytecodeBuilder, Op, Program
+from repro.cfg.graph import CFG
+from repro.cfg.loops import (
+    backedges,
+    is_reducible,
+    natural_loops,
+    sampling_backedges,
+)
+from repro.instrument.call_edge import CallEdgeInstrumentation
+from repro.sampling import SamplingFramework, Strategy
+from repro.sampling.triggers import CounterTrigger
+from repro.vm import VM
+from repro.workloads import get_workload
+
+
+# ---------------------------------------------------------------------------
+# hand-pinned building blocks
+
+
+def _constant_loop_fn(trips: int = 7):
+    """i = trips; while (i) i -= 1;"""
+    b = BytecodeBuilder("cloop", num_params=0)
+    i = b.new_local()
+    head, done = b.new_label(), b.new_label()
+    b.push(trips).store(i)
+    b.label(head)
+    b.load(i).jz(done)
+    b.load(i).push(1).emit(Op.SUB).store(i)
+    b.jump(head)
+    b.label(done)
+    b.push(0).ret()
+    return b.build()
+
+
+def _parameter_loop_fn():
+    """i = p0; while (i) i -= 1;"""
+    b = BytecodeBuilder("ploop", num_params=1)
+    i = b.new_local()
+    head, done = b.new_label(), b.new_label()
+    b.load(0).store(i)
+    b.label(head)
+    b.load(i).jz(done)
+    b.load(i).push(1).emit(Op.SUB).store(i)
+    b.jump(head)
+    b.label(done)
+    b.push(0).ret()
+    return b.build()
+
+
+def _data_dependent_loop_fn():
+    """while (x & 7) x = x * 5 + 1 — no analyzable induction."""
+    b = BytecodeBuilder("uloop", num_params=1)
+    head, done = b.new_label(), b.new_label()
+    b.label(head)
+    b.load(0).push(7).emit(Op.AND).jz(done)
+    b.load(0).push(5).emit(Op.MUL).push(1).emit(Op.ADD)
+    b.push(0xFFFF).emit(Op.AND).store(0)
+    b.jump(head)
+    b.label(done)
+    b.load(0).ret()
+    return b.build()
+
+
+def _irreducible_fn():
+    """A two-entry cycle: the entry jumps into the middle of the loop
+    or falls into its top, so neither cycle block dominates the other.
+    """
+    b = BytecodeBuilder("irr", num_params=1)
+    l1, l2, end = b.new_label(), b.new_label(), b.new_label()
+    b.load(0).jz(l2)
+    b.label(l1)
+    b.load(0).push(1).emit(Op.SUB).store(0)
+    b.load(0).jz(end)
+    b.label(l2)
+    b.load(0).push(1).emit(Op.AND).jnz(l1)
+    b.label(end)
+    b.load(0).ret()
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# call graph + SCCs
+
+
+class TestCallGraph:
+    def test_direct_edges_and_unreachable(self):
+        program = adjacency_program(
+            {"main": ["f1"], "f1": [], "f2": ["f1"]}
+        )
+        graph = CallGraph.from_program(program)
+        assert set(graph.nodes) == {"main", "f1", "f2"}
+        assert graph.successors("main") == ("f1",)
+        assert graph.reachable() == frozenset({"main", "f1"})
+        assert graph.unreachable() == ("f2",)
+
+    def test_mutual_recursion_is_one_component(self):
+        program = adjacency_program(
+            {"main": ["f1"], "f1": ["f2"], "f2": ["f1", "f3"], "f3": []}
+        )
+        graph = CallGraph.from_program(program)
+        assert graph.recursive_components() == [("f1", "f2")]
+        components, dag = graph.condensation()
+        # callee-first: f3's singleton precedes {f1,f2}, which
+        # precedes main's singleton.
+        order = {comp: idx for idx, comp in enumerate(components)}
+        assert order[("f3",)] < order[("f1", "f2")] < order[("main",)]
+        # the condensation has no cycles by construction; every dag
+        # edge points from a later component to an earlier one.
+        for src, dsts in dag.items():
+            for dst in dsts:
+                assert dst < src
+
+    def test_self_loop_is_recursive(self):
+        program = adjacency_program({"main": ["main"]})
+        graph = CallGraph.from_program(program)
+        assert graph.recursive_components() == [("main",)]
+
+    def test_open_table_edges_reach_templates(self):
+        # LOADFN pulls the template in; REPLACEFN makes the replaced
+        # name absorb the template through an alias edge.
+        dynload = get_workload("dynload").compile()
+        graph = CallGraph.from_program(dynload)
+        kinds = {site.kind for site in graph.edges()}
+        assert CallSite.LOAD in kinds
+        loaded = {
+            site.callee
+            for site in graph.edges()
+            if site.kind == CallSite.LOAD
+        }
+        assert loaded <= set(graph.nodes)
+        assert loaded <= graph.reachable()
+
+    def test_unreachable_functions_finds_dead_code(self):
+        compress = get_workload("compress").compile()
+        assert "lcgNext" in unreachable_functions(compress)
+        db = get_workload("db").compile()
+        assert unreachable_functions(db) == ()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(call_graph_adjacencies())
+    def test_scc_condensation_properties(self, adjacency):
+        graph = CallGraph.from_program(adjacency_program(adjacency))
+        components = graph.sccs()
+        # Partition: every node in exactly one component.
+        seen = [name for comp in components for name in comp]
+        assert sorted(seen) == sorted(graph.nodes)
+        assert len(seen) == len(set(seen))
+        component_of = {
+            name: idx
+            for idx, comp in enumerate(components)
+            for name in comp
+        }
+        # Callee-first order: any cross-component edge points to an
+        # earlier component (so iterating components in order is
+        # bottom-up summary order).
+        for name in graph.nodes:
+            for succ in graph.successors(name):
+                assert component_of[succ] <= component_of[name]
+        # Members of a multi-node component reach each other.
+        for comp in components:
+            if len(comp) == 1:
+                continue
+            for start in comp:
+                reached, stack = set(), [start]
+                while stack:
+                    node = stack.pop()
+                    for succ in graph.successors(node):
+                        if succ not in reached:
+                            reached.add(succ)
+                            stack.append(succ)
+                assert set(comp) <= reached | {start}
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(call_graph_adjacencies())
+    def test_reachability_matches_bfs_reference(self, adjacency):
+        graph = CallGraph.from_program(adjacency_program(adjacency))
+        seen, frontier = {"main"}, ["main"]
+        while frontier:
+            name = frontier.pop()
+            for succ in adjacency.get(name, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        assert graph.reachable() == frozenset(seen)
+
+
+# ---------------------------------------------------------------------------
+# trip counts
+
+
+class TestTripCounts:
+    def test_constant_loop(self):
+        info = FunctionLoopInfo.from_function(_constant_loop_fn(7))
+        assert len(info.bounds) == 1
+        assert info.bounds[0].kind == LoopBound.CONSTANT
+        assert info.bounds[0].value == 7
+        assert info.iterations_poly.evaluate(64) == pytest.approx(7)
+
+    def test_parameter_loop(self):
+        info = FunctionLoopInfo.from_function(_parameter_loop_fn())
+        assert len(info.bounds) == 1
+        assert info.bounds[0].kind == LoopBound.PARAMETER
+        # a parameter bound contributes one degree of n
+        assert info.iterations_poly.degree() == 1
+
+    def test_data_dependent_loop_is_unknown(self):
+        info = FunctionLoopInfo.from_function(_data_dependent_loop_fn())
+        assert len(info.bounds) == 1
+        assert info.bounds[0].kind == LoopBound.UNKNOWN
+
+    def test_nested_loops_multiply(self):
+        program = nested_loop_program(trip_outer=6, trip_inner=5)
+        info = FunctionLoopInfo.from_function(
+            program.functions["main"], program
+        )
+        assert len(info.bounds) == 2
+        # the inner counted loop is constant; the outer loop has a
+        # second exit (the conditional early return), which the
+        # single-exit-test classifier must refuse — unknown, not a
+        # wrong constant
+        kinds = sorted(b.kind for b in info.bounds)
+        assert kinds == [LoopBound.CONSTANT, LoopBound.UNKNOWN]
+        # the unknown outer bound widens to a factor of n, so total
+        # iterations grow with scale instead of staying 6 + 6*5
+        assert info.iterations_poly.degree() >= 1
+        assert info.iterations_poly.unknown
+
+
+# ---------------------------------------------------------------------------
+# irreducible / multi-entry flow
+
+
+def _irreducible_program() -> Program:
+    """main(0 params) seeds and calls the irreducible function."""
+    b = BytecodeBuilder("main", num_params=0)
+    b.push(5).call("irr").ret()
+    return Program([b.build(), _irreducible_fn()], entry="main")
+
+
+class TestIrreducibleLoops:
+    def test_detected_and_degraded(self):
+        cfg = CFG.from_function(_irreducible_fn())
+        assert not is_reducible(cfg)
+        # no natural loop: neither cycle block dominates the other
+        assert natural_loops(cfg) == []
+        assert backedges(cfg) == []
+        # ...but the retreating-edge fallback still finds the cycle,
+        # so the sampling transforms have an edge to instrument
+        assert len(sampling_backedges(cfg)) >= 1
+
+    def test_loop_info_degrades_without_crashing(self):
+        info = FunctionLoopInfo.from_function(_irreducible_fn())
+        assert info.loops == []
+        assert info.iterations_poly.is_zero
+
+    def test_transform_and_audit_survive_irreducible_flow(self):
+        # The duplication transform falls back to retreating edges on
+        # irreducible flow. A retreating edge need not be a *backward
+        # pc* jump, so the auditor may flag its check as uncharged
+        # (AUD004) — the degradation must be exactly that finding, not
+        # a crash or a silent pass, and semantics must be preserved.
+        program = _irreducible_program()
+        baseline = VM(program.copy()).run()
+        framework = SamplingFramework(Strategy.FULL_DUPLICATION)
+        transformed = framework.transform(
+            program, CallEdgeInstrumentation()
+        )
+        sampled = VM(transformed, trigger=CounterTrigger(3)).run()
+        assert sampled.value == baseline.value
+        report = audit_program(
+            transformed, strategy=Strategy.FULL_DUPLICATION.value
+        )
+        assert {f.rule_id for f in report.findings} <= {"AUD004"}, [
+            f.format() for f in report.findings
+        ]
+
+    def test_analyze_program_handles_irreducible_member(self):
+        analysis = analyze_program(_irreducible_program())
+        summary = analysis.summary("irr")
+        assert summary is not None
+        assert not summary.recursive
+
+
+# ---------------------------------------------------------------------------
+# CostPoly algebra
+
+
+class TestCostPoly:
+    def test_addition_and_scaling(self):
+        p = CostPoly.constant(3).add(CostPoly({1: 2.0}))
+        assert p.evaluate(10) == pytest.approx(3 + 20)
+        assert p.scale(2).evaluate(10) == pytest.approx(46)
+
+    def test_multiply_adds_degrees(self):
+        n = CostPoly({1: 1.0})
+        n2 = n.multiply(n)
+        assert n2.degree() == 2
+        assert n2.evaluate(8) == pytest.approx(64)
+
+    def test_times_bound(self):
+        p = CostPoly.constant(1)
+        assert p.times_bound(
+            LoopBound(LoopBound.CONSTANT, value=5)
+        ).evaluate(64) == pytest.approx(5)
+        assert p.times_bound(
+            LoopBound(LoopBound.PARAMETER, param=0)
+        ).degree() == 1
+        widened = p.times_bound(LoopBound(LoopBound.UNKNOWN))
+        assert widened.degree() == 1
+        assert widened.unknown
+
+    def test_join_is_pointwise_max_of_coefficients(self):
+        a = CostPoly({0: 3.0, 1: 1.0})
+        b = CostPoly({1: 4.0})
+        j = a.join(b)
+        assert j.coeffs[0] == pytest.approx(3.0)
+        assert j.coeffs[1] == pytest.approx(4.0)
+
+    def test_json_round_trip(self):
+        p = CostPoly({0: 1.0, 2: 3.5}, unknown=True)
+        q = CostPoly.from_dict(p.as_dict())
+        assert p == q
+        assert q.unknown
+
+
+# ---------------------------------------------------------------------------
+# program-level summaries
+
+
+class TestAnalyzeProgram:
+    def test_recursive_scc_is_widened(self):
+        program = adjacency_program(
+            {"main": ["f1"], "f1": ["f2"], "f2": ["f1"]}
+        )
+        analysis = analyze_program(program)
+        for name in ("f1", "f2"):
+            summary = analysis.summary(name)
+            assert summary.recursive
+            assert summary.total.unknown
+            assert summary.activations.unknown
+        assert not analysis.summary("main").recursive
+
+    def test_unreachable_function_has_zero_activations(self):
+        program = adjacency_program({"main": [], "f1": []})
+        analysis = analyze_program(program)
+        assert analysis.summary("f1").activations.is_zero
+        assert analysis.summary("main").activations.evaluate(
+            64
+        ) == pytest.approx(1)
+
+    def test_workload_summaries_are_complete(self):
+        program = get_workload("compress").compile()
+        analysis = analyze_program(program)
+        assert set(analysis.summaries) == set(analysis.graph.nodes)
+        main = analysis.summary("main")
+        assert main.activations.evaluate(64) == pytest.approx(1)
+        # the whole-program document serializes
+        doc = analysis.as_dict()
+        assert doc["entry"] == "main"
+        assert "lcgNext" in doc["call_graph"]["unreachable"]
