@@ -28,21 +28,29 @@ class ReconcileVerdict:
     observed: int
     formula: str
     violations: List[str] = field(default_factory=list)
+    #: True when the reconciled stream ended in a truncated trailing
+    #: segment (crash read-back) — the lower bound was waived.
+    truncated: bool = False
 
     def summary(self) -> str:
         status = "ok" if self.ok else "VIOLATED"
+        suffix = " (truncated stream)" if self.truncated else ""
         return (
-            f"checks {self.observed} <= static bound {self.bound}: {status}"
+            f"checks {self.observed} <= static bound {self.bound}: "
+            f"{status}{suffix}"
         )
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "ok": self.ok,
             "bound": self.bound,
             "observed": self.observed,
             "formula": self.formula,
             "violations": list(self.violations),
         }
+        if self.truncated:
+            payload["truncated"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ReconcileVerdict":
@@ -52,6 +60,7 @@ class ReconcileVerdict:
             observed=payload["observed"],
             formula=payload.get("formula", ""),
             violations=list(payload.get("violations", [])),
+            truncated=bool(payload.get("truncated", False)),
         )
 
 
@@ -117,6 +126,7 @@ def reconcile_stream(
     stats: Union[Mapping[str, Any], Any],
     records,
     dropped_events: int = 0,
+    truncated: bool = False,
 ) -> ReconcileVerdict:
     """Check a (possibly compacted, possibly truncated) telemetry stream
     against the run's counters.
@@ -129,6 +139,13 @@ def reconcile_stream(
     recorder's ``ring.dropped``). *records* may mix plain events and
     :class:`~repro.telemetry.compaction.SuppressedRun` entries; runs
     count with their full weight.
+
+    Pass ``truncated=True`` for a stream read back from a spool whose
+    tail was cut off mid-write (``SpoolReader.truncated``): an
+    arbitrary suffix of events is then legitimately missing, so the
+    lower bound is waived and the verdict reports ``truncated=True``
+    instead of a violation. The upper bound still applies — a crash
+    cannot *add* samples.
     """
     from repro.telemetry.compaction import record_weight
     from repro.telemetry.events import SAMPLE_FIRED, Event
@@ -148,7 +165,7 @@ def reconcile_stream(
             f"stream carries {stream_samples} samples but the run "
             f"took only {taken}"
         )
-    if taken - dropped_events > stream_samples:
+    if not truncated and taken - dropped_events > stream_samples:
         violations.append(
             f"stream carries {stream_samples} samples; the run took "
             f"{taken} and only {dropped_events} were evicted — "
@@ -160,6 +177,7 @@ def reconcile_stream(
         observed=stream_samples,
         formula="samples_taken - dropped <= stream samples <= samples_taken",
         violations=violations,
+        truncated=truncated,
     )
 
 

@@ -29,6 +29,9 @@ Commands:
   planner: pick the cheapest sound duplication strategy per function
   under a budget, emit the plan artifact, and (``--check``) execute
   the planned program and reconcile per-function check counts.
+* ``watch``          — tail a live-export telemetry spool
+  (``ExperimentRunner(stream=...)``): hot calling contexts, per-function
+  check rates, epoch throughput; ``--follow`` re-renders as epochs land.
 * ``ledger``         — show or trend-check the continuous
   perf-regression ledger (``BENCH_history.jsonl``).
 
@@ -507,6 +510,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         return 0
     print(f"{label}: {result.stats.cycles} cycles, "
           f"{result.stats.samples_taken} samples")
+    summary = recorder.summary()
+    print(f"  ring: capacity={summary['capacity']} "
+          f"retained={summary['events']} evicted={summary['dropped']} "
+          f"events_lost={summary.get('dropped_events', summary['dropped'])}")
     for key, payload in snapshot.items():
         if payload["type"] == "histogram":
             count, total = payload["count"], payload["sum"]
@@ -533,6 +540,98 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         print()
         print(decompose(prof_snapshot, measured_wall=measured_wall).render())
         print(f"sample bound: {prof_verdict.summary()}")
+    return 0
+
+
+def _render_watch(reader, top: int, component: Optional[str]) -> List[str]:
+    """One frame of the ``watch`` view for a spool's current state."""
+    from repro.analysis import measured_function_checks
+    from repro.profiling.cct import top_contexts
+
+    summary = reader.summary()
+    status = summary["status"] or "?"
+    if summary["truncated"]:
+        status += " (truncated tail)"
+    lines = [f"{summary['label'] or summary['path']}: {status}"]
+    meta = reader.meta
+    if meta:
+        described = " ".join(
+            f"{key}={meta[key]}"
+            for key in ("workload", "strategy", "engine", "trigger",
+                        "interval")
+            if meta.get(key) is not None
+        )
+        if described:
+            lines.append(f"  run: {described}")
+    lines.append(
+        f"  epochs: {summary['epochs']}  records: {summary['records']}  "
+        f"events: {summary['events']}  "
+        f"dropped: {summary['dropped_events']}  "
+        f"contexts: {summary['contexts']}"
+    )
+    stamps = reader.epoch_stamps()
+    if len(stamps) >= 2:
+        seconds = stamps[-1]["wall"] - stamps[0]["wall"]
+        events = stamps[-1]["seq"] - stamps[0]["seq"]
+        if seconds > 0:
+            lines.append(
+                f"  throughput: {events / seconds:,.0f} events/s "
+                f"across {len(stamps)} epoch(s) ({seconds:.2f}s)"
+            )
+    checks = measured_function_checks(reader.final_metrics())
+    if checks:
+        total = sum(checks.values())
+        strategy = (meta or {}).get("strategy", "?")
+        lines.append(f"  checks [{strategy}]: {total} executed")
+        ranked = sorted(checks, key=lambda name: (-checks[name], name))
+        for name in ranked[:top]:
+            share = checks[name] / total if total else 0.0
+            lines.append(
+                f"    {name:<24} {checks[name]:>8}  ({share:.1%})"
+            )
+    rows = top_contexts(reader.cct_table(), limit=top, component=component)
+    if rows:
+        lines.append(f"  hot contexts (top {len(rows)}):")
+        for path, samples, wall in rows:
+            wall_part = f"  wall={wall:.4f}s" if wall else ""
+            lines.append(f"    {path:<40} samples={samples:g}{wall_part}")
+    return lines
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.profiling.cct import top_contexts
+    from repro.telemetry.streaming import SpoolReader, tail_epochs
+
+    if args.follow:
+        reader = None
+        for reader, fresh in tail_epochs(
+            args.spool, poll_seconds=args.poll, timeout=args.timeout
+        ):
+            if fresh or reader.closed or reader.truncated:
+                print("\n".join(
+                    _render_watch(reader, args.top, args.component)
+                ))
+                print()
+        if reader is None or not (reader.closed or reader.truncated):
+            print("watch: timed out with the spool still live",
+                  file=sys.stderr)
+            return 1
+        return 0
+    reader = SpoolReader(args.spool)
+    if args.json:
+        payload = reader.summary()
+        payload["meta"] = reader.meta
+        payload["top_contexts"] = [
+            {"path": path, "samples": samples, "wall": wall}
+            for path, samples, wall in top_contexts(
+                reader.cct_table(), limit=args.top,
+                component=args.component,
+            )
+        ]
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print("\n".join(_render_watch(reader, args.top, args.component)))
     return 0
 
 
@@ -1248,6 +1347,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the report as JSON on stdout")
     _add_engine_arg(p)
     p.set_defaults(func=cmd_compact)
+
+    p = sub.add_parser(
+        "watch",
+        help="tail a live-export telemetry spool: hot calling contexts, "
+        "check rates, and epoch throughput (live or finished runs)",
+    )
+    p.add_argument("spool", help="spool directory written by a streamed "
+                   "run (ExperimentRunner(stream=...))")
+    p.add_argument("--follow", action="store_true",
+                   help="keep polling and re-render as epochs land, "
+                   "until the spool closes")
+    p.add_argument("--top", type=int, default=10,
+                   help="contexts/functions to show per frame")
+    p.add_argument("--component", default=None,
+                   help="rank contexts by one cost component "
+                   "(e.g. check, dispatch, payload) instead of all")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="seconds between --follow polls")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="give up on --follow after this many idle "
+                   "seconds (exit 1 if the spool never closed)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the spool summary + top contexts as JSON")
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(
         "ledger",

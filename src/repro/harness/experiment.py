@@ -10,6 +10,7 @@ Property-1 verification.
 from __future__ import annotations
 
 import os
+import re
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -180,6 +181,10 @@ class RunResult:
     #: compaction enabled — a tuple of Events and SuppressedRuns;
     #: NamedTuples, so pool workers ship it back with the result
     records: Optional[Tuple[Record, ...]] = None
+    #: path of the cell's live-export spool directory when the runner
+    #: streams (``ExperimentRunner(stream=...)``); readable during and
+    #: after the run with :class:`~repro.telemetry.SpoolReader`
+    spool: Optional[str] = None
 
 
 @dataclass
@@ -257,6 +262,18 @@ class ExperimentRunner:
             record per computed cell (pool workers never append — their
             cells are recorded by the parent, so the ledger sees each
             cell exactly once).
+        stream: directory for live telemetry export. When set, every
+            configured run attaches a context-keyed
+            :class:`~repro.telemetry.StreamingRecorder` that flushes
+            epochs to a per-cell spool under this directory while the
+            VM runs — implies ``telemetry`` and ``compaction``, and
+            (with ``profile`` on) switches the profiler to CCT mode so
+            spools carry per-context attribution. The spool path rides
+            on :attr:`RunResult.spool` and in the manifest's telemetry
+            section (``repro watch <spool>`` tails it live). The
+            retained record stream and every end-of-run snapshot are
+            bit-identical to a non-streaming context-keyed run —
+            pinned by tests/test_streaming.py.
 
     The runner always keeps a :class:`MetricsRegistry` in
     :attr:`metrics` — harness-level counters (baseline-cache traffic,
@@ -282,6 +299,7 @@ class ExperimentRunner:
         profile_interval: int = DEFAULT_PROFILE_INTERVAL,
         ledger: Union[PerfLedger, str, bool, None] = None,
         plan: Union["object", None] = None,
+        stream: Union[str, "os.PathLike", None] = None,
     ):
         self.cost_model = cost_model or CostModel()
         self.fuel = fuel
@@ -298,6 +316,12 @@ class ExperimentRunner:
         self.profile_interval = profile_interval
         self.ledger = resolve_ledger(ledger)
         self.plan = _plan_key(plan)
+        self.stream = None if stream is None else str(stream)
+        if self.stream is not None:
+            # Streaming rides on the compacting recorder, so it implies
+            # the full telemetry stack.
+            self.telemetry = True
+            self.compaction = True
         self.metrics = MetricsRegistry()
         self.manifests: List[RunManifest] = []
         self.profile_snapshots: List[Dict[str, object]] = []
@@ -438,6 +462,18 @@ class ExperimentRunner:
 
     # -- configured runs ----------------------------------------------------------
 
+    def _spool_path(self, spec: RunSpec) -> str:
+        """Per-cell spool directory under :attr:`stream`.
+
+        The name combines the human-readable spec description with the
+        cell's content seed, so it is stable across processes (pool
+        workers derive the same path) yet unique per cell.
+        """
+        safe = re.sub(r"[^A-Za-z0-9@.+=_-]+", "-", spec.describe())
+        return os.path.join(
+            self.stream, f"{safe.strip('-')}-{cell_seed(spec):08x}"
+        )
+
     def _apply_plan(self, spec: RunSpec) -> RunSpec:
         """Fold the runner-level strategy plan into *spec* (a spec's own
         plan always wins; a planless runner leaves specs untouched)."""
@@ -535,18 +571,38 @@ class ExperimentRunner:
             trigger = make_trigger(spec.trigger, spec.interval, seed=seed_used)
         else:
             trigger = make_trigger(spec.trigger, spec.interval)
+        profiler = (
+            OverheadProfiler(
+                interval=self.profile_interval,
+                cct=self.stream is not None,
+            )
+            if self.profile
+            else None
+        )
         recorder: Optional[TelemetryRecorder] = None
-        if self.telemetry:
+        if self.stream is not None:
+            from repro.telemetry.streaming import StreamingRecorder
+
+            recorder = StreamingRecorder(
+                self._spool_path(spec),
+                capacity=self.telemetry_capacity,
+                profiler=profiler,
+                label=spec.describe(),
+                meta={
+                    "workload": spec.workload,
+                    "strategy": spec.strategy.value,
+                    "engine": self.engine,
+                    "trigger": spec.trigger,
+                    "interval": spec.interval,
+                    "instrumentation": list(spec.instrumentation),
+                },
+            )
+        elif self.telemetry:
             recorder = (
                 CompactingRecorder(capacity=self.telemetry_capacity)
                 if self.compaction
                 else TelemetryRecorder(capacity=self.telemetry_capacity)
             )
-        profiler = (
-            OverheadProfiler(interval=self.profile_interval)
-            if self.profile
-            else None
-        )
         vm_started = time.perf_counter()
         vm = VM(
             transformed,
@@ -685,6 +741,13 @@ class ExperimentRunner:
             # first-class metrics before the snapshot is frozen into the
             # manifest.
             recorder.sync_metrics()
+            if self.stream is not None:
+                # Seal the spool after metrics are frozen and before the
+                # manifest snapshot is taken, so the spool's merged
+                # end-of-run state and the manifest agree bit-for-bit.
+                recorder.close()
+                run_result.spool = str(recorder.writer.path)
+                self.metrics.counter("harness.stream.cells").inc()
             if isinstance(recorder, CompactingRecorder):
                 run_result.records = recorder.records()
             run_result.manifest = RunManifest(

@@ -114,6 +114,10 @@ class RunnerConfig:
     #: file single-writer.
     profile: bool = False
     profile_interval: int = 64
+    #: live-export spool root; workers derive the same per-cell spool
+    #: paths as the parent (cell_seed is content-addressed), so a
+    #: streamed sweep produces one spool per cell wherever it ran.
+    stream: Optional[str] = None
 
     @classmethod
     def from_runner(cls, runner) -> "RunnerConfig":
@@ -131,6 +135,7 @@ class RunnerConfig:
             compaction=runner.compaction,
             profile=runner.profile,
             profile_interval=runner.profile_interval,
+            stream=runner.stream,
         )
 
     def build_runner(self):
@@ -151,6 +156,7 @@ class RunnerConfig:
             profile=self.profile,
             profile_interval=self.profile_interval,
             ledger=False,
+            stream=self.stream,
         )
 
 

@@ -12,8 +12,24 @@ interpreters themselves:
 * :mod:`repro.profiling.flamegraph` — collapsed-stack, speedscope, and
   Chrome trace_event flame-graph exporters;
 * :mod:`repro.profiling.ledger` — the continuous perf-regression
-  ledger (``BENCH_history.jsonl``) and its rolling-baseline comparator.
+  ledger (``BENCH_history.jsonl``) and its rolling-baseline comparator;
+* :mod:`repro.profiling.cct` — the first-class calling-context tree:
+  dense context interning, per-context cost attribution, and the
+  associative snapshot-table merges the streaming spool relies on.
 """
+
+from repro.profiling.cct import (
+    PATH_SEPARATOR,
+    CallingContextTree,
+    ContextTracker,
+    cct_from_events,
+    context_totals,
+    diff_cct_table,
+    join_path,
+    merge_cct_tables,
+    split_path,
+    top_contexts,
+)
 
 from repro.profiling.decomposition import (
     DEFAULT_TOLERANCE,
@@ -50,6 +66,8 @@ from repro.profiling.profiler import (
 
 __all__ = [
     "COMPONENTS",
+    "CallingContextTree",
+    "ContextTracker",
     "DEFAULT_INTERVAL",
     "DEFAULT_NOISE_PCT",
     "DEFAULT_TOLERANCE",
@@ -59,14 +77,22 @@ __all__ = [
     "LEDGER_FILENAME",
     "LedgerReport",
     "OverheadProfiler",
+    "PATH_SEPARATOR",
     "PerfLedger",
     "TrendVerdict",
     "calibration_score",
+    "cct_from_events",
+    "context_totals",
     "decompose",
+    "diff_cct_table",
     "host_fingerprint",
+    "join_path",
     "make_record",
+    "merge_cct_tables",
     "merge_snapshots",
     "resolve_ledger",
+    "split_path",
+    "top_contexts",
     "stacks_to_chrome_flame",
     "stacks_to_collapsed",
     "stacks_to_speedscope",

@@ -100,6 +100,13 @@ class OverheadProfiler:
             path — but tables lag until a flush, so suppression is
             opt-in and callers that poke ``sample_counts`` mid-run must
             leave it off.
+        cct: additionally fold every sample into a first-class
+            :class:`~repro.profiling.cct.CallingContextTree`, splitting
+            each calling context's samples by overhead component
+            (check/dispatch/payload/...). The tree surfaces as a gated
+            ``"cct"`` snapshot subdict that merges associatively like
+            every other table; off by default so plain snapshots are
+            byte-for-byte unchanged.
 
     The hot surface is three methods the engines call at boundaries —
     :meth:`boundary`, :meth:`check_boundary`, :meth:`guarded_boundary` —
@@ -112,6 +119,7 @@ class OverheadProfiler:
         enabled: bool = True,
         clock: Callable[[], float] = time.perf_counter,
         suppress: bool = False,
+        cct: bool = False,
     ):
         self.interval = interval
         self.enabled = enabled
@@ -132,6 +140,12 @@ class OverheadProfiler:
         self.op_heat: Dict[int, int] = {}
         #: calling-context tuple (root..leaf function names) -> [samples, wall]
         self.stacks: Dict[Tuple[str, ...], list] = {}
+        if cct:
+            from repro.profiling.cct import CallingContextTree
+
+            self.cct: Optional[CallingContextTree] = CallingContextTree()
+        else:
+            self.cct = None
         self.elapsed_seconds = 0.0
         self.runs = 0
         #: tids currently resident in duplicated code (mirrors the
@@ -237,6 +251,8 @@ class OverheadProfiler:
         else:
             cell[0] += n
             cell[1] += wall
+        if self.cct is not None:
+            self.cct.record(stack, component, n, wall)
 
     def _flush_run(self) -> None:
         pending = self._pending
@@ -306,6 +322,12 @@ class OverheadProfiler:
                 "flushes": self.suppression_flushes,
                 "max_run": self.suppression_max_run,
             }
+        if self.cct is not None:
+            # Gated like "suppression" and sorted like "stacks".
+            table = self.cct.snapshot()
+            snap["cct"] = {
+                key: table[key] for key in sorted(table)
+            }
         return snap
 
 
@@ -361,6 +383,11 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             else:
                 cell[0] += n
                 cell[1] += wall
+        cct = snap.get("cct")
+        if cct is not None:
+            from repro.profiling.cct import merge_cct_tables
+
+            merged["cct"] = merge_cct_tables(merged.get("cct", {}), cct)
         supp = snap.get("suppression")
         if supp is not None:
             # Present in the merge iff present in any input; samples and

@@ -13,7 +13,10 @@ The observability subsystem for the reproduction (docs/OBSERVABILITY.md):
   trace_event;
 * :mod:`repro.telemetry.compaction` — trace-aware redundancy
   suppression: suppression windows, delta-encoded snapshots, and the
-  compacting recorder.
+  compacting recorder;
+* :mod:`repro.telemetry.streaming` — epoch-based live export: the
+  streaming recorder, the append-only spool (writer/reader), and
+  ``tail_epochs`` for following a live run.
 """
 
 from repro.telemetry.compaction import (
@@ -82,6 +85,12 @@ from repro.telemetry.recorder import (
     recompile_decision,
 )
 from repro.telemetry.ring import EventRing
+from repro.telemetry.streaming import (
+    SpoolReader,
+    SpoolWriter,
+    StreamingRecorder,
+    tail_epochs,
+)
 
 __all__ = [
     "CHECK_TAKEN",
@@ -105,7 +114,10 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "RunManifest",
+    "SpoolReader",
+    "SpoolWriter",
     "StreamCompactor",
+    "StreamingRecorder",
     "SuppressedRun",
     "TelemetryRecorder",
     "aggregate_manifests",
@@ -131,6 +143,7 @@ __all__ = [
     "records_to_jsonl",
     "sample_site_profile",
     "spec_as_dict",
+    "tail_epochs",
     "write_aggregate",
     "write_chrome_trace",
     "write_chrome_trace_from_records",

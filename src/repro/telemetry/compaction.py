@@ -233,22 +233,46 @@ class StreamCompactor:
     ``sink`` in completion order; :meth:`flush` closes every open
     window (end of run), :meth:`pending_records` peeks without closing
     (live snapshot reads).
+
+    With ``context_key=True``, events carrying a trailing ``("ctx",
+    id)`` data field (a recorder built with ``context=True``) group by
+    ``(kind, tid, ctx, pc)`` instead — the full calling context
+    replaces the bare function name, so the same pc reached through
+    different call chains gets separate windows. Events without a ctx
+    field (timer ticks, thread switches, annotations) keep the
+    site key. The grouping is still loss-free: a context id pins the
+    leaf function, so every window remains homogeneous in
+    (kind, tid, function, pc) and :func:`inflate` is unchanged.
     """
 
     __slots__ = ("sink", "events_in", "records_out", "suppressed",
-                 "max_run", "_windows")
+                 "max_run", "context_key", "_windows")
 
-    def __init__(self, sink: Callable[[Record], None]):
+    def __init__(
+        self,
+        sink: Callable[[Record], None],
+        context_key: bool = False,
+    ):
         self.sink = sink
         self.events_in = 0
         self.records_out = 0
         self.suppressed = 0
         self.max_run = 1
+        self.context_key = bool(context_key)
         self._windows: Dict[Tuple, _Window] = {}
 
     def push(self, event: Event) -> None:
         self.events_in += 1
-        key = (event.kind, event.tid, event.function, event.pc)
+        if self.context_key:
+            data = event.data
+            if data and data[-1][0] == "ctx":
+                # int ctx ids cannot collide with str function names,
+                # so both key shapes share one window table.
+                key = (event.kind, event.tid, data[-1][1], event.pc)
+            else:
+                key = (event.kind, event.tid, event.function, event.pc)
+        else:
+            key = (event.kind, event.tid, event.function, event.pc)
         window = self._windows.get(key)
         if window is None:
             self._windows[key] = _Window(event)
@@ -322,11 +346,19 @@ class CompactingRecorder(TelemetryRecorder):
         capacity: int = 65536,
         metrics: Optional[MetricsRegistry] = None,
         suppress: bool = True,
+        context: bool = False,
     ):
-        super().__init__(capacity=capacity, metrics=metrics)
+        # ``context`` both tags events with calling-context ids (the
+        # inherited recorder option) and switches the suppression
+        # windows to the context key — one flag, because context-keyed
+        # windows without ctx-tagged events would silently degrade to
+        # the site key.
+        super().__init__(capacity=capacity, metrics=metrics, context=context)
         self.dropped_events = 0
         self.compactor = (
-            StreamCompactor(self._store) if suppress else None
+            StreamCompactor(self._store, context_key=context)
+            if suppress
+            else None
         )
 
     @property
@@ -690,4 +722,9 @@ def diff_profile_snapshot(
             k: v if k == "max_run" else v - prev_sup.get(k, 0)
             for k, v in suppression.items()
         }
+    cct = current.get("cct")
+    if cct is not None:
+        from repro.profiling.cct import diff_cct_table
+
+        delta["cct"] = diff_cct_table(base.get("cct", {}), cct)
     return delta

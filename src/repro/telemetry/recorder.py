@@ -61,15 +61,27 @@ class NullRecorder:
     #: exporting makes sense.
     active = False
 
-    def check(self, cycles, tid, function, pc, fired, target=None) -> None:
+    #: True when the recorder wants the live frame stack at event
+    #: boundaries so it can attribute events to full calling contexts.
+    #: The reference and fast engines pass ``frames`` unconditionally on
+    #: their recorder-attached paths (ignored unless this is set); the
+    #: compiled engine consults this flag at lowering time and only
+    #: emits the extra argument when it is True, keeping the generated
+    #: source byte-identical in the default configuration.
+    wants_context = False
+
+    def check(self, cycles, tid, function, pc, fired, target=None,
+              frames=None) -> None:
         """Every executed CHECK; ``fired`` means the transfer was taken
         (``cycles`` then already includes the transfer penalty and
-        ``target`` is the duplicated-code pc)."""
+        ``target`` is the duplicated-code pc). ``frames`` is the live
+        frame stack, consulted only under :attr:`wants_context`."""
 
-    def guarded_fired(self, cycles, tid, function, pc) -> None:
+    def guarded_fired(self, cycles, tid, function, pc, frames=None) -> None:
         """A GUARDED_INSTR whose trigger poll returned True."""
 
-    def gc_pause(self, cycles, tid, function, pc, pause, allocs) -> None:
+    def gc_pause(self, cycles, tid, function, pc, pause, allocs,
+                 frames=None) -> None:
         """The allocation clock charged a GC pause of ``pause`` cycles."""
 
     def timer_tick(self, boundary, tick, tid) -> None:
@@ -86,7 +98,13 @@ class NullRecorder:
         return ()
 
     def summary(self) -> Dict[str, Any]:
-        return {"active": False, "events": 0, "dropped": 0, "capacity": 0}
+        return {
+            "active": False,
+            "events": 0,
+            "dropped": 0,
+            "dropped_events": 0,
+            "capacity": 0,
+        }
 
     def sync_metrics(self) -> None:
         """Publish recorder-internal state (ring occupancy, drops) to the
@@ -100,10 +118,18 @@ class TelemetryRecorder(NullRecorder):
         capacity: ring-buffer size; the oldest events are evicted once
             exceeded (``ring.dropped`` counts how many).
         metrics: registry to update; a private one by default.
+        context: attribute sample/check/dup/gc events to their full
+            calling context — every such event gains a trailing
+            ``("ctx", id)`` data field, with ids interned in
+            first-observation order by a
+            :class:`~repro.profiling.cct.ContextTracker` (so they are
+            engine-identical whenever the event streams are). Off by
+            default: the extra field changes the stream's bytes, and
+            interning costs a tuple build per event.
     """
 
     __slots__ = ("ring", "metrics", "_seq", "_dup_enter", "_last_tick",
-                 "_marks")
+                 "_marks", "wants_context", "contexts")
 
     active = True
 
@@ -111,6 +137,7 @@ class TelemetryRecorder(NullRecorder):
         self,
         capacity: int = 65536,
         metrics: Optional[MetricsRegistry] = None,
+        context: bool = False,
     ):
         self.ring = EventRing(capacity)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -120,6 +147,13 @@ class TelemetryRecorder(NullRecorder):
         self._last_tick: Optional[int] = None
         #: counter name -> total already published by sync_metrics
         self._marks: Dict[str, int] = {}
+        self.wants_context = bool(context)
+        if self.wants_context:
+            from repro.profiling.cct import ContextTracker
+
+            self.contexts: Optional[ContextTracker] = ContextTracker()
+        else:
+            self.contexts = None
 
     # -- internals ---------------------------------------------------------
 
@@ -128,11 +162,11 @@ class TelemetryRecorder(NullRecorder):
         self._seq = seq + 1
         self.ring.append(Event(seq, kind, cycles, tid, function, pc, data))
 
-    def _sample(self, mechanism, cycles, tid, function, pc) -> None:
-        self._emit(
-            SAMPLE_FIRED, cycles, tid, function, pc,
-            (("mechanism", mechanism),),
-        )
+    def _sample(self, mechanism, cycles, tid, function, pc, ctx=None) -> None:
+        data = (("mechanism", mechanism),)
+        if ctx is not None:
+            data += (("ctx", ctx),)
+        self._emit(SAMPLE_FIRED, cycles, tid, function, pc, data)
         metrics = self.metrics
         metrics.counter("vm.samples").inc()
         metrics.counter(
@@ -145,7 +179,8 @@ class TelemetryRecorder(NullRecorder):
 
     # -- VM hooks ----------------------------------------------------------
 
-    def check(self, cycles, tid, function, pc, fired, target=None) -> None:
+    def check(self, cycles, tid, function, pc, fired, target=None,
+              frames=None) -> None:
         # Per-function executed-check counts are what the plan
         # reconciler compares against each function's certified bound;
         # every engine reports every executed CHECK through this hook,
@@ -153,35 +188,49 @@ class TelemetryRecorder(NullRecorder):
         self.metrics.counter(
             "vm.checks.by_function", {"function": function}
         ).inc()
+        ctx = (
+            self.contexts.intern_frames(frames)
+            if self.wants_context and frames is not None
+            else None
+        )
         enter = self._dup_enter.pop(tid, None)
         if enter is not None:
             # First check boundary after a sample transfer: execution
             # is demonstrably back in checking code.
             residency = cycles - enter
-            self._emit(
-                DUP_EXIT, cycles, tid, function, pc,
-                (("enter_cycles", enter), ("residency", residency)),
-            )
+            data = (("enter_cycles", enter), ("residency", residency))
+            if ctx is not None:
+                data += (("ctx", ctx),)
+            self._emit(DUP_EXIT, cycles, tid, function, pc, data)
             self.metrics.histogram("vm.dup_residency_cycles").observe(
                 residency
             )
         if fired:
-            self._sample("check", cycles, tid, function, pc)
+            self._sample("check", cycles, tid, function, pc, ctx)
+            data = (("target", target),)
+            if ctx is not None:
+                data += (("ctx", ctx),)
+            self._emit(CHECK_TAKEN, cycles, tid, function, pc, data)
             self._emit(
-                CHECK_TAKEN, cycles, tid, function, pc,
-                (("target", target),),
+                DUP_ENTER, cycles, tid, function, pc,
+                () if ctx is None else (("ctx", ctx),),
             )
-            self._emit(DUP_ENTER, cycles, tid, function, pc, ())
             self._dup_enter[tid] = cycles
 
-    def guarded_fired(self, cycles, tid, function, pc) -> None:
-        self._sample("guarded", cycles, tid, function, pc)
-
-    def gc_pause(self, cycles, tid, function, pc, pause, allocs) -> None:
-        self._emit(
-            GC_PAUSE, cycles, tid, function, pc,
-            (("pause_cycles", pause), ("alloc_count", allocs)),
+    def guarded_fired(self, cycles, tid, function, pc, frames=None) -> None:
+        ctx = (
+            self.contexts.intern_frames(frames)
+            if self.wants_context and frames is not None
+            else None
         )
+        self._sample("guarded", cycles, tid, function, pc, ctx)
+
+    def gc_pause(self, cycles, tid, function, pc, pause, allocs,
+                 frames=None) -> None:
+        data = (("pause_cycles", pause), ("alloc_count", allocs))
+        if self.wants_context and frames is not None:
+            data += (("ctx", self.contexts.intern_frames(frames)),)
+        self._emit(GC_PAUSE, cycles, tid, function, pc, data)
         self.metrics.counter("vm.gc_pauses").inc()
 
     def timer_tick(self, boundary, tick, tid) -> None:
@@ -206,12 +255,22 @@ class TelemetryRecorder(NullRecorder):
         return tuple(self.ring)
 
     def summary(self) -> Dict[str, Any]:
-        return {
+        summary = {
             "active": True,
             "events": len(self.ring),
             "dropped": self.ring.dropped,
+            # For a plain recorder every ring entry is one event, so
+            # evicted entries == lost events. CompactingRecorder
+            # overrides this with the inflated weight of evicted
+            # windows. Exposed here (and as vm.telemetry.ring.* via
+            # sync_metrics) so `repro metrics` and manifest readers can
+            # detect loss without the trace verb.
+            "dropped_events": self.ring.dropped,
             "capacity": self.ring.capacity,
         }
+        if self.wants_context and self.contexts is not None:
+            summary["contexts"] = len(self.contexts)
+        return summary
 
     def _bump(self, name: str, total: int) -> None:
         """Advance counter *name* to cumulative *total* (sync pattern:
@@ -229,6 +288,9 @@ class TelemetryRecorder(NullRecorder):
         metrics.gauge("vm.telemetry.ring.events").set(len(self.ring))
         metrics.gauge("vm.telemetry.ring.capacity").set(self.ring.capacity)
         self._bump("vm.telemetry.ring.dropped", self.ring.dropped)
+        self._bump(
+            "vm.telemetry.ring.dropped_events", self.summary()["dropped_events"]
+        )
 
 
 def recompile_decision(recorder, cycles, **data) -> None:

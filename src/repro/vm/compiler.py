@@ -319,6 +319,13 @@ class _Lowerer:
 
         # Compile-time observability decisions, like the fast engine.
         self.rec = vm.recorder
+        # Context-tracking recorders need the live frame list at every
+        # event site, so lowering emits a trailing `_fs` argument; the
+        # default emission stays byte-identical (and cache-shared) when
+        # tracking is off.
+        self.ctx_on = self.rec is not None and getattr(
+            self.rec, "wants_context", False
+        )
         prof = vm.profiler
         self.prof_on = prof is not None and prof.enabled
         self.oc_on = vm.stats.opcode_counts is not None
@@ -337,8 +344,12 @@ class _Lowerer:
         # (REPLACEFN could swap the callee body out from under the
         # caller's inlined assumptions); both flags are in the lowering
         # key, so each configuration gets its own proven codegen.
+        # Context-tracking recorders also disable leaves: a frameless
+        # callee is absent from `_eng.frames`, so a gc_pause fired
+        # inside one would record the wrong calling context (and `_fs`
+        # is not even bound in the leaf namespace).
         self.leafs: Dict[int, Function] = {}
-        if not dynamic and not self.prof_on:
+        if not dynamic and not self.prof_on and not self.ctx_on:
             eng = self.eng
             for p, callee in self.callees.items():
                 if (
@@ -484,6 +495,9 @@ class _Lowerer:
         labels = self.labels
         rec_on = self.rec is not None
         prof_on = self.prof_on
+        # Trailing `_fs` argument on recorder hooks, only under a
+        # context-tracking recorder (see _analyze).
+        ctx_arg = ", _fs" if self.ctx_on else ""
 
         d = depth_at[start]
         vstack: List[_VEntry] = [
@@ -1020,7 +1034,7 @@ class _Lowerer:
                 if rec_on:
                     E(
                         f"    _rec.check(_cy, _eng.thread.tid,"
-                        f" {fn_name!r}, {p}, True, {arg})"
+                        f" {fn_name!r}, {p}, True, {arg}{ctx_arg})"
                     )
                 if prof_on:
                     E(
@@ -1031,7 +1045,8 @@ class _Lowerer:
                 if rec_on:
                     E(
                         f"_rec.check(_cy, _eng.thread.tid,"
-                        f" {fn_name!r}, {p}, False)"
+                        f" {fn_name!r}, {p}, False"
+                        + (", None, _fs)" if self.ctx_on else ")")
                     )
                 if prof_on:
                     E(
@@ -1055,7 +1070,7 @@ class _Lowerer:
                 if rec_on:
                     E(
                         f"    _rec.guarded_fired(_cy, _eng.thread.tid,"
-                        f" {fn_name!r}, {p})"
+                        f" {fn_name!r}, {p}{ctx_arg})"
                     )
                 out.extend(self._writeback(ind + _I4))
                 out.extend(self._spill(ind + _I4, vstack))
@@ -1117,7 +1132,7 @@ class _Lowerer:
                     E(
                         f"    _rec.gc_pause(_cy, _eng.thread.tid,"
                         f" {fn_name!r}, {p}, {self.gc_pause},"
-                        " _vm._alloc_count)"
+                        f" _vm._alloc_count{ctx_arg})"
                     )
                 t = newtmp()
                 # Inline allocation: the field count is a compile-time
@@ -1147,7 +1162,7 @@ class _Lowerer:
                     E(
                         f"    _rec.gc_pause(_cy, _eng.thread.tid,"
                         f" {fn_name!r}, {p}, {self.gc_pause},"
-                        " _vm._alloc_count)"
+                        f" _vm._alloc_count{ctx_arg})"
                     )
                 t = newtmp()
                 E(f"{t} = _FNew(_RArray)")
@@ -1428,8 +1443,10 @@ class _LeafLowerer(_Lowerer):
     def lower_leaf(self) -> Tuple[str, Dict[str, tuple]]:
         self._analyze()
         ops = self.ops
-        if self.prof_on or self.eng._dynamic:
-            raise _Bailout(f"{self.fn_name}: leaf under profiler/dynamic")
+        if self.prof_on or self.ctx_on or self.eng._dynamic:
+            raise _Bailout(
+                f"{self.fn_name}: leaf under profiler/context/dynamic"
+            )
         if not ops or ops[0] != _YIELDPOINT:
             raise _Bailout(f"{self.fn_name}: leaf without entry yieldpoint")
         for op in ops[1:]:
@@ -1727,6 +1744,11 @@ class CompiledEngine(FastEngine):
             key = (
                 self._dynamic,
                 vm.recorder is not None,
+                # Context-tracking recorders change the emitted hook
+                # calls *and* the leaf-outlining decision, so they must
+                # not share lowered code with plain recorders.
+                vm.recorder is not None
+                and getattr(vm.recorder, "wants_context", False),
                 vm.stats.opcode_counts is not None,
                 prof is not None and prof.enabled,
                 vm.fuel,

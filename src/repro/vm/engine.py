@@ -1165,12 +1165,12 @@ class FastEngine:
                             stats.cycles = c
                             rec.check(
                                 c, eng.thread.tid, fn_name, pc_,
-                                True, target,
+                                True, target, eng.frames,
                             )
                             return T
                         rec.check(
                             stats.cycles, eng.thread.tid, fn_name, pc_,
-                            False,
+                            False, None, eng.frames,
                         )
                         return NXT
                     return h
@@ -1205,7 +1205,7 @@ class FastEngine:
                             stats.cycles = c
                             stats.instr_ops_executed += 1
                             rec.guarded_fired(
-                                c, eng.thread.tid, fn_name, pc_
+                                c, eng.thread.tid, fn_name, pc_, eng.frames
                             )
                             fr = eng.frames[-1]
                             fr.pc = PCP1
@@ -1243,7 +1243,7 @@ class FastEngine:
                             stats.gc_pauses += 1
                             rec.gc_pause(
                                 c, eng.thread.tid, fn_name, pc_,
-                                gc_pause, vm._alloc_count,
+                                gc_pause, vm._alloc_count, eng.frames,
                             )
                         stack.append(RObject(klass))
                         return NXT
@@ -1270,7 +1270,7 @@ class FastEngine:
                             stats.gc_pauses += 1
                             rec.gc_pause(
                                 c, eng.thread.tid, fn_name, pc_,
-                                gc_pause, vm._alloc_count,
+                                gc_pause, vm._alloc_count, eng.frames,
                             )
                         stack.append(RArray(length))
                         return NXT

@@ -505,7 +505,7 @@ class VM:
                     if rec is not None:
                         rec.check(
                             cycles, tid, frame.function.name, pc - 1,
-                            True, ins.arg,
+                            True, ins.arg, frames,
                         )
                     if prof is not None:
                         prof.check_boundary(
@@ -518,7 +518,8 @@ class VM:
                         # the recorder uses them to close
                         # duplicated-code spans.
                         rec.check(
-                            cycles, tid, frame.function.name, pc - 1, False
+                            cycles, tid, frame.function.name, pc - 1, False,
+                            None, frames,
                         )
                     if prof is not None:
                         prof.check_boundary(
@@ -559,7 +560,7 @@ class VM:
                     stats.instr_ops_executed += 1
                     if rec is not None:
                         rec.guarded_fired(
-                            cycles, tid, frame.function.name, pc - 1
+                            cycles, tid, frame.function.name, pc - 1, frames
                         )
                     if prof is not None:
                         prof.guarded_boundary(
@@ -650,7 +651,7 @@ class VM:
                     if rec is not None:
                         rec.gc_pause(
                             cycles, tid, frame.function.name, pc - 1,
-                            gc_pause, self._alloc_count,
+                            gc_pause, self._alloc_count, frames,
                         )
                 stack.append(RObject(classes[ins.arg]))
             elif op == _NEWARRAY:
@@ -670,7 +671,7 @@ class VM:
                     if rec is not None:
                         rec.gc_pause(
                             cycles, tid, frame.function.name, pc - 1,
-                            gc_pause, self._alloc_count,
+                            gc_pause, self._alloc_count, frames,
                         )
                 stack.append(RArray(length))
             elif op == _ALOAD:
